@@ -1,0 +1,194 @@
+// E9 — substrate soundness: throughput of the toolchain and simulator that
+// every other experiment stands on (google-benchmark microbenchmarks).
+//
+// Assembler lines/s, linker throughput, simulator instructions/s per
+// timing model, environment generation and regression end-to-end rates.
+// There is no paper counterpart — this is the "our substrate is fast enough
+// that the experiment harnesses measure methodology, not tooling" check.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "advm/environment.h"
+#include "advm/regression.h"
+#include "asm/assembler.h"
+#include "asm/linker.h"
+#include "isa/instruction.h"
+#include "sim/bus.h"
+#include "sim/machine.h"
+#include "soc/board.h"
+#include "soc/derivative.h"
+#include "soc/global_layer.h"
+#include "support/diagnostics.h"
+#include "support/vfs.h"
+
+namespace {
+
+using namespace advm;
+
+/// Synthetic assembler source of roughly `lines` lines.
+std::string synthetic_source(std::size_t lines) {
+  std::ostringstream os;
+  os << "BASE .EQU 0x1000\n_main:\n";
+  for (std::size_t i = 0; i < lines; ++i) {
+    switch (i % 5) {
+      case 0:
+        os << " MOV d" << i % 8 << ", " << i << "\n";
+        break;
+      case 1:
+        os << " ADD d" << i % 8 << ", d" << (i + 1) % 8 << ", 3\n";
+        break;
+      case 2:
+        os << " INSERT d1, d1, " << i % 16 << ", 4, 8\n";
+        break;
+      case 3:
+        os << " CMP d" << i % 8 << ", BASE + " << i << "\n";
+        break;
+      case 4:
+        os << " NOP\n";
+        break;
+    }
+  }
+  os << " HALT\n";
+  return os.str();
+}
+
+void BM_EncodeDecodeRoundTrip(benchmark::State& state) {
+  isa::Instruction instr;
+  instr.op = isa::Opcode::Insert;
+  instr.rc = isa::RegSpec::data(14);
+  instr.ra = isa::RegSpec::data(14);
+  instr.mode = isa::AddrMode::Immediate;
+  instr.imm = 8;
+  instr.pos = 0;
+  instr.width = 5;
+  for (auto _ : state) {
+    auto word = isa::encode(instr);
+    auto back = isa::decode(*word);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+void BM_AssembleLines(benchmark::State& state) {
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  const std::string source = synthetic_source(lines);
+  support::VirtualFileSystem vfs;
+  for (auto _ : state) {
+    support::DiagnosticEngine diags;
+    assembler::Assembler asm_driver(vfs, diags, {});
+    auto result = asm_driver.assemble_source("/bench.asm", source);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines));
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * lines),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AssembleLines)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_LinkObjects(benchmark::State& state) {
+  support::VirtualFileSystem vfs;
+  support::DiagnosticEngine diags;
+  assembler::Assembler asm_driver(vfs, diags, {});
+  auto main_obj =
+      asm_driver.assemble_source("/m.asm", synthetic_source(500));
+  auto lib_obj = asm_driver.assemble_source(
+      "/l.asm", "helper: RETURN\nhelper2: RETURN\n");
+  std::vector<assembler::ObjectFile> objects{main_obj->object,
+                                             lib_obj->object};
+  for (auto _ : state) {
+    support::DiagnosticEngine link_diags;
+    auto image = assembler::link(objects, {}, link_diags);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkObjects);
+
+/// Simulator instructions/s under each timing model, on a tight ALU loop.
+void BM_SimulatorLoop(benchmark::State& state) {
+  const bool pipeline = state.range(0) != 0;
+  support::VirtualFileSystem vfs;
+  support::DiagnosticEngine diags;
+  assembler::Assembler asm_driver(vfs, diags, {});
+  auto obj = asm_driver.assemble_source("/loop.asm",
+                                        "_main:\n"
+                                        " MOV d0, 100000\n"
+                                        ".loop:\n"
+                                        " ADD d1, d1, 3\n"
+                                        " XOR d2, d1, d0\n"
+                                        " SUB d0, d0, 1\n"
+                                        " JNZ .loop\n"
+                                        " HALT\n");
+  std::vector<assembler::ObjectFile> objects{obj->object};
+  auto image = assembler::link(objects, {}, diags);
+
+  sim::Bus bus;
+  bus.map(0x0, std::make_unique<sim::Ram>("ram", 1 << 20));
+  sim::FunctionalTiming functional;
+  sim::PipelineTiming pipelined;
+  const sim::TimingModel& timing =
+      pipeline ? static_cast<const sim::TimingModel&>(pipelined)
+               : static_cast<const sim::TimingModel&>(functional);
+  sim::Machine machine(bus, timing);
+  for (const auto& seg : image->segments) {
+    bool ok = bus.load_bytes(seg.base, seg.bytes);
+    benchmark::DoNotOptimize(ok);
+  }
+
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    machine.reset(image->entry, 1 << 20, 0x8000);
+    auto result = machine.run(1'000'000);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorLoop)
+    ->Arg(0)
+    ->ArgName("pipeline")
+    ->Arg(1)
+    ->ArgName("pipeline");
+
+void BM_BuildSystemEnvironment(benchmark::State& state) {
+  core::SystemConfig config;
+  config.environments = {
+      {"PAGE_MODULE", core::ModuleKind::Register, 10, true},
+      {"UART_MODULE", core::ModuleKind::Uart, 5, true},
+  };
+  for (auto _ : state) {
+    support::VirtualFileSystem vfs;
+    auto layout = core::build_system(vfs, config, soc::derivative_a());
+    benchmark::DoNotOptimize(layout);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildSystemEnvironment);
+
+void BM_RegressionPerTest(benchmark::State& state) {
+  support::VirtualFileSystem vfs;
+  core::SystemConfig config;
+  config.environments = {
+      {"PAGE_MODULE", core::ModuleKind::Register, 10, true}};
+  auto layout = core::build_system(vfs, config, soc::derivative_a());
+  core::RegressionRunner runner(vfs);
+  std::size_t tests = 0;
+  for (auto _ : state) {
+    auto report = runner.run_system(layout.root, soc::derivative_a(),
+                                    sim::PlatformKind::GoldenModel);
+    tests += report.records.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["tests/s"] = benchmark::Counter(
+      static_cast<double>(tests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RegressionPerTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Quickstart: assemble the paper's Fig 6 code example verbatim, run it on
+// the golden reference model, and inspect the result.
+//
+// Demonstrates the core public API end to end:
+//   VirtualFileSystem  →  Assembler  →  link()  →  Board  →  RunOutcome
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "asm/assembler.h"
+#include "asm/linker.h"
+#include "isa/instruction.h"
+#include "sim/platform.h"
+#include "sim/trace.h"
+#include "soc/board.h"
+#include "soc/derivative.h"
+#include "soc/global_layer.h"
+#include "support/diagnostics.h"
+#include "support/vfs.h"
+
+int main() {
+  using namespace advm;
+
+  // --- 1. A tiny ADVM world: the abstraction layer's Globals.inc and one
+  //        test, both exactly in the shape of the paper's Fig 6. ----------
+  support::VirtualFileSystem vfs;
+
+  vfs.write("/env/Abstraction_Layer/Globals.inc",
+            ";; Globals.inc (paper Fig 6, abstraction layer)\n"
+            "PAGE_FIELD_SIZE .EQU 5\n"
+            "PAGE_FIELD_START_POSITION .EQU 0\n"
+            "TEST1_TARGET_PAGE .EQU 8\n"
+            "TEST2_TARGET_PAGE .EQU 7\n");
+
+  // The register names below come from the derivative's global register
+  // definitions; SC88-A spells the page-module control register PMCTRL.
+  vfs.write("/env/TEST_1/test.asm",
+            ";; Code for test 1 (paper Fig 6, test layer)\n"
+            ".INCLUDE Globals.inc\n"
+            ".INCLUDE register_defs.inc\n"
+            "TEST_PAGE .EQU TEST1_TARGET_PAGE\n"
+            "_main:\n"
+            " LOAD d14, [PMCTRL]\n"
+            " INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, "
+            "PAGE_FIELD_SIZE\n"
+            " STORE [PMCTRL], d14\n"
+            " LOAD d2, 0x600D600D\n"
+            " STORE [SIMRES], d2\n"
+            " HALT\n");
+
+  const soc::DerivativeSpec& spec = soc::derivative_a();
+  vfs.write("/global/register_defs.inc", soc::register_defs_source(spec));
+
+  // --- 2. Assemble and link. ------------------------------------------------
+  support::DiagnosticEngine diags;
+  assembler::AssemblerOptions options;
+  options.include_dirs = {"/env/Abstraction_Layer", "/global"};
+  assembler::Assembler asm_driver(vfs, diags, options);
+
+  auto object = asm_driver.assemble_file("/env/TEST_1/test.asm");
+  if (!object) {
+    std::cerr << "assembly failed:\n" << diags.to_string();
+    return 1;
+  }
+
+  std::vector<assembler::ObjectFile> objects{object->object};
+  assembler::LinkOptions link_options;
+  link_options.code_base = spec.code_base();
+  link_options.data_base = spec.data_base();
+  auto image = assembler::link(objects, link_options, diags);
+  if (!image) {
+    std::cerr << "link failed:\n" << diags.to_string();
+    return 1;
+  }
+  std::cout << "linked " << image->total_bytes() << " bytes, entry at 0x"
+            << std::hex << image->entry << std::dec << "\n";
+
+  // --- 3. Run on the golden reference model, with a full trace. -------------
+  soc::Board board(spec, sim::PlatformKind::GoldenModel);
+  sim::RecordingTrace trace;
+  if (!board.attach_trace(&trace)) {
+    std::cerr << "golden model unexpectedly refused a trace\n";
+    return 1;
+  }
+
+  std::string error;
+  if (!board.load(*image, &error)) {
+    std::cerr << "load failed: " << error << "\n";
+    return 1;
+  }
+  soc::RunOutcome outcome = board.run();
+
+  std::cout << "verdict: " << to_string(outcome.verdict) << " ("
+            << sim::to_string(outcome.machine.reason) << " after "
+            << outcome.machine.instructions << " instructions)\n";
+  std::cout << "page module selected page: "
+            << board.page_module().selected_page()
+            << " (TEST1_TARGET_PAGE was 8)\n\n";
+
+  std::cout << "instruction trace:\n";
+  for (const auto& event : trace.instrs) {
+    std::cout << "  0x" << std::hex << event.pc << std::dec << "  "
+              << isa::disassemble(event.instr) << "\n";
+  }
+  return outcome.passed() ? 0 : 1;
+}

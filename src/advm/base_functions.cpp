@@ -1,0 +1,410 @@
+#include "advm/base_functions.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "soc/global_layer.h"
+
+namespace advm::core {
+
+namespace {
+
+/// Emits one library function: a name plus a body writer. Bodies reference
+/// only Globals.inc names (checked by the abstraction-violation tests).
+struct FunctionDef {
+  const char* name;
+  std::function<void(std::ostringstream&, const BaseFunctionsOptions&)> body;
+};
+
+void emit_init_register(std::ostringstream& os,
+                        const BaseFunctionsOptions& options) {
+  os << ";; Base_Init_Register(ArgAddr0 = register address, ArgReg0 = "
+        "value)\n"
+     << ";; Wraps the embedded software's init function (paper Fig 7): the\n"
+     << ";; test layer never calls ES_* directly, so ES churn lands here\n"
+     << ";; and only here.\n"
+     << "Base_Init_Register:\n";
+  if (options.max_es_version >= 2) {
+    os << ".IF ES_VERSION >= 2\n"
+       << " ; v2+ ES swapped the input registers (value d5, address a5)\n"
+       << " MOV d5, ArgReg0\n"
+       << " MOV a5, ArgAddr0\n"
+       << ".ENDIF\n";
+  }
+  if (options.max_es_version >= 3) {
+    os << ".IF ES_VERSION >= 3\n"
+       << " LOAD CallAddr, ES_InitReg\n"
+       << ".ELSE\n"
+       << " LOAD CallAddr, ES_Init_Register\n"
+       << ".ENDIF\n";
+  } else {
+    os << " LOAD CallAddr, ES_Init_Register\n";
+  }
+  os << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+void emit_report_pass(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Report_Pass() — record PASS and end the test\n"
+     << "Base_Report_Pass:\n"
+     << " LOAD d0, PASS_MAGIC\n"
+     << " STORE [SIM_RESULT_REG], d0\n"
+     << " HALT\n";
+}
+
+void emit_report_fail(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Report_Fail() — record FAIL and end the test\n"
+     << "Base_Report_Fail:\n"
+     << " LOAD d0, FAIL_MAGIC\n"
+     << " STORE [SIM_RESULT_REG], d0\n"
+     << " HALT\n";
+}
+
+void emit_assert_eq(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Assert_Eq(ArgReg0, ArgReg1) — fail-and-halt on mismatch\n"
+     << "Base_Assert_Eq:\n"
+     << " CMP ArgReg0, ArgReg1\n"
+     << " JNE .assert_failed\n"
+     << " RETURN\n"
+     << ".assert_failed:\n"
+     << " LOAD d0, FAIL_MAGIC\n"
+     << " STORE [SIM_RESULT_REG], d0\n"
+     << " HALT\n";
+}
+
+void emit_console_char(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Console_Char(ArgReg0 = character)\n"
+     << "Base_Console_Char:\n"
+     << " STORE [SIM_CONSOLE_REG], ArgReg0\n"
+     << " RETURN\n";
+}
+
+void emit_select_page(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Select_Page(ArgReg0 = page) — the paper Fig 6 INSERT flow\n"
+     << "Base_Select_Page:\n"
+     << " LOAD d2, [PAGE_CTRL_REG]\n"
+     << " INSERT d2, d2, ArgReg0, PAGE_FIELD_START_POSITION, "
+        "PAGE_FIELD_SIZE\n"
+     << " STORE [PAGE_CTRL_REG], d2\n"
+     << " RETURN\n";
+}
+
+void emit_write_page_data(std::ostringstream& os,
+                          const BaseFunctionsOptions&) {
+  os << ";; Base_Write_Page_Data(ArgReg0 = value)\n"
+     << "Base_Write_Page_Data:\n"
+     << " STORE [PAGE_DATA_REG], ArgReg0\n"
+     << " RETURN\n";
+}
+
+void emit_read_page_data(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Read_Page_Data() → RetReg\n"
+     << "Base_Read_Page_Data:\n"
+     << " LOAD RetReg, [PAGE_DATA_REG]\n"
+     << " RETURN\n";
+}
+
+void emit_check_page_error(std::ostringstream& os,
+                           const BaseFunctionsOptions&) {
+  os << ";; Base_Check_Page_Error() → RetReg (1 = error was set; clears it)\n"
+     << "Base_Check_Page_Error:\n"
+     << " LOAD RetReg, [PAGE_STATUS_REG]\n"
+     << " EXTRACT RetReg, RetReg, PAGE_STATUS_ERROR_BIT, 1\n"
+     << " MOV d3, 1\n"
+     << " SHL d3, d3, PAGE_STATUS_ERROR_BIT\n"
+     << " STORE [PAGE_STATUS_REG], d3\n"
+     << " RETURN\n";
+}
+
+void emit_uart_send(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Uart_Send(ArgReg0 = byte) — wraps ES_Uart_Send_Byte\n"
+     << "Base_Uart_Send:\n"
+     << " LOAD CallAddr, ES_Uart_Send_Byte\n"
+     << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+void emit_uart_recv_wait(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Uart_Recv_Wait() → RetReg — blocking receive\n"
+     << "Base_Uart_Recv_Wait:\n"
+     << ".recv_poll:\n"
+     << " LOAD d3, [UART_STATUS_REG]\n"
+     << " EXTRACT d3, d3, UART_RX_AVAIL_BIT, 1\n"
+     << " CMP d3, 1\n"
+     << " JNE .recv_poll\n"
+     << " LOAD RetReg, [UART_DATA_REG]\n"
+     << " RETURN\n";
+}
+
+void emit_uart_enable_loopback(std::ostringstream& os,
+                               const BaseFunctionsOptions&) {
+  os << ";; Base_Uart_Enable_Loopback()\n"
+     << "Base_Uart_Enable_Loopback:\n"
+     << " LOAD d3, [UART_CTRL_REG]\n"
+     << " OR d3, d3, UART_CTRL_LOOPBACK\n"
+     << " STORE [UART_CTRL_REG], d3\n"
+     << " RETURN\n";
+}
+
+void emit_nvm_unlock(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Nvm_Unlock() — wraps ES_Nvm_Unlock (keys are ES-private)\n"
+     << "Base_Nvm_Unlock:\n"
+     << " LOAD CallAddr, ES_Nvm_Unlock\n"
+     << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+void emit_nvm_wait_ready(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Nvm_Wait_Ready() — poll until BUSY clears\n"
+     << "Base_Nvm_Wait_Ready:\n"
+     << ".nvm_poll:\n"
+     << " LOAD d3, [NVM_STATUS_REG]\n"
+     << " EXTRACT d3, d3, NVM_STATUS_BUSY_BIT, 1\n"
+     << " CMP d3, 0\n"
+     << " JNE .nvm_poll\n"
+     << " RETURN\n";
+}
+
+void emit_nvm_program(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Nvm_Program(ArgReg0 = byte offset, ArgReg1 = word)\n"
+     << "Base_Nvm_Program:\n"
+     << " STORE [NVM_ADDR_REG], ArgReg0\n"
+     << " STORE [NVM_DATA_REG], ArgReg1\n"
+     << " LOAD d3, NVM_CMD_PROGRAM_VAL\n"
+     << " STORE [NVM_CMD_REG], d3\n"
+     << ".program_poll:\n"
+     << " LOAD d3, [NVM_STATUS_REG]\n"
+     << " EXTRACT d3, d3, NVM_STATUS_BUSY_BIT, 1\n"
+     << " CMP d3, 0\n"
+     << " JNE .program_poll\n"
+     << " RETURN\n";
+}
+
+void emit_nvm_erase(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Nvm_Erase(ArgReg0 = byte offset within target page)\n"
+     << "Base_Nvm_Erase:\n"
+     << " STORE [NVM_ADDR_REG], ArgReg0\n"
+     << " LOAD d3, NVM_CMD_ERASE_VAL\n"
+     << " STORE [NVM_CMD_REG], d3\n"
+     << ".erase_poll:\n"
+     << " LOAD d3, [NVM_STATUS_REG]\n"
+     << " EXTRACT d3, d3, NVM_STATUS_BUSY_BIT, 1\n"
+     << " CMP d3, 0\n"
+     << " JNE .erase_poll\n"
+     << " RETURN\n";
+}
+
+void emit_nvm_read(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Nvm_Read(ArgReg0 = byte offset) → RetReg\n"
+     << "Base_Nvm_Read:\n"
+     << " LEA a5, NVM_MEM_BASE\n"
+     << " ADD a5, a5, ArgReg0\n"
+     << " LOAD RetReg, [a5]\n"
+     << " RETURN\n";
+}
+
+void emit_timer_start(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Timer_Start(ArgReg0 = compare value)\n"
+     << "Base_Timer_Start:\n"
+     << " STORE [TIMER_COMPARE_REG], ArgReg0\n"
+     << " MOV d3, 0\n"
+     << " STORE [TIMER_COUNT_REG], d3\n"
+     << " MOV d3, 1\n"
+     << " STORE [TIMER_CTRL_REG], d3\n"
+     << " RETURN\n";
+}
+
+void emit_timer_start_irq(std::ostringstream& os,
+                          const BaseFunctionsOptions&) {
+  os << ";; Base_Timer_Start_Irq(ArgReg0 = compare value) — with interrupt\n"
+     << "Base_Timer_Start_Irq:\n"
+     << " STORE [TIMER_COMPARE_REG], ArgReg0\n"
+     << " MOV d3, 0\n"
+     << " STORE [TIMER_COUNT_REG], d3\n"
+     << " MOV d3, 3\n"
+     << " STORE [TIMER_CTRL_REG], d3\n"
+     << " RETURN\n";
+}
+
+void emit_timer_wait_match(std::ostringstream& os,
+                           const BaseFunctionsOptions&) {
+  os << ";; Base_Timer_Wait_Match() — poll and clear the match flag\n"
+     << "Base_Timer_Wait_Match:\n"
+     << ".match_poll:\n"
+     << " LOAD d3, [TIMER_STATUS_REG]\n"
+     << " CMP d3, 0\n"
+     << " JEQ .match_poll\n"
+     << " MOV d3, 1\n"
+     << " STORE [TIMER_STATUS_REG], d3\n"
+     << " RETURN\n";
+}
+
+void emit_irq_enable_line(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Irq_Enable_Line(ArgReg0 = line number)\n"
+     << "Base_Irq_Enable_Line:\n"
+     << " MOV d3, 1\n"
+     << " SHL d3, d3, ArgReg0\n"
+     << " LOAD d2, [IRQ_ENABLE_REG]\n"
+     << " OR d2, d2, d3\n"
+     << " STORE [IRQ_ENABLE_REG], d2\n"
+     << " RETURN\n";
+}
+
+void emit_irq_clear_line(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Irq_Clear_Line(ArgReg0 = line number)\n"
+     << "Base_Irq_Clear_Line:\n"
+     << " MOV d3, 1\n"
+     << " SHL d3, d3, ArgReg0\n"
+     << " STORE [IRQ_PENDING_REG], d3\n"
+     << " RETURN\n";
+}
+
+void emit_install_handler(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Install_Handler(ArgReg0 = vector index, ArgReg1 = handler "
+        "address)\n"
+     << "Base_Install_Handler:\n"
+     << " MOV d3, ArgReg0\n"
+     << " SHL d3, d3, 2\n"
+     << " LEA a5, VECTOR_TABLE_BASE\n"
+     << " ADD a5, a5, d3\n"
+     << " STORE [a5], ArgReg1\n"
+     << " RETURN\n";
+}
+
+void emit_install_default_handlers(std::ostringstream& os,
+                                   const BaseFunctionsOptions&) {
+  os << ";; Base_Install_Default_Handlers() — wire the global trap library's\n"
+     << ";; fail-fast handler into the fault vectors (illegal, bus error,\n"
+     << ";; divide-by-zero, overflow)\n"
+     << "Base_Install_Default_Handlers:\n"
+     << " LOAD d5, Default_Fail_Handler\n"
+     << " MOV d4, 1\n"
+     << ".install_loop:\n"
+     << " CALL Base_Install_Handler\n"
+     << " ADD d4, d4, 1\n"
+     << " CMP d4, 5\n"
+     << " JNE .install_loop\n"
+     << " RETURN\n";
+}
+
+void emit_delay(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Delay(ArgReg0 = loop count) — wraps ES_Delay\n"
+     << "Base_Delay:\n"
+     << " LOAD CallAddr, ES_Delay\n"
+     << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+void emit_mem_set(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Mem_Set(ArgAddr0 = dst, ArgReg0 = word count, ArgReg1 = "
+        "value)\n"
+     << ";; Wraps the global common-functions library (paper Fig 4).\n"
+     << "Base_Mem_Set:\n"
+     << " LOAD CallAddr, Common_Mem_Set\n"
+     << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+void emit_mem_copy(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Mem_Copy(ArgAddr0 = src, a5 = dst, ArgReg0 = word count)\n"
+     << "Base_Mem_Copy:\n"
+     << " LOAD CallAddr, Common_Mem_Copy\n"
+     << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+void emit_checksum(std::ostringstream& os, const BaseFunctionsOptions&) {
+  os << ";; Base_Checksum(ArgAddr0 = addr, ArgReg0 = word count) → RetReg\n"
+     << "Base_Checksum:\n"
+     << " LOAD CallAddr, Common_Checksum\n"
+     << " CALL CallAddr\n"
+     << " RETURN\n";
+}
+
+const std::vector<FunctionDef>& function_table() {
+  static const std::vector<FunctionDef> table = {
+      {"Base_Report_Pass", emit_report_pass},
+      {"Base_Report_Fail", emit_report_fail},
+      {"Base_Assert_Eq", emit_assert_eq},
+      {"Base_Console_Char", emit_console_char},
+      {"Base_Select_Page", emit_select_page},
+      {"Base_Write_Page_Data", emit_write_page_data},
+      {"Base_Read_Page_Data", emit_read_page_data},
+      {"Base_Check_Page_Error", emit_check_page_error},
+      {"Base_Init_Register", emit_init_register},
+      {"Base_Uart_Send", emit_uart_send},
+      {"Base_Uart_Recv_Wait", emit_uart_recv_wait},
+      {"Base_Uart_Enable_Loopback", emit_uart_enable_loopback},
+      {"Base_Nvm_Unlock", emit_nvm_unlock},
+      {"Base_Nvm_Wait_Ready", emit_nvm_wait_ready},
+      {"Base_Nvm_Program", emit_nvm_program},
+      {"Base_Nvm_Erase", emit_nvm_erase},
+      {"Base_Nvm_Read", emit_nvm_read},
+      {"Base_Timer_Start", emit_timer_start},
+      {"Base_Timer_Start_Irq", emit_timer_start_irq},
+      {"Base_Timer_Wait_Match", emit_timer_wait_match},
+      {"Base_Irq_Enable_Line", emit_irq_enable_line},
+      {"Base_Irq_Clear_Line", emit_irq_clear_line},
+      {"Base_Install_Handler", emit_install_handler},
+      {"Base_Install_Default_Handlers", emit_install_default_handlers},
+      {"Base_Delay", emit_delay},
+      {"Base_Mem_Set", emit_mem_set},
+      {"Base_Mem_Copy", emit_mem_copy},
+      {"Base_Checksum", emit_checksum},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_base_function_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& fn : function_table()) out.emplace_back(fn.name);
+    return out;
+  }();
+  return names;
+}
+
+std::string generate_base_functions(const BaseFunctionsOptions& options) {
+  std::ostringstream os;
+  os << ";; " << kBaseFunctionsFile
+     << " — ABSTRACTION LAYER function library (generated)\n"
+     << ";; Written ONLY against Globals.inc names; wraps every global-layer\n"
+     << ";; function so the test layer never calls ES_* directly (paper "
+        "Fig 7).\n"
+     << ".INCLUDE " << kGlobalsFile << "\n\n";
+
+  for (const auto& fn : function_table()) {
+    if (!options.subset.empty() &&
+        std::find(options.subset.begin(), options.subset.end(), fn.name) ==
+            options.subset.end()) {
+      continue;
+    }
+    fn.body(os, options);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string generate_trap_library(const soc::DerivativeSpec& spec) {
+  const soc::RegisterNames n = soc::register_names(spec.naming);
+  std::ostringstream os;
+  os << ";; " << kTrapLibraryFile << " — GLOBAL LIBRARY (paper Figs 4/5)\n"
+     << ";; Shared trap/interrupt handlers. Global-layer code: ships with\n"
+     << ";; the platform and uses the derivative's own register names.\n"
+     << ".INCLUDE " << soc::kRegisterDefsFile << "\n\n"
+     << ";; Default_Fail_Handler — any unexpected trap fails the test fast\n"
+     << "Default_Fail_Handler:\n"
+     << " LOAD d0, 0x0BAD0BAD\n"
+     << " STORE [" << n.sim_result << "], d0\n"
+     << " HALT\n\n"
+     << ";; Default_Ignore_Handler — acknowledge and resume\n"
+     << "Default_Ignore_Handler:\n"
+     << " RETI\n";
+  return os.str();
+}
+
+}  // namespace advm::core

@@ -1,0 +1,58 @@
+// Base Functions generation — the second half of the paper's abstraction
+// layer (Fig 1 'Base Functions', Fig 7 code example).
+//
+// "Such functions are common tasks that are required by multiple tests.
+//  Once this library has been created the development time of new tests for
+//  this environment decreases considerably." (paper §2)
+//
+// Key properties reproduced here:
+//  * the library is written ONLY against Globals.inc names — no hardwired
+//    values — so the same file serves every derivative;
+//  * global-layer functions (ES_*) are never exposed to tests directly;
+//    each is wrapped (paper Fig 7), and signature churn in the ES is
+//    absorbed inside the wrapper via ES_VERSION conditionals;
+//  * the library can be generated at different capability levels, which is
+//    how experiment E5 measures test-development cost as the library grows
+//    and E3 measures the cost of absorbing an ES signature change.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/derivative.h"
+
+namespace advm::core {
+
+struct BaseFunctionsOptions {
+  /// Generate only these functions (empty = the full library). Used by the
+  /// E5 library-growth sweep.
+  std::vector<std::string> subset;
+  /// Highest embedded-software version the wrappers adapt to. A library
+  /// generated with 1 calls the v1 ES directly; regenerating with >= 2 adds
+  /// the Fig 7 parameter-swap shim — the single-point-of-change repair
+  /// measured by experiment E3.
+  int max_es_version = 3;
+};
+
+/// Names of every function in the full library, in a stable order.
+[[nodiscard]] const std::vector<std::string>& all_base_function_names();
+
+/// Renders base_functions.asm. The text depends only on the options — not
+/// on the derivative — because every derivative-specific value is reached
+/// through Globals.inc.
+[[nodiscard]] std::string generate_base_functions(
+    const BaseFunctionsOptions& options = {});
+
+/// Renders the global trap/interrupt handler library (paper Figs 4/5,
+/// "Trap Handlers (Global Library 1)"). Global-layer code: uses the
+/// derivative's own register spellings, because it ships with the platform,
+/// not with any test environment.
+[[nodiscard]] std::string generate_trap_library(
+    const soc::DerivativeSpec& spec);
+
+/// Canonical abstraction-layer / global-library file names.
+inline constexpr const char* kGlobalsFile = "Globals.inc";
+inline constexpr const char* kBaseFunctionsFile = "base_functions.asm";
+inline constexpr const char* kTrapLibraryFile = "trap_handlers.asm";
+
+}  // namespace advm::core

@@ -1,0 +1,872 @@
+#include "advm/corpus.h"
+
+#include <sstream>
+
+#include "advm/base_functions.h"
+#include "soc/global_layer.h"
+
+namespace advm::core {
+
+const char* to_string(ModuleKind m) {
+  switch (m) {
+    case ModuleKind::Register:
+      return "REGISTER";
+    case ModuleKind::Uart:
+      return "UART";
+    case ModuleKind::Nvm:
+      return "NVM";
+    case ModuleKind::Timer:
+      return "TIMER";
+    case ModuleKind::Memory:
+      return "MEMORY";
+  }
+  return "?";
+}
+
+const char* to_string(TestClass c) {
+  switch (c) {
+    case TestClass::PageSelect:
+      return "page-select";
+    case TestClass::PageIsolation:
+      return "page-isolation";
+    case TestClass::PageError:
+      return "page-error";
+    case TestClass::PageSweep:
+      return "page-sweep";
+    case TestClass::UartTx:
+      return "uart-tx";
+    case TestClass::UartLoopback:
+      return "uart-loopback";
+    case TestClass::UartStatus:
+      return "uart-status";
+    case TestClass::NvmProgram:
+      return "nvm-program";
+    case TestClass::NvmErase:
+      return "nvm-erase";
+    case TestClass::NvmLockError:
+      return "nvm-lock-error";
+    case TestClass::TimerPoll:
+      return "timer-poll";
+    case TestClass::TimerIrq:
+      return "timer-irq";
+    case TestClass::EsInit:
+      return "es-init";
+    case TestClass::MemFill:
+      return "mem-fill";
+    case TestClass::MemCopy:
+      return "mem-copy";
+    case TestClass::MemDisjoint:
+      return "mem-disjoint";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared header of every ADVM test cell: include the abstraction layer,
+/// nothing else (paper Fig 1 discipline).
+void advm_header(std::ostringstream& os, const TestSpec& t) {
+  os << ";; " << t.id << " — " << t.description << "\n"
+     << ";; ADVM style: abstraction-layer names only (paper Fig 1).\n"
+     << ".INCLUDE " << kGlobalsFile << "\n";
+}
+
+void advm_pass(std::ostringstream& os) { os << " CALL Base_Report_Pass\n"; }
+
+/// assert RetReg == <rhs expression>
+void advm_assert_ret_eq(std::ostringstream& os, const std::string& rhs) {
+  os << " MOV ArgReg0, RetReg\n"
+     << " MOV ArgReg1, " << rhs << "\n"
+     << " CALL Base_Assert_Eq\n";
+}
+
+std::string advm_body(const TestSpec& t) {
+  std::ostringstream os;
+  advm_header(os, t);
+  const int v = t.variant;
+
+  switch (t.cls) {
+    case TestClass::PageSelect: {
+      // The paper's Fig 6 flow, with the local placeholder equate giving
+      // per-test focus control.
+      os << "TEST_PAGE .EQU (TEST1_TARGET_PAGE + " << v
+         << ") % PAGE_COUNT\n"
+         << "_main:\n"
+         << " LOAD d14, [PAGE_CTRL_REG]\n"
+         << " INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, "
+            "PAGE_FIELD_SIZE\n"
+         << " STORE [PAGE_CTRL_REG], d14\n"
+         << " MOV ArgReg0, TEST_PATTERN_A ^ " << (v & 0xF) << "\n"
+         << " CALL Base_Write_Page_Data\n"
+         << " CALL Base_Read_Page_Data\n";
+      advm_assert_ret_eq(os, "TEST_PATTERN_A ^ " + std::to_string(v & 0xF));
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::PageIsolation: {
+      os << "PAGE_A .EQU (TEST1_TARGET_PAGE + " << v << ") % PAGE_COUNT\n"
+         << "PAGE_B .EQU (TEST2_TARGET_PAGE + " << v << ") % PAGE_COUNT\n"
+         << "_main:\n"
+         << " MOV ArgReg0, PAGE_A\n"
+         << " CALL Base_Select_Page\n"
+         << " MOV ArgReg0, TEST_PATTERN_A\n"
+         << " CALL Base_Write_Page_Data\n"
+         << " MOV ArgReg0, PAGE_B\n"
+         << " CALL Base_Select_Page\n"
+         << " MOV ArgReg0, TEST_PATTERN_B\n"
+         << " CALL Base_Write_Page_Data\n"
+         << " MOV ArgReg0, PAGE_A\n"
+         << " CALL Base_Select_Page\n"
+         << " CALL Base_Read_Page_Data\n";
+      advm_assert_ret_eq(os, "TEST_PATTERN_A");
+      os << " MOV ArgReg0, PAGE_B\n"
+         << " CALL Base_Select_Page\n"
+         << " CALL Base_Read_Page_Data\n";
+      advm_assert_ret_eq(os, "TEST_PATTERN_B");
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::PageError: {
+      os << "_main:\n"
+         << " MOV ArgReg0, TEST1_TARGET_PAGE\n"
+         << " CALL Base_Select_Page\n"
+         << " CALL Base_Check_Page_Error\n"  // clear stale state
+         << " MOV ArgReg0, PAGE_COUNT\n"
+         << " ADD ArgReg0, ArgReg0, " << (v % 4) << "\n"
+         << " CALL Base_Select_Page\n"
+         << " CALL Base_Check_Page_Error\n";
+      advm_assert_ret_eq(os, "1");
+      // Selection must have been kept on the last valid page.
+      os << " CALL Base_Read_Page_Data\n"
+         << " MOV ArgReg0, TEST1_TARGET_PAGE\n"
+         << " CALL Base_Select_Page\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::PageSweep: {
+      os << "_main:\n"
+         << " MOV d10, 0\n"
+         << ".sweep:\n"
+         << " MOV ArgReg0, d10\n"
+         << " CALL Base_Select_Page\n"
+         << " MOV ArgReg0, TEST_PATTERN_A\n"
+         << " XOR ArgReg0, ArgReg0, d10\n"
+         << " CALL Base_Write_Page_Data\n"
+         << " CALL Base_Read_Page_Data\n"
+         << " MOV ArgReg0, RetReg\n"
+         << " MOV ArgReg1, TEST_PATTERN_A\n"
+         << " XOR ArgReg1, ArgReg1, d10\n"
+         << " CALL Base_Assert_Eq\n"
+         << " ADD d10, d10, 1\n"
+         << " CMP d10, SWEEP_PAGES\n"
+         << " JNE .sweep\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::UartTx: {
+      os << "_main:\n";
+      const char base = static_cast<char>('A' + (v % 20));
+      for (int i = 0; i < 3; ++i) {
+        os << " MOV ArgReg0, '" << static_cast<char>(base + i) << "'\n"
+           << " CALL Base_Uart_Send\n";
+      }
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::UartLoopback: {
+      const char c = static_cast<char>('a' + (v % 24));
+      os << "_main:\n"
+         << " CALL Base_Uart_Enable_Loopback\n"
+         << " MOV ArgReg0, '" << c << "'\n"
+         << " CALL Base_Uart_Send\n"
+         << " CALL Base_Uart_Recv_Wait\n";
+      advm_assert_ret_eq(os, std::string("'") + c + "'");
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::UartStatus: {
+      os << "_main:\n"
+         << " LOAD d3, [UART_STATUS_REG]\n"
+         << " EXTRACT d3, d3, UART_TX_READY_BIT, 1\n"
+         << " MOV ArgReg0, d3\n"
+         << " MOV ArgReg1, 1\n"
+         << " CALL Base_Assert_Eq\n"
+         << " LOAD d3, [UART_STATUS_REG]\n"
+         << " EXTRACT d3, d3, UART_RX_AVAIL_BIT, 1\n"
+         << " MOV ArgReg0, d3\n"
+         << " MOV ArgReg1, 0\n"
+         << " CALL Base_Assert_Eq\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::NvmProgram: {
+      os << "TEST_OFFSET .EQU (NVM_TEST_OFFSET + " << 4 * v
+         << ") % NVM_PAGE_BYTES\n"
+         << "_main:\n"
+         << " CALL Base_Nvm_Unlock\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " CALL Base_Nvm_Erase\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " MOV ArgReg1, NVM_TEST_VALUE ^ " << (v & 0xFF) << "\n"
+         << " CALL Base_Nvm_Program\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " CALL Base_Nvm_Read\n";
+      advm_assert_ret_eq(os, "NVM_TEST_VALUE ^ " + std::to_string(v & 0xFF));
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::NvmErase: {
+      os << "TEST_OFFSET .EQU (NVM_TEST_OFFSET + " << 4 * v
+         << ") % NVM_PAGE_BYTES\n"
+         << "_main:\n"
+         << " CALL Base_Nvm_Unlock\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " MOV ArgReg1, 0\n"
+         << " CALL Base_Nvm_Program\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " CALL Base_Nvm_Erase\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " CALL Base_Nvm_Read\n"
+         << " MOV ArgReg0, RetReg\n"
+         << " MOV d3, 0\n"
+         << " NOT ArgReg1, d3\n"  // 0xFFFFFFFF without a magic literal
+         << " CALL Base_Assert_Eq\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::NvmLockError: {
+      os << "TEST_OFFSET .EQU NVM_TEST_OFFSET\n"
+         << "_main:\n"
+         << " MOV ArgReg0, TEST_OFFSET\n"
+         << " STORE [NVM_ADDR_REG], ArgReg0\n"
+         << " MOV d3, NVM_TEST_VALUE\n"
+         << " STORE [NVM_DATA_REG], d3\n"
+         << " LOAD d3, NVM_CMD_PROGRAM_VAL\n"
+         << " STORE [NVM_CMD_REG], d3\n"
+         << " LOAD d3, [NVM_STATUS_REG]\n"
+         << " EXTRACT d3, d3, NVM_STATUS_LOCK_ERR_BIT, 1\n"
+         << " MOV ArgReg0, d3\n"
+         << " MOV ArgReg1, 1\n"
+         << " CALL Base_Assert_Eq\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::TimerPoll: {
+      os << "TEST_COMPARE .EQU TIMER_TEST_COMPARE + " << 8 * (v % 8) << "\n"
+         << "_main:\n"
+         << " MOV ArgReg0, TEST_COMPARE\n"
+         << " CALL Base_Timer_Start\n"
+         << " CALL Base_Timer_Wait_Match\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::TimerIrq: {
+      os << "TEST_COMPARE .EQU TIMER_TEST_COMPARE + " << 8 * (v % 8) << "\n"
+         << "_main:\n"
+         << " LOAD ArgReg1, irq_handler\n"
+         << " MOV ArgReg0, IRQ_VECTOR_BASE + IRQ_TIMER_LINE\n"
+         << " CALL Base_Install_Handler\n"
+         << " MOV ArgReg0, IRQ_TIMER_LINE\n"
+         << " CALL Base_Irq_Enable_Line\n"
+         << " MOV d10, 0\n"
+         << " ENABLE\n"
+         << " MOV ArgReg0, TEST_COMPARE\n"
+         << " CALL Base_Timer_Start_Irq\n"
+         << ".wait_irq:\n"
+         << " CMP d10, 0\n"
+         << " JEQ .wait_irq\n"
+         << " DISABLE\n";
+      advm_pass(os);
+      os << "irq_handler:\n"
+         << " MOV d10, 1\n"
+         << " MOV d3, 0\n"
+         << " STORE [TIMER_CTRL_REG], d3\n"  // stop re-fire
+         << " MOV ArgReg0, IRQ_TIMER_LINE\n"
+         << " CALL Base_Irq_Clear_Line\n"
+         << " RETI\n";
+      break;
+    }
+
+    case TestClass::EsInit: {
+      // Fig 7 end to end: init a module register through the wrapped
+      // embedded-software function and observe the effect.
+      os << "_main:\n"
+         << " MOV ArgReg0, TEST1_TARGET_PAGE\n"
+         << " CALL Base_Select_Page\n"
+         << " LEA ArgAddr0, PAGE_DATA_REG\n"
+         << " MOV ArgReg0, TEST_PATTERN_B ^ " << (v & 0xFF) << "\n"
+         << " CALL Base_Init_Register\n"
+         << " CALL Base_Read_Page_Data\n";
+      advm_assert_ret_eq(os, "TEST_PATTERN_B ^ " + std::to_string(v & 0xFF));
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::MemFill: {
+      const int words = 8 + (v % 4);
+      // Checksum of N identical words is N*value (mod 2^32) — computable
+      // as an assembler expression over the same defines.
+      os << "WORDS .EQU " << words << "\n"
+         << "_main:\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " MOV ArgReg1, TEST_PATTERN_A\n"
+         << " CALL Base_Mem_Set\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " CALL Base_Checksum\n";
+      advm_assert_ret_eq(os, "WORDS * TEST_PATTERN_A");
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::MemCopy: {
+      const int words = 6 + (v % 6);
+      os << "WORDS .EQU " << words << "\n"
+         << "_main:\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " MOV ArgReg1, TEST_PATTERN_B ^ " << (v & 0xFF) << "\n"
+         << " CALL Base_Mem_Set\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " LEA a5, SCRATCH_DST\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " CALL Base_Mem_Copy\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " CALL Base_Checksum\n"
+         << " MOV d11, RetReg\n"
+         << " LEA ArgAddr0, SCRATCH_DST\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " CALL Base_Checksum\n"
+         << " MOV ArgReg0, RetReg\n"
+         << " MOV ArgReg1, d11\n"
+         << " CALL Base_Assert_Eq\n";
+      advm_pass(os);
+      break;
+    }
+
+    case TestClass::MemDisjoint: {
+      const int words = 4 + (v % 4);
+      os << "WORDS .EQU " << words << "\n"
+         << "_main:\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " MOV ArgReg1, TEST_PATTERN_A\n"
+         << " CALL Base_Mem_Set\n"
+         << " LEA ArgAddr0, SCRATCH_DST\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " MOV ArgReg1, TEST_PATTERN_B\n"
+         << " CALL Base_Mem_Set\n"
+         << " LEA ArgAddr0, SCRATCH_SRC\n"
+         << " MOV ArgReg0, WORDS\n"
+         << " CALL Base_Checksum\n";
+      advm_assert_ret_eq(os, "WORDS * TEST_PATTERN_A");
+      advm_pass(os);
+      break;
+    }
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------- baseline style ----
+
+/// Renders hex the way a hurried engineer would.
+std::string hex32(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// Baseline epilogue with hardwired magics and verdict register name.
+void baseline_verdict(std::ostringstream& os, const soc::RegisterNames& n) {
+  os << " LOAD d0, 0x600D600D\n"
+     << " STORE [" << n.sim_result << "], d0\n"
+     << " HALT\n"
+     << ".fail:\n"
+     << " LOAD d0, 0x0BAD0BAD\n"
+     << " STORE [" << n.sim_result << "], d0\n"
+     << " HALT\n";
+}
+
+/// Direct ES_Init_Register call, written against the ES version the author
+/// saw — precisely the coupling Fig 7 warns about.
+void baseline_es_init_call(std::ostringstream& os,
+                           const soc::DerivativeSpec& spec,
+                           const std::string& addr_sym, std::uint32_t value) {
+  if (spec.es_version == 1) {
+    os << " LEA a4, " << addr_sym << "\n"
+       << " MOV d4, " << hex32(value) << "\n";
+  } else {
+    os << " LEA a5, " << addr_sym << "\n"
+       << " MOV d5, " << hex32(value) << "\n";
+  }
+  const char* fn = spec.es_version >= 3 ? "ES_InitReg" : "ES_Init_Register";
+  os << " LOAD a12, " << fn << "\n"
+     << " CALL a12\n";
+}
+
+std::string baseline_body(const TestSpec& t, const soc::DerivativeSpec& spec) {
+  const soc::RegisterNames n = soc::register_names(spec.naming);
+  const int v = t.variant;
+  const int pos = spec.page_field.pos;
+  const int width = spec.page_field.width;
+  const int tx_bit = spec.uart_version == 1 ? 0 : 4;
+  const int rx_bit = spec.uart_version == 1 ? 1 : 5;
+
+  std::ostringstream os;
+  os << ";; " << t.id << " — " << t.description << "\n"
+     << ";; DIRECT style (pre-ADVM): hardwired for " << spec.name
+     << " — the paper's Fig 2 anti-pattern.\n"
+     << ".INCLUDE " << soc::kRegisterDefsFile << "\n";
+
+  const std::uint32_t pattern_a = 0x5A5A'5A5A ^ static_cast<unsigned>(v & 0xF);
+  const std::uint32_t page1 = (8 + static_cast<unsigned>(v)) % spec.page_count;
+  const std::uint32_t page2 = (7 + static_cast<unsigned>(v)) % spec.page_count;
+
+  switch (t.cls) {
+    case TestClass::PageSelect:
+      os << "_main:\n"
+         << " LOAD d14, [" << n.pm_ctrl << "]\n"
+         << " INSERT d14, d14, " << page1 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " MOV d0, " << hex32(pattern_a) << "\n"
+         << " STORE [" << n.pm_data << "], d0\n"
+         << " LOAD d1, [" << n.pm_data << "]\n"
+         << " CMP d1, " << hex32(pattern_a) << "\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+
+    case TestClass::PageIsolation:
+      os << "_main:\n"
+         << " LOAD d14, [" << n.pm_ctrl << "]\n"
+         << " INSERT d14, d14, " << page1 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " MOV d0, 0x5A5A5A5A\n"
+         << " STORE [" << n.pm_data << "], d0\n"
+         << " INSERT d14, d14, " << page2 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " MOV d0, 0xA5A5A5A5\n"
+         << " STORE [" << n.pm_data << "], d0\n"
+         << " INSERT d14, d14, " << page1 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " LOAD d1, [" << n.pm_data << "]\n"
+         << " CMP d1, 0x5A5A5A5A\n"
+         << " JNE .fail\n"
+         << " INSERT d14, d14, " << page2 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " LOAD d1, [" << n.pm_data << "]\n"
+         << " CMP d1, 0xA5A5A5A5\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+
+    case TestClass::PageError: {
+      const std::uint32_t bad = spec.page_count + (v % 4);
+      os << "_main:\n"
+         << " LOAD d14, [" << n.pm_ctrl << "]\n"
+         << " INSERT d14, d14, " << page1 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " MOV d0, 2\n"
+         << " STORE [" << n.pm_status << "], d0\n"  // clear stale error
+         << " INSERT d14, d14, " << bad << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " LOAD d1, [" << n.pm_status << "]\n"
+         << " EXTRACT d1, d1, 1, 1\n"
+         << " CMP d1, 1\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::PageSweep:
+      os << "_main:\n"
+         << " MOV d10, 0\n"
+         << ".sweep:\n"
+         << " LOAD d14, [" << n.pm_ctrl << "]\n"
+         << " INSERT d14, d14, d10, " << pos << ", " << width << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n"
+         << " MOV d0, 0x5A5A5A5A\n"
+         << " XOR d0, d0, d10\n"
+         << " STORE [" << n.pm_data << "], d0\n"
+         << " LOAD d1, [" << n.pm_data << "]\n"
+         << " CMP d1, d0\n"
+         << " JNE .fail\n"
+         << " ADD d10, d10, 1\n"
+         << " CMP d10, 6\n"
+         << " JNE .sweep\n";
+      baseline_verdict(os, n);
+      break;
+
+    case TestClass::UartTx: {
+      const char base = static_cast<char>('A' + (v % 20));
+      os << "_main:\n";
+      for (int i = 0; i < 3; ++i) {
+        os << ".wait" << i << ":\n"
+           << " LOAD d0, [" << n.uart_status << "]\n"
+           << " EXTRACT d0, d0, " << tx_bit << ", 1\n"
+           << " CMP d0, 1\n"
+           << " JNE .wait" << i << "\n"
+           << " MOV d0, '" << static_cast<char>(base + i) << "'\n"
+           << " STORE [" << n.uart_data << "], d0\n";
+      }
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::UartLoopback: {
+      const char c = static_cast<char>('a' + (v % 24));
+      os << "_main:\n"
+         << " LOAD d0, [" << n.uart_ctrl << "]\n"
+         << " OR d0, d0, 0x10000\n"
+         << " STORE [" << n.uart_ctrl << "], d0\n"
+         << " MOV d0, '" << c << "'\n"
+         << " STORE [" << n.uart_data << "], d0\n"
+         << ".poll:\n"
+         << " LOAD d0, [" << n.uart_status << "]\n"
+         << " EXTRACT d0, d0, " << rx_bit << ", 1\n"
+         << " CMP d0, 1\n"
+         << " JNE .poll\n"
+         << " LOAD d1, [" << n.uart_data << "]\n"
+         << " CMP d1, '" << c << "'\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::UartStatus:
+      os << "_main:\n"
+         << " LOAD d0, [" << n.uart_status << "]\n"
+         << " EXTRACT d0, d0, " << tx_bit << ", 1\n"
+         << " CMP d0, 1\n"
+         << " JNE .fail\n"
+         << " LOAD d0, [" << n.uart_status << "]\n"
+         << " EXTRACT d0, d0, " << rx_bit << ", 1\n"
+         << " CMP d0, 0\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+
+    case TestClass::NvmProgram: {
+      const std::uint32_t offset =
+          (0x40 + 4 * static_cast<unsigned>(v)) % spec.nvm_page_size;
+      const std::uint32_t value =
+          0x0DDC'0FFE ^ static_cast<unsigned>(v & 0xFF);
+      os << "_main:\n"
+         << " LOAD a12, ES_Nvm_Unlock\n"  // direct global call
+         << " CALL a12\n"
+         << " MOV d0, " << hex32(offset) << "\n"
+         << " STORE [" << n.nvm_addr << "], d0\n"
+         << " MOV d0, " << hex32(spec.nvm_cmd_erase) << "\n"
+         << " STORE [" << n.nvm_cmd << "], d0\n"
+         << ".poll_e:\n"
+         << " LOAD d0, [" << n.nvm_status << "]\n"
+         << " AND d0, d0, 1\n"
+         << " JNZ .poll_e\n"
+         << " MOV d0, " << hex32(offset) << "\n"
+         << " STORE [" << n.nvm_addr << "], d0\n"
+         << " MOV d0, " << hex32(value) << "\n"
+         << " STORE [" << n.nvm_data << "], d0\n"
+         << " MOV d0, " << hex32(spec.nvm_cmd_program) << "\n"
+         << " STORE [" << n.nvm_cmd << "], d0\n"
+         << ".poll_p:\n"
+         << " LOAD d0, [" << n.nvm_status << "]\n"
+         << " AND d0, d0, 1\n"
+         << " JNZ .poll_p\n"
+         << " LOAD d1, [" << hex32(spec.nvm_mem_base + offset) << "]\n"
+         << " CMP d1, " << hex32(value) << "\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::NvmErase: {
+      const std::uint32_t offset =
+          (0x40 + 4 * static_cast<unsigned>(v)) % spec.nvm_page_size;
+      os << "_main:\n"
+         << " LOAD a12, ES_Nvm_Unlock\n"
+         << " CALL a12\n"
+         << " MOV d0, " << hex32(offset) << "\n"
+         << " STORE [" << n.nvm_addr << "], d0\n"
+         << " MOV d0, 0\n"
+         << " STORE [" << n.nvm_data << "], d0\n"
+         << " MOV d0, " << hex32(spec.nvm_cmd_program) << "\n"
+         << " STORE [" << n.nvm_cmd << "], d0\n"
+         << ".poll_p:\n"
+         << " LOAD d0, [" << n.nvm_status << "]\n"
+         << " AND d0, d0, 1\n"
+         << " JNZ .poll_p\n"
+         << " MOV d0, " << hex32(offset) << "\n"
+         << " STORE [" << n.nvm_addr << "], d0\n"
+         << " MOV d0, " << hex32(spec.nvm_cmd_erase) << "\n"
+         << " STORE [" << n.nvm_cmd << "], d0\n"
+         << ".poll_e:\n"
+         << " LOAD d0, [" << n.nvm_status << "]\n"
+         << " AND d0, d0, 1\n"
+         << " JNZ .poll_e\n"
+         << " LOAD d1, [" << hex32(spec.nvm_mem_base + offset) << "]\n"
+         << " CMP d1, 0xFFFFFFFF\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::NvmLockError:
+      os << "_main:\n"
+         << " MOV d0, 0x40\n"
+         << " STORE [" << n.nvm_addr << "], d0\n"
+         << " MOV d0, 0xDEAD\n"
+         << " STORE [" << n.nvm_data << "], d0\n"
+         << " MOV d0, " << hex32(spec.nvm_cmd_program) << "\n"
+         << " STORE [" << n.nvm_cmd << "], d0\n"
+         << " LOAD d0, [" << n.nvm_status << "]\n"
+         << " EXTRACT d0, d0, 3, 1\n"
+         << " CMP d0, 1\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+
+    case TestClass::TimerPoll: {
+      const std::uint32_t compare = 64 + 8 * static_cast<unsigned>(v % 8);
+      os << "_main:\n"
+         << " MOV d0, " << compare << "\n"
+         << " STORE [" << n.tim_compare << "], d0\n"
+         << " MOV d0, 0\n"
+         << " STORE [" << n.tim_count << "], d0\n"
+         << " MOV d0, 1\n"
+         << " STORE [" << n.tim_ctrl << "], d0\n"
+         << ".poll:\n"
+         << " LOAD d0, [" << n.tim_status << "]\n"
+         << " CMP d0, 0\n"
+         << " JEQ .poll\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::TimerIrq: {
+      const std::uint32_t compare = 64 + 8 * static_cast<unsigned>(v % 8);
+      const std::uint32_t vector_addr =
+          spec.vtbase() + 4 * (16u + spec.irq_timer);
+      os << "_main:\n"
+         << " LOAD d0, irq_handler\n"
+         << " STORE [" << hex32(vector_addr) << "], d0\n"
+         << " MOV d0, " << hex32(1u << spec.irq_timer) << "\n"
+         << " STORE [" << n.ic_enable << "], d0\n"
+         << " MOV d10, 0\n"
+         << " ENABLE\n"
+         << " MOV d0, " << compare << "\n"
+         << " STORE [" << n.tim_compare << "], d0\n"
+         << " MOV d0, 0\n"
+         << " STORE [" << n.tim_count << "], d0\n"
+         << " MOV d0, 3\n"
+         << " STORE [" << n.tim_ctrl << "], d0\n"
+         << ".wait_irq:\n"
+         << " CMP d10, 0\n"
+         << " JEQ .wait_irq\n"
+         << " DISABLE\n"
+         << " JMP .ok\n"
+         << "irq_handler:\n"
+         << " MOV d10, 1\n"
+         << " MOV d0, 0\n"
+         << " STORE [" << n.tim_ctrl << "], d0\n"
+         << " MOV d0, " << hex32(1u << spec.irq_timer) << "\n"
+         << " STORE [" << n.ic_pending << "], d0\n"
+         << " RETI\n"
+         << ".ok:\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::EsInit: {
+      const std::uint32_t value =
+          0xA5A5'A5A5 ^ static_cast<unsigned>(v & 0xFF);
+      os << "_main:\n"
+         << " LOAD d14, [" << n.pm_ctrl << "]\n"
+         << " INSERT d14, d14, " << page1 << ", " << pos << ", " << width
+         << "\n"
+         << " STORE [" << n.pm_ctrl << "], d14\n";
+      baseline_es_init_call(os, spec, n.pm_data, value);
+      os << " LOAD d1, [" << n.pm_data << "]\n"
+         << " CMP d1, " << hex32(value) << "\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::MemFill: {
+      const std::uint32_t words = 8 + static_cast<unsigned>(v % 4);
+      const std::uint32_t src = spec.ram_base + spec.ram_size / 2;
+      const std::uint32_t expected = words * 0x5A5A'5A5Au;
+      os << "_main:\n"
+         << " LEA a4, " << hex32(src) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " MOV d5, 0x5A5A5A5A\n"
+         << " LOAD a12, Common_Mem_Set\n"  // direct global call
+         << " CALL a12\n"
+         << " LEA a4, " << hex32(src) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " LOAD a12, Common_Checksum\n"
+         << " CALL a12\n"
+         << " CMP d2, " << hex32(expected) << "\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::MemCopy: {
+      const std::uint32_t words = 6 + static_cast<unsigned>(v % 6);
+      const std::uint32_t src = spec.ram_base + spec.ram_size / 2;
+      const std::uint32_t dst = src + 0x1000;
+      const std::uint32_t pattern =
+          0xA5A5'A5A5u ^ static_cast<unsigned>(v & 0xFF);
+      const std::uint32_t expected = words * pattern;
+      os << "_main:\n"
+         << " LEA a4, " << hex32(src) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " MOV d5, " << hex32(pattern) << "\n"
+         << " LOAD a12, Common_Mem_Set\n"
+         << " CALL a12\n"
+         << " LEA a4, " << hex32(src) << "\n"
+         << " LEA a5, " << hex32(dst) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " LOAD a12, Common_Mem_Copy\n"
+         << " CALL a12\n"
+         << " LEA a4, " << hex32(dst) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " LOAD a12, Common_Checksum\n"
+         << " CALL a12\n"
+         << " CMP d2, " << hex32(expected) << "\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+
+    case TestClass::MemDisjoint: {
+      const std::uint32_t words = 4 + static_cast<unsigned>(v % 4);
+      const std::uint32_t src = spec.ram_base + spec.ram_size / 2;
+      const std::uint32_t dst = src + 0x1000;
+      const std::uint32_t expected = words * 0x5A5A'5A5Au;
+      os << "_main:\n"
+         << " LEA a4, " << hex32(src) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " MOV d5, 0x5A5A5A5A\n"
+         << " LOAD a12, Common_Mem_Set\n"
+         << " CALL a12\n"
+         << " LEA a4, " << hex32(dst) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " MOV d5, 0xA5A5A5A5\n"
+         << " LOAD a12, Common_Mem_Set\n"
+         << " CALL a12\n"
+         << " LEA a4, " << hex32(src) << "\n"
+         << " MOV d4, " << words << "\n"
+         << " LOAD a12, Common_Checksum\n"
+         << " CALL a12\n"
+         << " CMP d2, " << hex32(expected) << "\n"
+         << " JNE .fail\n";
+      baseline_verdict(os, n);
+      break;
+    }
+  }
+  return os.str();
+}
+
+struct ClassInfo {
+  TestClass cls;
+  const char* description;
+};
+
+const std::vector<ClassInfo>& classes_for(ModuleKind module) {
+  static const std::vector<ClassInfo> reg = {
+      {TestClass::PageSelect, "select a page and verify data routing"},
+      {TestClass::PageIsolation, "two pages hold independent data"},
+      {TestClass::PageError, "out-of-range page selection is rejected"},
+      {TestClass::PageSweep, "walk pages with a rotating data pattern"},
+      {TestClass::EsInit, "register init through the ES wrapper"},
+  };
+  static const std::vector<ClassInfo> uart = {
+      {TestClass::UartTx, "transmit a byte sequence"},
+      {TestClass::UartLoopback, "loopback echo self-check"},
+      {TestClass::UartStatus, "status flags at abstracted bit positions"},
+  };
+  static const std::vector<ClassInfo> nvm = {
+      {TestClass::NvmProgram, "unlock, erase, program, verify"},
+      {TestClass::NvmErase, "erase restores the page to 0xFF"},
+      {TestClass::NvmLockError, "program while locked flags an error"},
+  };
+  static const std::vector<ClassInfo> timer = {
+      {TestClass::TimerPoll, "compare-match by polling"},
+      {TestClass::TimerIrq, "compare-match interrupt via vector table"},
+  };
+  static const std::vector<ClassInfo> memory = {
+      {TestClass::MemFill, "fill scratch RAM, verify by checksum"},
+      {TestClass::MemCopy, "copy between windows, checksums match"},
+      {TestClass::MemDisjoint, "independent fills stay independent"},
+  };
+  switch (module) {
+    case ModuleKind::Register:
+      return reg;
+    case ModuleKind::Uart:
+      return uart;
+    case ModuleKind::Nvm:
+      return nvm;
+    case ModuleKind::Timer:
+      return timer;
+    case ModuleKind::Memory:
+      return memory;
+  }
+  return reg;
+}
+
+}  // namespace
+
+std::string advm_test_source(const TestSpec& test) {
+  return advm_body(test);
+}
+
+std::string baseline_test_source(const TestSpec& test,
+                                 const soc::DerivativeSpec& spec) {
+  return baseline_body(test, spec);
+}
+
+std::vector<TestSpec> build_corpus(ModuleKind module, std::size_t count) {
+  const auto& classes = classes_for(module);
+  std::vector<TestSpec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ClassInfo& info = classes[i % classes.size()];
+    TestSpec t;
+    std::ostringstream id;
+    id << "TEST_" << to_string(module) << "_";
+    id.fill('0');
+    id.width(3);
+    id << i;
+    t.id = id.str();
+    t.module = module;
+    t.cls = info.cls;
+    t.variant = static_cast<int>(i / classes.size());
+    t.description = info.description;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace advm::core

@@ -1,0 +1,79 @@
+// Directed-test corpus generation, in two methodologies.
+//
+// Every logical test exists in two renderings:
+//
+//  * **ADVM style** — references only Globals.inc defines and Base_*
+//    functions; keeps a local placeholder equate for its focus value
+//    (paper Fig 6: `TEST_PAGE .EQU TEST1_TARGET_PAGE`). Derivative-neutral
+//    by construction.
+//
+//  * **Baseline (direct) style** — the pre-ADVM methodology the paper's
+//    project was replacing: hardwired field positions, magic numbers and
+//    status bits, direct `.INCLUDE` of the global register definitions, and
+//    direct CALLs into the embedded software. Such a test is only correct
+//    for the derivative it was written against.
+//
+// The pair is what makes the paper's claims measurable: apply a change,
+// repair both environments, count the edits (experiments E1/E2/E3/E6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/derivative.h"
+
+namespace advm::core {
+
+/// Which module test environment a test belongs to (paper Fig 5 names
+/// Register / UART / NVM environments; Timer covers the trap/interrupt
+/// library; Memory exercises the Fig 4 "Useful Common Functions" library).
+enum class ModuleKind : std::uint8_t { Register, Uart, Nvm, Timer, Memory };
+
+[[nodiscard]] const char* to_string(ModuleKind m);
+
+/// Behavioural template of a test.
+enum class TestClass : std::uint8_t {
+  PageSelect,     ///< Fig 6: select page via INSERT, write/read data
+  PageIsolation,  ///< two pages hold independent data
+  PageError,      ///< out-of-range selection flags and keeps old page
+  PageSweep,      ///< walk several pages with a data pattern
+  UartTx,         ///< transmit a byte sequence
+  UartLoopback,   ///< loopback echo self-check
+  UartStatus,     ///< status flags via abstracted bit positions
+  NvmProgram,     ///< unlock, erase, program, verify
+  NvmErase,       ///< erase restores 0xFFFFFFFF
+  NvmLockError,   ///< program while locked flags an error
+  TimerPoll,      ///< compare-match by polling
+  TimerIrq,       ///< compare-match interrupt through the vector table
+  EsInit,         ///< Fig 7: register init through the wrapped ES function
+  MemFill,        ///< fill scratch RAM, verify by checksum
+  MemCopy,        ///< copy between scratch windows, checksums must match
+  MemDisjoint,    ///< two windows filled independently stay independent
+};
+
+[[nodiscard]] const char* to_string(TestClass c);
+
+struct TestSpec {
+  std::string id;  ///< "TEST_REG_003" — the paper's TEST_ID_NAME cells
+  ModuleKind module = ModuleKind::Register;
+  TestClass cls = TestClass::PageSelect;
+  int variant = 0;  ///< derives per-test parameters deterministically
+  std::string description;
+};
+
+/// ADVM rendering. Depends only on the spec — all derivative facts arrive
+/// via Globals.inc at assembly time.
+[[nodiscard]] std::string advm_test_source(const TestSpec& test);
+
+/// Baseline rendering, hardwired against one derivative (and its ES
+/// version) — the way the test would have been written before the ADVM.
+[[nodiscard]] std::string baseline_test_source(
+    const TestSpec& test, const soc::DerivativeSpec& spec);
+
+/// Builds `count` test specs for a module environment, cycling through that
+/// module's test classes with distinct variants.
+[[nodiscard]] std::vector<TestSpec> build_corpus(ModuleKind module,
+                                                 std::size_t count);
+
+}  // namespace advm::core

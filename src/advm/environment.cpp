@@ -1,0 +1,98 @@
+#include "advm/environment.h"
+
+#include <sstream>
+
+#include "soc/global_layer.h"
+#include "support/text.h"
+
+namespace advm::core {
+
+using support::join_path;
+using support::VirtualFileSystem;
+
+std::string testplan_text(const EnvironmentConfig& config,
+                          const std::vector<TestSpec>& tests) {
+  std::ostringstream os;
+  os << "TESTPLAN for " << config.name << " ("
+     << (config.advm_style ? "ADVM" : "DIRECT") << " methodology)\n"
+     << "Plain text on purpose: grep-able from the command line (paper "
+        "S2).\n"
+     << "----------------------------------------------------------------\n";
+  for (const TestSpec& t : tests) {
+    os << t.id << " | " << to_string(t.cls) << " | variant " << t.variant
+       << " | " << t.description << "\n";
+  }
+  return os.str();
+}
+
+void regenerate_global_layer(VirtualFileSystem& vfs,
+                             const SystemLayout& layout,
+                             const soc::DerivativeSpec& spec) {
+  vfs.write(join_path(layout.global_dir, soc::kRegisterDefsFile),
+            soc::register_defs_source(spec));
+  vfs.write(join_path(layout.global_dir, soc::kEmbeddedSoftwareFile),
+            soc::embedded_software_source(spec));
+  vfs.write(join_path(layout.global_dir, kTrapLibraryFile),
+            generate_trap_library(spec));
+  vfs.write(join_path(layout.global_dir, soc::kCommonFunctionsFile),
+            soc::common_functions_source());
+}
+
+void regenerate_abstraction_layer(VirtualFileSystem& vfs,
+                                  const EnvironmentLayout& env,
+                                  const soc::DerivativeSpec& spec,
+                                  const GlobalsOptions& globals,
+                                  const BaseFunctionsOptions& base_functions) {
+  vfs.write(join_path(env.abstraction_dir, kGlobalsFile),
+            generate_globals(spec, globals));
+  vfs.write(join_path(env.abstraction_dir, kBaseFunctionsFile),
+            generate_base_functions(base_functions));
+}
+
+void regenerate_baseline_tests(VirtualFileSystem& vfs,
+                               const EnvironmentLayout& env,
+                               const soc::DerivativeSpec& spec) {
+  for (const TestSpec& t : env.tests) {
+    vfs.write(join_path(join_path(env.dir, t.id), kTestSourceFile),
+              baseline_test_source(t, spec));
+  }
+}
+
+SystemLayout build_system(VirtualFileSystem& vfs, const SystemConfig& config,
+                          const soc::DerivativeSpec& spec) {
+  SystemLayout layout;
+  layout.root = support::normalize_path(config.root);
+  layout.global_dir = join_path(layout.root, kGlobalLibrariesDir);
+
+  regenerate_global_layer(vfs, layout, spec);
+
+  for (const EnvironmentConfig& env_config : config.environments) {
+    EnvironmentLayout env;
+    env.name = env_config.name;
+    env.dir = join_path(layout.root, env_config.name);
+    env.module = env_config.module;
+    env.advm_style = env_config.advm_style;
+    env.tests = build_corpus(env_config.module, env_config.test_count);
+
+    if (env_config.advm_style) {
+      env.abstraction_dir = join_path(env.dir, kAbstractionLayerDir);
+      regenerate_abstraction_layer(vfs, env, spec, config.globals,
+                                   config.base_functions);
+    }
+
+    vfs.write(join_path(env.dir, kTestplanFile),
+              testplan_text(env_config, env.tests));
+
+    for (const TestSpec& t : env.tests) {
+      const std::string source = env_config.advm_style
+                                     ? advm_test_source(t)
+                                     : baseline_test_source(t, spec);
+      vfs.write(join_path(join_path(env.dir, t.id), kTestSourceFile), source);
+    }
+
+    layout.environments.push_back(std::move(env));
+  }
+  return layout;
+}
+
+}  // namespace advm::core

@@ -1,0 +1,161 @@
+#include "advm/globals_gen.h"
+
+#include <sstream>
+
+#include "soc/global_layer.h"
+
+namespace advm::core {
+
+using soc::DerivativeSpec;
+using soc::RegisterNames;
+
+DefineOverrides default_define_values(const DerivativeSpec& spec) {
+  DefineOverrides v;
+  // Test-focus values (paper Fig 6). Defaults pick two distinct in-range
+  // pages; corner-case investigation or constrained-random generation
+  // overrides them.
+  v[GlobalDefineNames::kTest1TargetPage] = 8 % spec.page_count;
+  v[GlobalDefineNames::kTest2TargetPage] = 7 % spec.page_count;
+  v["TEST_PATTERN_A"] = 0x5A5A'5A5A;
+  v["TEST_PATTERN_B"] = 0xA5A5'A5A5;
+  v["UART_TEST_DIVISOR"] = 1;
+  v["NVM_TEST_OFFSET"] = 0x40;
+  v["NVM_TEST_VALUE"] = 0x0DDC'0FFE;
+  v["TIMER_TEST_COMPARE"] = 64;
+  v["SWEEP_PAGES"] = 6;
+  v["WAIT_LOOPS"] = 32;
+  return v;
+}
+
+std::string generate_globals(const DerivativeSpec& spec,
+                             const GlobalsOptions& options) {
+  const RegisterNames n = soc::register_names(spec.naming);
+
+  DefineOverrides values = default_define_values(spec);
+  for (const auto& [name, value] : options.overrides) values[name] = value;
+
+  std::ostringstream os;
+  os << ";; Globals.inc — ABSTRACTION LAYER (generated; single point of "
+        "change)\n"
+     << ";; Derivative: " << spec.name << "\n"
+     << ";; Platform:   "
+     << (options.platform ? sim::to_string(*options.platform)
+                          : std::string_view("neutral (all platforms)"))
+     << "\n"
+     << ";; Tests must reference ONLY these names — never the global layer\n"
+     << ";; directly (paper Fig 1/Fig 2).\n"
+     << ".INCLUDE register_defs.inc\n\n";
+
+  os << ";; ---- identification -------------------------------------------\n";
+  os << "DERIVATIVE_ID .EQU 0x" << std::hex << spec.core_id << std::dec
+     << "\n";
+  os << "ES_VERSION .EQU " << spec.es_version << "\n";
+  if (options.platform) {
+    os << "PLATFORM_ID .EQU "
+       << static_cast<int>(*options.platform) << "\n";
+  }
+  os << "\n";
+
+  os << ";; ---- memory map ------------------------------------------------\n";
+  auto hex = [&os](const char* name, std::uint32_t value) {
+    os << name << " .EQU 0x" << std::hex << value << std::dec << "\n";
+  };
+  hex("RAM_BASE", spec.ram_base);
+  hex("RAM_SIZE", spec.ram_size);
+  hex("VECTOR_TABLE_BASE", spec.vtbase());
+  hex("STACK_TOP", spec.stack_top());
+  hex("NVM_MEM_BASE", spec.nvm_mem_base);
+  // Scratch windows for memory tests: below the stack, above test data.
+  hex("SCRATCH_SRC", spec.ram_base + spec.ram_size / 2);
+  hex("SCRATCH_DST", spec.ram_base + spec.ram_size / 2 + 0x1000);
+  os << "\n";
+
+  os << ";; ---- page module (paper Fig 6) --------------------------------\n"
+     << ";; Register re-maps: protection from global-layer renames.\n";
+  os << "PAGE_CTRL_REG .EQU " << n.pm_ctrl << "\n";
+  os << "PAGE_STATUS_REG .EQU " << n.pm_status << "\n";
+  os << "PAGE_COUNT_REG .EQU " << n.pm_count << "\n";
+  os << "PAGE_DATA_REG .EQU " << n.pm_data << "\n";
+  os << GlobalDefineNames::kPageFieldStart << " .EQU "
+     << static_cast<int>(spec.page_field.pos) << "\n";
+  os << GlobalDefineNames::kPageFieldSize << " .EQU "
+     << static_cast<int>(spec.page_field.width) << "\n";
+  os << "PAGE_COUNT .EQU " << spec.page_count << "\n";
+  os << "PAGE_STATUS_READY_BIT .EQU 0\n";
+  os << "PAGE_STATUS_ERROR_BIT .EQU 1\n";
+  os << "\n";
+
+  os << ";; ---- UART -------------------------------------------------------\n";
+  os << "UART_DATA_REG .EQU " << n.uart_data << "\n";
+  os << "UART_STATUS_REG .EQU " << n.uart_status << "\n";
+  os << "UART_CTRL_REG .EQU " << n.uart_ctrl << "\n";
+  // The bit positions move between UART versions — the classic derivative
+  // change the abstraction layer absorbs.
+  const int tx_bit = spec.uart_version == 1 ? 0 : 4;
+  const int rx_bit = spec.uart_version == 1 ? 1 : 5;
+  os << "UART_TX_READY_BIT .EQU " << tx_bit << "\n";
+  os << "UART_RX_AVAIL_BIT .EQU " << rx_bit << "\n";
+  os << "UART_CTRL_LOOPBACK .EQU 0x10000\n";
+  os << "UART_CTRL_RX_IRQ_EN .EQU 0x20000\n";
+  os << "\n";
+
+  os << ";; ---- NVM --------------------------------------------------------\n";
+  os << "NVM_CMD_REG .EQU " << n.nvm_cmd << "\n";
+  os << "NVM_ADDR_REG .EQU " << n.nvm_addr << "\n";
+  os << "NVM_DATA_REG .EQU " << n.nvm_data << "\n";
+  os << "NVM_STATUS_REG .EQU " << n.nvm_status << "\n";
+  os << "NVM_LOCK_REG .EQU " << n.nvm_lock << "\n";
+  hex("NVM_CMD_PROGRAM_VAL", spec.nvm_cmd_program);
+  hex("NVM_CMD_ERASE_VAL", spec.nvm_cmd_erase);
+  os << "NVM_PAGE_BYTES .EQU " << spec.nvm_page_size << "\n";
+  os << "NVM_PAGE_COUNT .EQU " << spec.nvm_pages << "\n";
+  os << "NVM_STATUS_BUSY_BIT .EQU 0\n";
+  os << "NVM_STATUS_LOCKED_BIT .EQU 1\n";
+  os << "NVM_STATUS_CMD_ERR_BIT .EQU 2\n";
+  os << "NVM_STATUS_LOCK_ERR_BIT .EQU 3\n";
+  os << "\n";
+
+  os << ";; ---- timer / interrupts ----------------------------------------\n";
+  os << "TIMER_COUNT_REG .EQU " << n.tim_count << "\n";
+  os << "TIMER_COMPARE_REG .EQU " << n.tim_compare << "\n";
+  os << "TIMER_CTRL_REG .EQU " << n.tim_ctrl << "\n";
+  os << "TIMER_STATUS_REG .EQU " << n.tim_status << "\n";
+  os << "IRQ_PENDING_REG .EQU " << n.ic_pending << "\n";
+  os << "IRQ_ENABLE_REG .EQU " << n.ic_enable << "\n";
+  os << "IRQ_UART_LINE .EQU " << static_cast<int>(spec.irq_uart) << "\n";
+  os << "IRQ_TIMER_LINE .EQU " << static_cast<int>(spec.irq_timer) << "\n";
+  os << "IRQ_NVM_LINE .EQU " << static_cast<int>(spec.irq_nvm) << "\n";
+  os << "IRQ_VECTOR_BASE .EQU 16\n";
+  os << "\n";
+
+  os << ";; ---- verdict reporting -----------------------------------------\n";
+  os << "SIM_RESULT_REG .EQU " << n.sim_result << "\n";
+  os << "SIM_CONSOLE_REG .EQU " << n.sim_console << "\n";
+  os << "PASS_MAGIC .EQU 0x600D600D\n";
+  os << "FAIL_MAGIC .EQU 0x0BAD0BAD\n";
+  os << "\n";
+
+  os << ";; ---- calling convention ----------------------------------------\n"
+     << ";; (paper Fig 7: '.DEFINE CallAddr A12')\n";
+  os << ".DEFINE CallAddr A12\n";
+  os << ".DEFINE ArgReg0 d4\n";
+  os << ".DEFINE ArgReg1 d5\n";
+  os << ".DEFINE ArgAddr0 a4\n";
+  os << ".DEFINE RetReg d2\n";
+  os << "\n";
+
+  os << ";; ---- test-focus values (overridable; paper §4 corner-case "
+        "control,\n"
+     << ";; §2 constrained-random generation) ------------------------------\n";
+  for (const auto& [name, value] : values) {
+    if (value < 0 || value > 0xFFFF) {
+      os << name << " .EQU 0x" << std::hex << (value & 0xFFFF'FFFF)
+         << std::dec << "\n";
+    } else {
+      os << name << " .EQU " << value << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace advm::core

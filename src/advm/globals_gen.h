@@ -1,0 +1,63 @@
+// Global Defines generation — the first half of the paper's abstraction
+// layer (Fig 1, 'Global Defines'; Fig 6 code example).
+//
+// "Anywhere in the test code that would have previously used a hardwired
+//  value will now be referenced in this global defines file. This file
+//  should now contain derivative specific information which can be
+//  controlled using a macro." (paper §2)
+//
+// The generator maps a DerivativeSpec (plus optional platform target and
+// test-focus overrides) onto a complete Globals.inc. Porting to a new
+// derivative is *exactly* re-running this generator — nothing in the test
+// layer changes, which is what experiments E2/E6 measure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/platform.h"
+#include "soc/derivative.h"
+
+namespace advm::core {
+
+/// Test-focus overrides (paper §4: "provides the ability to focus the test
+/// on a specific corner case") and constrained-random instances (paper §2's
+/// future work) both enter as name→value overrides applied on top of the
+/// derivative-derived defaults.
+using DefineOverrides = std::map<std::string, std::int64_t>;
+
+struct GlobalsOptions {
+  /// Platform the environment is being built for. Neutral (nullopt) builds
+  /// produce byte-identical binaries for every platform — the default, and
+  /// what the cross-platform consistency experiment runs.
+  std::optional<advm::sim::PlatformKind> platform;
+  DefineOverrides overrides;
+};
+
+/// All define names the generator emits that tests may rely on (the
+/// abstraction layer's contract with the test layer). Central list so tests
+/// and the violation checker agree on the vocabulary.
+struct GlobalDefineNames {
+  // Paper Fig 6 names, verbatim.
+  static constexpr const char* kPageFieldStart = "PAGE_FIELD_START_POSITION";
+  static constexpr const char* kPageFieldSize = "PAGE_FIELD_SIZE";
+  static constexpr const char* kTest1TargetPage = "TEST1_TARGET_PAGE";
+  static constexpr const char* kTest2TargetPage = "TEST2_TARGET_PAGE";
+};
+
+/// Renders the Globals.inc for one derivative. The file starts by including
+/// the global layer's register_defs.inc and then *re-maps* every register
+/// under stable abstraction-layer names (paper §2: "To deal with global
+/// layer definitions specifically, it is necessary to re-map them using the
+/// 'Global Defines' file").
+[[nodiscard]] std::string generate_globals(const soc::DerivativeSpec& spec,
+                                           const GlobalsOptions& options = {});
+
+/// The default (derivative-derived) values of every overridable define —
+/// the constrained-random generator mutates a copy of this.
+[[nodiscard]] DefineOverrides default_define_values(
+    const soc::DerivativeSpec& spec);
+
+}  // namespace advm::core

@@ -1,0 +1,156 @@
+#include "advm/porting.h"
+
+#include "advm/base_functions.h"
+#include "soc/global_layer.h"
+#include "support/text.h"
+
+namespace advm::core {
+
+using support::join_path;
+
+const char* to_string(ChangeKind k) {
+  switch (k) {
+    case ChangeKind::PageFieldMoved:
+      return "page-field-moved";
+    case ChangeKind::PageFieldWidened:
+      return "page-field-widened";
+    case ChangeKind::RegistersRenamed:
+      return "registers-renamed";
+    case ChangeKind::EsSignatureChanged:
+      return "es-signature-changed";
+    case ChangeKind::EsFunctionRenamed:
+      return "es-function-renamed";
+    case ChangeKind::NvmCommandsChanged:
+      return "nvm-commands-changed";
+    case ChangeKind::UartUpgraded:
+      return "uart-upgraded";
+    case ChangeKind::DerivativeSwitch:
+      return "derivative-switch";
+  }
+  return "?";
+}
+
+std::string ChangeEvent::describe() const {
+  std::string out = to_string(kind);
+  if (kind == ChangeKind::PageFieldMoved ||
+      kind == ChangeKind::PageFieldWidened) {
+    out += " (by " + std::to_string(amount) + ")";
+  }
+  if (kind == ChangeKind::DerivativeSwitch && target != nullptr) {
+    out += " (to " + target->name + ")";
+  }
+  return out;
+}
+
+soc::DerivativeSpec apply_change(const soc::DerivativeSpec& spec,
+                                 const ChangeEvent& event) {
+  soc::DerivativeSpec next = spec;
+  switch (event.kind) {
+    case ChangeKind::PageFieldMoved:
+      // "the location of these control bits have been shifted by one" —
+      // paper §4.
+      next.page_field.pos = static_cast<std::uint8_t>(
+          next.page_field.pos + event.amount);
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::PageFieldWidened:
+      // "the page control field size has increased by one bit" — paper §4.
+      next.page_field.width = static_cast<std::uint8_t>(
+          next.page_field.width + event.amount);
+      next.page_count = spec.page_count + (8u * static_cast<unsigned>(
+                                                    event.amount));
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::RegistersRenamed:
+      next.naming = spec.naming == soc::RegisterNaming::Compact
+                        ? soc::RegisterNaming::Underscored
+                        : soc::RegisterNaming::Compact;
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::EsSignatureChanged:
+      // Fig 7: "the input registers have been swapped around".
+      next.es_version = 2;
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::EsFunctionRenamed:
+      next.es_version = 3;
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::NvmCommandsChanged:
+      next.nvm_cmd_program = spec.nvm_cmd_program ^ 0xF1u;
+      next.nvm_cmd_erase = spec.nvm_cmd_erase ^ 0xF1u;
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::UartUpgraded:
+      next.uart_version = 2;
+      next.name = spec.name + "'";
+      break;
+    case ChangeKind::DerivativeSwitch:
+      if (event.target != nullptr) next = *event.target;
+      break;
+  }
+  return next;
+}
+
+std::size_t EditSummary::files_touched() const { return edits.size(); }
+
+support::LineDiff EditSummary::lines() const {
+  support::LineDiff total;
+  for (const auto& edit : edits) total += edit.diff;
+  return total;
+}
+
+void PortingEngine::rewrite(EditSummary& summary, const std::string& path,
+                            const std::string& content) {
+  const std::string before = vfs_.read(path).value_or("");
+  if (before == content) return;  // untouched files cost nothing
+  FileEdit edit;
+  edit.path = path;
+  edit.diff = support::diff_lines(before, content);
+  summary.edits.push_back(std::move(edit));
+  vfs_.write(path, content);
+}
+
+RepairReport PortingEngine::port(const SystemLayout& layout,
+                                 const soc::DerivativeSpec& new_spec,
+                                 const GlobalsOptions& globals,
+                                 const BaseFunctionsOptions& base_functions) {
+  RepairReport report;
+
+  // --- The world changes: global layer regenerates (both methodologies). --
+  rewrite(report.global_layer,
+          join_path(layout.global_dir, soc::kRegisterDefsFile),
+          soc::register_defs_source(new_spec));
+  rewrite(report.global_layer,
+          join_path(layout.global_dir, soc::kEmbeddedSoftwareFile),
+          soc::embedded_software_source(new_spec));
+  rewrite(report.global_layer,
+          join_path(layout.global_dir, kTrapLibraryFile),
+          generate_trap_library(new_spec));
+  rewrite(report.global_layer,
+          join_path(layout.global_dir, soc::kCommonFunctionsFile),
+          soc::common_functions_source());
+
+  // --- Repairs, per methodology. ------------------------------------------
+  for (const EnvironmentLayout& env : layout.environments) {
+    if (env.advm_style) {
+      // ADVM: the abstraction layer absorbs the change; tests untouched.
+      rewrite(report.abstraction_layer,
+              join_path(env.abstraction_dir, kGlobalsFile),
+              generate_globals(new_spec, globals));
+      rewrite(report.abstraction_layer,
+              join_path(env.abstraction_dir, kBaseFunctionsFile),
+              generate_base_functions(base_functions));
+    } else {
+      // Baseline: every test is hardwired; each must be re-authored.
+      for (const TestSpec& t : env.tests) {
+        rewrite(report.test_layer,
+                join_path(join_path(env.dir, t.id), kTestSourceFile),
+                baseline_test_source(t, new_spec));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace advm::core

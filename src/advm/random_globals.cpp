@@ -1,0 +1,76 @@
+#include "advm/random_globals.h"
+
+#include "support/rng.h"
+
+namespace advm::core {
+
+std::vector<DefineConstraint> default_constraints(
+    const soc::DerivativeSpec& spec) {
+  const auto last_page = static_cast<std::int64_t>(spec.page_count) - 1;
+  const auto nvm_span = static_cast<std::int64_t>(spec.nvm_page_size) - 4;
+  std::vector<DefineConstraint> out;
+  out.push_back({GlobalDefineNames::kTest1TargetPage, 0, last_page, 1, ""});
+  out.push_back({GlobalDefineNames::kTest2TargetPage, 0, last_page, 1,
+                 GlobalDefineNames::kTest1TargetPage});
+  out.push_back({"TEST_PATTERN_A", 0, 0xFFFF'FFFF, 1, ""});
+  out.push_back({"TEST_PATTERN_B", 0, 0xFFFF'FFFF, 1, "TEST_PATTERN_A"});
+  out.push_back({"UART_TEST_DIVISOR", 0, 3, 1, ""});
+  out.push_back({"NVM_TEST_OFFSET", 0, nvm_span, 4, ""});
+  out.push_back({"NVM_TEST_VALUE", 0, 0xFFFF'FFFF, 1, ""});
+  out.push_back({"TIMER_TEST_COMPARE", 16, 256, 1, ""});
+  out.push_back({"SWEEP_PAGES", 2,
+                 std::min<std::int64_t>(8, last_page + 1), 1, ""});
+  out.push_back({"WAIT_LOOPS", 8, 64, 1, ""});
+  return out;
+}
+
+DefineOverrides randomize_defines(
+    const std::vector<DefineConstraint>& constraints, std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  DefineOverrides values;
+  for (const DefineConstraint& c : constraints) {
+    const std::int64_t slots = (c.max - c.min) / c.align + 1;
+    std::int64_t value =
+        c.min + c.align * static_cast<std::int64_t>(
+                              rng.range(0, static_cast<std::uint64_t>(
+                                               slots - 1)));
+    if (!c.must_differ_from.empty()) {
+      auto it = values.find(c.must_differ_from);
+      if (it != values.end() && it->second == value) {
+        // Step to the next legal slot (wrapping) — cheap dependency repair.
+        value = value + c.align > c.max ? c.min : value + c.align;
+      }
+    }
+    values[c.name] = value;
+  }
+  return values;
+}
+
+bool satisfies(const DefineOverrides& values,
+               const std::vector<DefineConstraint>& constraints) {
+  for (const DefineConstraint& c : constraints) {
+    auto it = values.find(c.name);
+    if (it == values.end()) return false;
+    const std::int64_t v = it->second;
+    if (v < c.min || v > c.max) return false;
+    if ((v - c.min) % c.align != 0) return false;
+    if (!c.must_differ_from.empty()) {
+      auto other = values.find(c.must_differ_from);
+      if (other != values.end() && other->second == v) return false;
+    }
+  }
+  return true;
+}
+
+void PageCoverage::record(const DefineOverrides& values) {
+  for (const char* name : {GlobalDefineNames::kTest1TargetPage,
+                           GlobalDefineNames::kTest2TargetPage}) {
+    auto it = values.find(name);
+    if (it != values.end() && it->second >= 0 &&
+        it->second < static_cast<std::int64_t>(page_count_)) {
+      hit_.insert(it->second);
+    }
+  }
+}
+
+}  // namespace advm::core

@@ -1,0 +1,67 @@
+// Constrained-random Global Defines generation — the paper's §2 outlook,
+// implemented:
+//
+// "this test environment structure provides the ability to generate
+//  constrained-random instances of the 'Global Defines' file from a higher
+//  level language such as Specman e, Perl or even C/Cpp."
+//
+// This *is* the C/C++ case: a constraint model over the overridable defines,
+// a deterministic seeded solver, and a coverage tracker over the page-value
+// space (experiment E7).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advm/globals_gen.h"
+#include "soc/derivative.h"
+
+namespace advm::core {
+
+/// Interval (+ alignment) constraint on one define. `must_differ_from`
+/// expresses the one cross-define dependency the corpus needs: the two
+/// target pages must not collide.
+struct DefineConstraint {
+  std::string name;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t align = 1;
+  std::string must_differ_from;  ///< empty = unconstrained
+};
+
+/// The constraint set implied by a derivative (page counts, NVM geometry…).
+[[nodiscard]] std::vector<DefineConstraint> default_constraints(
+    const soc::DerivativeSpec& spec);
+
+/// Draws one legal assignment. Deterministic in `seed`.
+[[nodiscard]] DefineOverrides randomize_defines(
+    const std::vector<DefineConstraint>& constraints, std::uint64_t seed);
+
+/// Validates an assignment against the constraints.
+[[nodiscard]] bool satisfies(const DefineOverrides& values,
+                             const std::vector<DefineConstraint>& constraints);
+
+/// Functional-coverage tracker over the page-select space: which pages have
+/// been targeted by generated Globals.inc instances.
+class PageCoverage {
+ public:
+  explicit PageCoverage(std::uint32_t page_count) : page_count_(page_count) {}
+
+  void record(const DefineOverrides& values);
+
+  [[nodiscard]] std::size_t pages_hit() const { return hit_.size(); }
+  [[nodiscard]] double ratio() const {
+    return page_count_ == 0
+               ? 0.0
+               : static_cast<double>(hit_.size()) / page_count_;
+  }
+  [[nodiscard]] bool full() const { return hit_.size() == page_count_; }
+
+ private:
+  std::uint32_t page_count_;
+  std::set<std::int64_t> hit_;
+};
+
+}  // namespace advm::core

@@ -1,0 +1,249 @@
+#include "advm/regression.h"
+
+#include <sstream>
+
+#include "advm/base_functions.h"
+#include "advm/environment.h"
+#include "asm/assembler.h"
+#include "asm/linker.h"
+#include "soc/board.h"
+#include "soc/global_layer.h"
+#include "support/diagnostics.h"
+#include "support/hash.h"
+
+namespace advm::core {
+
+using assembler::Assembler;
+using assembler::AssemblerOptions;
+using assembler::ObjectFile;
+using support::join_path;
+
+std::size_t RegressionReport::passed() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.passed() ? 1 : 0;
+  return n;
+}
+
+std::size_t RegressionReport::failed() const {
+  return records.size() - passed();
+}
+
+std::size_t RegressionReport::build_failures() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.build_ok ? 0 : 1;
+  return n;
+}
+
+bool RegressionReport::all_passed() const {
+  return !records.empty() && passed() == records.size();
+}
+
+std::uint64_t RegressionReport::total_instructions() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records) n += r.instructions;
+  return n;
+}
+
+double RegressionReport::total_modeled_seconds() const {
+  double s = 0;
+  for (const auto& r : records) s += r.modeled_seconds;
+  return s;
+}
+
+std::uint64_t RegressionReport::outcome_digest() const {
+  support::Fnv1a h;
+  for (const auto& r : records) {
+    h.update(r.environment);
+    h.update(r.test_id);
+    h.update(std::uint64_t{static_cast<std::uint8_t>(r.verdict)});
+    h.update(r.state_digest);
+  }
+  return h.digest();
+}
+
+namespace {
+
+/// Everything shared by the tests of one environment build.
+struct EnvBuildContext {
+  std::vector<ObjectFile> shared_objects;  // base functions, traps, ES
+  AssemblerOptions asm_options;
+  bool ok = false;
+  std::string error;
+};
+
+EnvBuildContext prepare_environment(const support::VirtualFileSystem& vfs,
+                                    std::string_view env_dir,
+                                    std::string_view global_dir) {
+  EnvBuildContext ctx;
+  const std::string abstraction_dir =
+      join_path(env_dir, kAbstractionLayerDir);
+
+  if (vfs.dir_exists(abstraction_dir)) {
+    ctx.asm_options.include_dirs.push_back(abstraction_dir);
+  }
+  ctx.asm_options.include_dirs.push_back(std::string(global_dir));
+
+  support::DiagnosticEngine diags;
+  Assembler assembler(vfs, diags, ctx.asm_options);
+
+  auto add_shared = [&](const std::string& path) {
+    if (!vfs.exists(path)) return true;  // optional component
+    auto result = assembler.assemble_file(path);
+    if (!result) {
+      ctx.error = "shared object '" + path + "': " + diags.to_string();
+      return false;
+    }
+    ctx.shared_objects.push_back(std::move(result->object));
+    return true;
+  };
+
+  if (!add_shared(join_path(abstraction_dir, kBaseFunctionsFile))) return ctx;
+  if (!add_shared(join_path(global_dir, kTrapLibraryFile))) return ctx;
+  if (!add_shared(join_path(global_dir, soc::kEmbeddedSoftwareFile))) {
+    return ctx;
+  }
+  if (!add_shared(join_path(global_dir, soc::kCommonFunctionsFile))) {
+    return ctx;
+  }
+  ctx.ok = true;
+  return ctx;
+}
+
+TestRunRecord run_one_test(const support::VirtualFileSystem& vfs,
+                           const EnvBuildContext& ctx,
+                           std::string_view env_dir, const std::string& test_id,
+                           const soc::DerivativeSpec& spec,
+                           sim::PlatformKind platform,
+                           std::uint64_t max_instructions) {
+  TestRunRecord record;
+  record.environment = support::base_name(env_dir);
+  record.test_id = test_id;
+
+  support::DiagnosticEngine diags;
+  Assembler assembler(vfs, diags, ctx.asm_options);
+  const std::string test_path =
+      join_path(join_path(env_dir, test_id), kTestSourceFile);
+  auto test_obj = assembler.assemble_file(test_path);
+  if (!test_obj) {
+    record.detail = diags.to_string();
+    return record;
+  }
+
+  std::vector<ObjectFile> objects;
+  objects.push_back(std::move(test_obj->object));
+  for (const ObjectFile& shared : ctx.shared_objects) {
+    objects.push_back(shared);
+  }
+
+  assembler::LinkOptions link_options;
+  link_options.code_base = spec.code_base();
+  link_options.data_base = spec.data_base();
+  auto image = assembler::link(objects, link_options, diags);
+  if (!image) {
+    record.detail = diags.to_string();
+    return record;
+  }
+
+  soc::Board board(spec, platform);
+  std::string load_error;
+  if (!board.load(*image, &load_error)) {
+    record.detail = load_error;
+    return record;
+  }
+  record.build_ok = true;
+
+  soc::RunOutcome outcome = board.run(max_instructions);
+  record.verdict = outcome.verdict;
+  record.stop = outcome.machine.reason;
+  record.detail = outcome.console;
+  record.instructions = outcome.machine.instructions;
+  record.cycles = outcome.machine.cycles;
+  record.state_digest = board.machine().state_digest();
+  record.modeled_seconds = outcome.modeled_seconds;
+  return record;
+}
+
+}  // namespace
+
+RegressionReport RegressionRunner::run_environment(
+    std::string_view env_dir, std::string_view global_dir,
+    const soc::DerivativeSpec& spec, sim::PlatformKind platform,
+    std::uint64_t max_instructions) {
+  RegressionReport report;
+  report.derivative = spec.name;
+  report.platform = platform;
+
+  EnvBuildContext ctx = prepare_environment(vfs_, env_dir, global_dir);
+
+  for (const std::string& entry : vfs_.list_dir(env_dir)) {
+    if (entry.empty() || entry.back() != '/') continue;  // files
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kAbstractionLayerDir) continue;
+    const std::string cell_dir = join_path(env_dir, name);
+    if (!vfs_.exists(join_path(cell_dir, kTestSourceFile))) continue;
+
+    if (!ctx.ok) {
+      // Environment-wide build problem: every cell reports it.
+      TestRunRecord record;
+      record.environment = support::base_name(env_dir);
+      record.test_id = name;
+      record.detail = ctx.error;
+      report.records.push_back(std::move(record));
+      continue;
+    }
+    report.records.push_back(run_one_test(vfs_, ctx, env_dir, name, spec,
+                                          platform, max_instructions));
+  }
+  return report;
+}
+
+RegressionReport RegressionRunner::run_system(
+    std::string_view system_root, const soc::DerivativeSpec& spec,
+    sim::PlatformKind platform, std::uint64_t max_instructions) {
+  RegressionReport report;
+  report.derivative = spec.name;
+  report.platform = platform;
+
+  const std::string global_dir =
+      join_path(system_root, kGlobalLibrariesDir);
+
+  for (const std::string& entry : vfs_.list_dir(system_root)) {
+    if (entry.empty() || entry.back() != '/') continue;
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kGlobalLibrariesDir) continue;
+    const std::string env_dir = join_path(system_root, name);
+    if (!vfs_.exists(join_path(env_dir, kTestplanFile))) continue;
+
+    RegressionReport env_report = run_environment(
+        env_dir, global_dir, spec, platform, max_instructions);
+    for (auto& record : env_report.records) {
+      report.records.push_back(std::move(record));
+    }
+  }
+  return report;
+}
+
+std::string format_report(const RegressionReport& report) {
+  std::ostringstream os;
+  os << "regression: " << report.derivative << " on "
+     << sim::to_string(report.platform) << "\n";
+  for (const auto& r : report.records) {
+    os << "  " << r.environment << "/" << r.test_id << ": ";
+    if (!r.build_ok) {
+      os << "BUILD-FAIL";
+    } else {
+      os << to_string(r.verdict) << " (" << sim::to_string(r.stop) << ", "
+         << r.instructions << " instr, " << r.cycles << " cyc)";
+    }
+    os << "\n";
+  }
+  os << "  total: " << report.passed() << "/" << report.records.size()
+     << " passed";
+  if (report.build_failures() != 0) {
+    os << ", " << report.build_failures() << " build failures";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace advm::core

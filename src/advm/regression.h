@@ -1,0 +1,82 @@
+// Regression runner: builds and executes every test cell of a system
+// verification environment on a chosen (derivative, platform) pair.
+//
+// Discovery is directory-driven (paper Figs 3/5): anything under the system
+// root with a TESTPLAN.TXT is a module environment; each subdirectory with
+// a test.asm is a test cell; an Abstraction_Layer/ directory marks the ADVM
+// methodology. Because discovery reads the tree — not some side table — a
+// frozen release snapshot (paper §3) regresses exactly like the live tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/platform.h"
+#include "soc/derivative.h"
+#include "soc/simctrl.h"
+#include "support/vfs.h"
+
+namespace advm::core {
+
+struct TestRunRecord {
+  std::string environment;
+  std::string test_id;
+  bool build_ok = false;
+  soc::Verdict verdict = soc::Verdict::None;
+  sim::StopReason stop = sim::StopReason::Running;
+  std::string detail;  ///< diagnostics on build failure; console otherwise
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t state_digest = 0;  ///< architectural state at stop (E4)
+  double modeled_seconds = 0.0;
+
+  [[nodiscard]] bool passed() const {
+    return build_ok && verdict == soc::Verdict::Pass &&
+           stop == sim::StopReason::Halted;
+  }
+};
+
+struct RegressionReport {
+  std::string derivative;
+  sim::PlatformKind platform = sim::PlatformKind::GoldenModel;
+  std::vector<TestRunRecord> records;
+
+  [[nodiscard]] std::size_t passed() const;
+  [[nodiscard]] std::size_t failed() const;
+  [[nodiscard]] std::size_t build_failures() const;
+  [[nodiscard]] bool all_passed() const;
+  [[nodiscard]] std::uint64_t total_instructions() const;
+  [[nodiscard]] double total_modeled_seconds() const;
+
+  /// Digest over (test id, verdict, state digest) — two regressions agree
+  /// iff this matches. The reproducibility token of experiment E8.
+  [[nodiscard]] std::uint64_t outcome_digest() const;
+};
+
+class RegressionRunner {
+ public:
+  explicit RegressionRunner(const support::VirtualFileSystem& vfs)
+      : vfs_(vfs) {}
+
+  /// Runs every environment under `system_root`.
+  [[nodiscard]] RegressionReport run_system(
+      std::string_view system_root, const soc::DerivativeSpec& spec,
+      sim::PlatformKind platform,
+      std::uint64_t max_instructions = 2'000'000);
+
+  /// Runs a single module environment (global libraries at `global_dir`).
+  [[nodiscard]] RegressionReport run_environment(
+      std::string_view env_dir, std::string_view global_dir,
+      const soc::DerivativeSpec& spec, sim::PlatformKind platform,
+      std::uint64_t max_instructions = 2'000'000);
+
+ private:
+  const support::VirtualFileSystem& vfs_;
+};
+
+/// Renders a human-readable summary table of a regression report.
+[[nodiscard]] std::string format_report(const RegressionReport& report);
+
+}  // namespace advm::core

@@ -1,0 +1,76 @@
+#include "advm/release.h"
+
+#include "support/hash.h"
+
+namespace advm::core {
+
+using support::join_path;
+
+ReleaseLabel ReleaseManager::create_label(const std::string& name,
+                                          std::string_view source_dir) {
+  ReleaseLabel label;
+  label.name = name;
+  label.source_dir = support::normalize_path(source_dir);
+  label.snapshot_dir = join_path(release_root_, name);
+  vfs_.remove_tree(label.snapshot_dir);  // re-labelling replaces
+  vfs_.copy_tree(label.source_dir, label.snapshot_dir);
+  label.content_hash = support::hash_tree(vfs_, label.snapshot_dir);
+  return label;
+}
+
+SystemRelease ReleaseManager::create_system_release(
+    const std::string& name, const SystemLayout& layout) {
+  SystemRelease release;
+  release.name = name;
+  release.root = join_path(release_root_, name);
+  vfs_.remove_tree(release.root);
+
+  support::Fnv1a composed;
+
+  // Global libraries snapshot first (they are part of the frozen world).
+  {
+    ReleaseLabel label;
+    label.name = name + "/" + kGlobalLibrariesDir;
+    label.source_dir = layout.global_dir;
+    label.snapshot_dir = join_path(release.root, kGlobalLibrariesDir);
+    vfs_.copy_tree(label.source_dir, label.snapshot_dir);
+    label.content_hash = support::hash_tree(vfs_, label.snapshot_dir);
+    composed.update(label.name);
+    composed.update(label.content_hash);
+    release.sub_labels.push_back(std::move(label));
+  }
+
+  for (const EnvironmentLayout& env : layout.environments) {
+    ReleaseLabel label;
+    label.name = name + "/" + env.name;
+    label.source_dir = env.dir;
+    label.snapshot_dir = join_path(release.root, env.name);
+    vfs_.copy_tree(label.source_dir, label.snapshot_dir);
+    label.content_hash = support::hash_tree(vfs_, label.snapshot_dir);
+    composed.update(label.name);
+    composed.update(label.content_hash);
+    release.sub_labels.push_back(std::move(label));
+  }
+  release.composed_hash = composed.digest();
+  return release;
+}
+
+bool ReleaseManager::verify(const ReleaseLabel& label) const {
+  return support::hash_tree(vfs_, label.snapshot_dir) == label.content_hash;
+}
+
+bool ReleaseManager::verify(const SystemRelease& release) const {
+  support::Fnv1a composed;
+  for (const ReleaseLabel& label : release.sub_labels) {
+    if (!verify(label)) return false;
+    composed.update(label.name);
+    composed.update(label.content_hash);
+  }
+  return composed.digest() == release.composed_hash;
+}
+
+std::uint64_t ReleaseManager::live_hash(const ReleaseLabel& label) const {
+  return support::hash_tree(vfs_, label.source_dir);
+}
+
+}  // namespace advm::core

@@ -1,0 +1,71 @@
+// Abstraction-violation checker — the paper's Fig 2 ("Abuse of the Module
+// Test Environment Structure") as a detectable anti-pattern.
+//
+// "Often, it is tempting to bypass the abstraction layer, especially when
+//  under time pressure. However, by doing so, any protection from change
+//  will be lost and re-factoring of all relevant tests will be required."
+//  (paper §2)
+//
+// Violation classes checked, with stable codes:
+//
+//   advm.global-include    test includes a global-layer file directly
+//                          (register defs / ES), instead of via Globals.inc
+//   advm.global-call       test links directly against a global-layer
+//                          function (the Fig 7 anti-pattern)
+//   advm.hardwired-magic   numeric literal >= 0x10000 in a test — device
+//                          addresses, data patterns, verdict magics
+//   advm.hardwired-field   INSERT/EXTRACT bit position given as a raw
+//                          number instead of an abstraction define (Fig 6)
+//   advm.derivative-name   environment named after a derivative (paper §2:
+//                          "Derivative specific names are not permitted")
+//   advm.unbuildable       the cell no longer assembles/links at all — the
+//                          end state of unrepaired hardwired code
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/platform.h"
+#include "soc/derivative.h"
+#include "support/source_loc.h"
+#include "support/vfs.h"
+
+namespace advm::core {
+
+struct Violation {
+  std::string code;
+  std::string file;
+  support::SourceLoc loc;
+  std::string detail;
+};
+
+struct ViolationReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] std::size_t count(std::string_view code) const;
+  [[nodiscard]] std::map<std::string, std::size_t> by_code() const;
+};
+
+class ViolationChecker {
+ public:
+  explicit ViolationChecker(const support::VirtualFileSystem& vfs)
+      : vfs_(vfs) {}
+
+  /// Checks every test cell of one module environment. `global_dir` names
+  /// the global-library directory (for include/link classification);
+  /// assembly/linking runs against `spec`.
+  [[nodiscard]] ViolationReport check_environment(
+      std::string_view env_dir, std::string_view global_dir,
+      const soc::DerivativeSpec& spec);
+
+  /// Checks all environments under a system root.
+  [[nodiscard]] ViolationReport check_system(std::string_view system_root,
+                                             const soc::DerivativeSpec& spec);
+
+ private:
+  const support::VirtualFileSystem& vfs_;
+};
+
+}  // namespace advm::core

@@ -1,0 +1,183 @@
+#include "asm/linker.h"
+
+#include <algorithm>
+
+namespace advm::assembler {
+
+namespace {
+
+struct PlacedSection {
+  const ObjectFile* object = nullptr;
+  const ObjSection* section = nullptr;
+  std::uint32_t base = 0;
+};
+
+}  // namespace
+
+const LinkedSymbol* Image::find_symbol(std::string_view name) const {
+  auto it = symbols.find(name);
+  return it == symbols.end() ? nullptr : &it->second;
+}
+
+std::size_t Image::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments) n += seg.bytes.size();
+  return n;
+}
+
+std::optional<Image> link(std::span<const ObjectFile> objects,
+                          const LinkOptions& options,
+                          support::DiagnosticEngine& diags) {
+  // --- Phase 1: place sections. -------------------------------------------
+  std::vector<PlacedSection> placed;
+  std::uint32_t code_cursor = options.code_base;
+  std::uint32_t data_cursor = options.data_base;
+
+  for (const ObjectFile& obj : objects) {
+    for (const ObjSection& sec : obj.sections) {
+      if (sec.bytes.empty() && !sec.is_absolute()) continue;
+      PlacedSection p;
+      p.object = &obj;
+      p.section = &sec;
+      if (sec.is_absolute()) {
+        p.base = *sec.org;
+      } else if (sec.name == "code") {
+        p.base = code_cursor;
+        code_cursor += static_cast<std::uint32_t>(sec.bytes.size());
+      } else {
+        p.base = data_cursor;
+        data_cursor += static_cast<std::uint32_t>(sec.bytes.size());
+      }
+      placed.push_back(p);
+    }
+  }
+
+  // Overlap check (absolute sections can collide with anything).
+  std::vector<PlacedSection> sorted = placed;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PlacedSection& a, const PlacedSection& b) {
+              return a.base < b.base;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const auto& prev = sorted[i - 1];
+    const auto& cur = sorted[i];
+    std::uint32_t prev_end =
+        prev.base + static_cast<std::uint32_t>(prev.section->bytes.size());
+    if (cur.base < prev_end) {
+      diags.error("link.overlap",
+                  "section '" + cur.section->name + "' of '" +
+                      cur.object->name + "' overlaps section '" +
+                      prev.section->name + "' of '" + prev.object->name + "'");
+      return std::nullopt;
+    }
+  }
+
+  // --- Phase 2: resolve symbols. ------------------------------------------
+  auto section_base = [&](const ObjectFile* obj,
+                          std::string_view sec) -> std::optional<std::uint32_t> {
+    for (const auto& p : placed) {
+      if (p.object == obj && p.section->name == sec) return p.base;
+    }
+    return std::nullopt;
+  };
+
+  Image image;
+  bool ok = true;
+  for (const ObjectFile& obj : objects) {
+    for (const ObjSymbol& sym : obj.symbols) {
+      auto base = section_base(&obj, sym.section);
+      if (!base) {
+        // Symbol in an empty relocatable section: place at that region's
+        // start. Happens for pure-EQU files that still define a label.
+        base = sym.section == "code" ? options.code_base : options.data_base;
+      }
+      auto [it, inserted] = image.symbols.try_emplace(sym.name);
+      if (!inserted) {
+        diags.error("link.duplicate-symbol",
+                    "symbol '" + sym.name + "' defined in both '" +
+                        it->second.defined_in + "' and '" + obj.name + "'",
+                    sym.loc);
+        ok = false;
+        continue;
+      }
+      it->second.name = sym.name;
+      it->second.address = *base + sym.offset;
+      it->second.defined_in = obj.name;
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  // --- Phase 3: copy bytes and apply relocations. --------------------------
+  for (const auto& p : placed) {
+    Segment seg;
+    seg.base = p.base;
+    seg.bytes = p.section->bytes;
+    image.segments.push_back(std::move(seg));
+  }
+
+  auto segment_for = [&](const ObjectFile* obj,
+                         std::string_view sec) -> Segment* {
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+      if (placed[i].object == obj && placed[i].section->name == sec) {
+        return &image.segments[i];
+      }
+    }
+    return nullptr;
+  };
+
+  for (const ObjectFile& obj : objects) {
+    for (const Relocation& rel : obj.relocations) {
+      auto it = image.symbols.find(rel.symbol);
+      if (it == image.symbols.end()) {
+        diags.error("link.undefined-symbol",
+                    "undefined symbol '" + rel.symbol + "' referenced from '" +
+                        obj.name + "'",
+                    rel.loc);
+        ok = false;
+        continue;
+      }
+      it->second.referenced_by.push_back(obj.name);
+
+      Segment* seg = segment_for(&obj, rel.section);
+      if (!seg || rel.offset + rel.size > seg->bytes.size()) {
+        diags.error("link.bad-relocation",
+                    "relocation outside section bounds in '" + obj.name + "'",
+                    rel.loc);
+        ok = false;
+        continue;
+      }
+      std::uint64_t value =
+          static_cast<std::uint64_t>(it->second.address) +
+          static_cast<std::uint64_t>(rel.addend);
+      for (std::uint8_t i = 0; i < rel.size; ++i) {
+        seg->bytes[rel.offset + i] =
+            static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF);
+      }
+    }
+  }
+  if (!ok) return std::nullopt;
+
+  // Deduplicate xref lists (one test may reference a symbol many times).
+  for (auto& [_, sym] : image.symbols) {
+    auto& refs = sym.referenced_by;
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+  }
+
+  // --- Phase 4: entry point. ----------------------------------------------
+  const LinkedSymbol* entry = image.find_symbol(options.entry_symbol);
+  if (entry == nullptr) {
+    diags.error("link.no-entry",
+                "entry symbol '" + options.entry_symbol + "' not defined");
+    return std::nullopt;
+  }
+  image.entry = entry->address;
+
+  // Merge adjacent segments for a compact load image (optional tidiness).
+  std::sort(image.segments.begin(), image.segments.end(),
+            [](const Segment& a, const Segment& b) { return a.base < b.base; });
+
+  return image;
+}
+
+}  // namespace advm::assembler

@@ -1,0 +1,26 @@
+#include "asm/object.h"
+
+namespace advm::assembler {
+
+ObjSection* ObjectFile::find_section(std::string_view section_name) {
+  for (auto& s : sections) {
+    if (s.name == section_name) return &s;
+  }
+  return nullptr;
+}
+
+const ObjSection* ObjectFile::find_section(
+    std::string_view section_name) const {
+  for (const auto& s : sections) {
+    if (s.name == section_name) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t ObjectFile::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& s : sections) n += s.bytes.size();
+  return n;
+}
+
+}  // namespace advm::assembler

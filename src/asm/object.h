@@ -1,0 +1,66 @@
+// Object file model produced by the assembler and consumed by the linker.
+//
+// Deliberately simple relative to ELF: sections are byte vectors that are
+// either *absolute* (carry their own origin, from .ORG) or *relocatable*
+// (placed by the linker); all labels have linker visibility (chip-card test
+// code predates symbol-visibility hygiene — the paper's Fig 7 test calls
+// `Base_Init_Register` from another file with no export annotation); and the
+// only relocation kind needed is a 32-bit absolute address patch, because
+// every immediate/address field in the SC88 encoding is an imm32.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace advm::assembler {
+
+/// One named chunk of output bytes.
+struct ObjSection {
+  std::string name;                   ///< "code", "data", ...
+  std::optional<std::uint32_t> org;   ///< absolute origin, if .ORG was used
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] bool is_absolute() const { return org.has_value(); }
+};
+
+/// A label definition: (section, offset) resolved to an address at link time.
+struct ObjSymbol {
+  std::string name;
+  std::string section;
+  std::uint32_t offset = 0;
+  support::SourceLoc loc;
+};
+
+/// Patch request: write (address_of(symbol) + addend) into `size` bytes at
+/// (section, offset), little-endian. `size` is 4 except for .DB/.DW data.
+struct Relocation {
+  std::string section;
+  std::uint32_t offset = 0;
+  std::string symbol;
+  std::int64_t addend = 0;
+  std::uint8_t size = 4;
+  support::SourceLoc loc;
+};
+
+/// Everything the assembler knows about one translation unit.
+struct ObjectFile {
+  std::string name;  ///< source path — identifies the *layer* a symbol
+                     ///< belongs to for the ADVM violation checker
+  std::vector<ObjSection> sections;
+  std::vector<ObjSymbol> symbols;
+  std::vector<Relocation> relocations;
+
+  [[nodiscard]] ObjSection* find_section(std::string_view section_name);
+  [[nodiscard]] const ObjSection* find_section(
+      std::string_view section_name) const;
+
+  /// Total emitted bytes across sections.
+  [[nodiscard]] std::size_t total_bytes() const;
+};
+
+}  // namespace advm::assembler

@@ -1,0 +1,32 @@
+// Token model for the SC88 assembler front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_loc.h"
+
+namespace advm::assembler {
+
+enum class TokenKind : std::uint8_t {
+  Identifier,  ///< symbols, mnemonics, directives (directives start with '.')
+  Number,      ///< integer literal (value already parsed)
+  String,      ///< "..." (value is the unquoted text)
+  Punct,       ///< operator / separator; `text` holds the exact spelling
+  EndOfLine,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfLine;
+  std::string text;          ///< spelling (identifier / punct / string body)
+  std::int64_t value = 0;    ///< numeric value for Number tokens
+  support::SourceLoc loc;
+
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == TokenKind::Punct && text == p;
+  }
+  [[nodiscard]] bool is_ident() const { return kind == TokenKind::Identifier; }
+  [[nodiscard]] bool is_eol() const { return kind == TokenKind::EndOfLine; }
+};
+
+}  // namespace advm::assembler

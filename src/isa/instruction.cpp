@@ -1,0 +1,235 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+namespace advm::isa {
+
+namespace {
+
+std::uint8_t encode_reg(const std::optional<RegSpec>& r) {
+  return r ? r->encode() : kNoRegister;
+}
+
+bool decode_reg(std::uint8_t byte, std::optional<RegSpec>& out) {
+  if (byte == kNoRegister) {
+    out.reset();
+    return true;
+  }
+  auto r = RegSpec::decode(byte);
+  if (!r) return false;
+  out = *r;
+  return true;
+}
+
+bool mode_byte_valid(Opcode op, std::uint8_t mode) {
+  if (op == Opcode::Jmp) {
+    return mode <= static_cast<std::uint8_t>(Cond::Ne);
+  }
+  return mode <= static_cast<std::uint8_t>(AddrMode::RegIndirectOff);
+}
+
+bool field_geometry_valid(const Instruction& i) {
+  if (i.op != Opcode::Insert && i.op != Opcode::Extract) return true;
+  if (i.pos > 31) return false;
+  if (i.width == 0 || i.width > 32) return false;
+  return static_cast<unsigned>(i.pos) + i.width <= 32;
+}
+
+void set_error(EncodeError* error, EncodeError value) {
+  if (error) *error = value;
+}
+
+}  // namespace
+
+const char* to_string(EncodeError e) {
+  switch (e) {
+    case EncodeError::IllegalOpcode:
+      return "illegal opcode";
+    case EncodeError::BadRegisterByte:
+      return "bad register byte";
+    case EncodeError::BadMode:
+      return "bad addressing mode";
+    case EncodeError::BadFieldGeometry:
+      return "bad bitfield pos/width";
+    case EncodeError::ReservedByteNonZero:
+      return "reserved byte non-zero";
+  }
+  return "?";
+}
+
+std::optional<EncodedInstr> encode(const Instruction& instr,
+                                   EncodeError* error) {
+  if (!decode_opcode(static_cast<std::uint8_t>(instr.op))) {
+    set_error(error, EncodeError::IllegalOpcode);
+    return std::nullopt;
+  }
+  const std::uint8_t mode_byte =
+      instr.op == Opcode::Jmp ? static_cast<std::uint8_t>(instr.cond)
+                              : static_cast<std::uint8_t>(instr.mode);
+  if (!mode_byte_valid(instr.op, mode_byte)) {
+    set_error(error, EncodeError::BadMode);
+    return std::nullopt;
+  }
+  if (!field_geometry_valid(instr)) {
+    set_error(error, EncodeError::BadFieldGeometry);
+    return std::nullopt;
+  }
+
+  EncodedInstr w{};
+  w[0] = static_cast<std::uint8_t>(instr.op);
+  w[1] = encode_reg(instr.rc);
+  w[2] = encode_reg(instr.ra);
+  w[3] = encode_reg(instr.rb);
+  w[4] = mode_byte;
+  w[5] = instr.pos;
+  w[6] = instr.width;
+  w[7] = 0;
+  w[8] = static_cast<std::uint8_t>(instr.imm & 0xFF);
+  w[9] = static_cast<std::uint8_t>((instr.imm >> 8) & 0xFF);
+  w[10] = static_cast<std::uint8_t>((instr.imm >> 16) & 0xFF);
+  w[11] = static_cast<std::uint8_t>((instr.imm >> 24) & 0xFF);
+  return w;
+}
+
+std::optional<Instruction> decode(const EncodedInstr& word,
+                                  EncodeError* error) {
+  auto op = decode_opcode(word[0]);
+  if (!op) {
+    set_error(error, EncodeError::IllegalOpcode);
+    return std::nullopt;
+  }
+
+  Instruction i;
+  i.op = *op;
+  if (!decode_reg(word[1], i.rc) || !decode_reg(word[2], i.ra) ||
+      !decode_reg(word[3], i.rb)) {
+    set_error(error, EncodeError::BadRegisterByte);
+    return std::nullopt;
+  }
+  if (!mode_byte_valid(i.op, word[4])) {
+    set_error(error, EncodeError::BadMode);
+    return std::nullopt;
+  }
+  if (i.op == Opcode::Jmp) {
+    i.cond = static_cast<Cond>(word[4]);
+  } else {
+    i.mode = static_cast<AddrMode>(word[4]);
+  }
+  i.pos = word[5];
+  i.width = word[6];
+  if (word[7] != 0) {
+    set_error(error, EncodeError::ReservedByteNonZero);
+    return std::nullopt;
+  }
+  i.imm = static_cast<std::uint32_t>(word[8]) |
+          (static_cast<std::uint32_t>(word[9]) << 8) |
+          (static_cast<std::uint32_t>(word[10]) << 16) |
+          (static_cast<std::uint32_t>(word[11]) << 24);
+  if (!field_geometry_valid(i)) {
+    set_error(error, EncodeError::BadFieldGeometry);
+    return std::nullopt;
+  }
+  return i;
+}
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::string reg_or(const std::optional<RegSpec>& r) {
+  return r ? r->to_string() : "?";
+}
+
+/// Renders the flexible source operand (imm / reg / memory forms).
+std::string src_operand(const Instruction& i) {
+  switch (i.mode) {
+    case AddrMode::Immediate:
+      return hex(i.imm);
+    case AddrMode::Register:
+      return reg_or(i.rb);
+    case AddrMode::Absolute:
+      return "[" + hex(i.imm) + "]";
+    case AddrMode::RegIndirect:
+      return "[" + reg_or(i.rb) + "]";
+    case AddrMode::RegIndirectOff:
+      return "[" + reg_or(i.rb) + "+" + hex(i.imm) + "]";
+    case AddrMode::None:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& i) {
+  const OpcodeInfo& info = opcode_info(i.op);
+  std::string out;
+
+  if (i.op == Opcode::Jmp && i.cond != Cond::Always) {
+    out = "J";
+    out += to_string(i.cond);
+  } else {
+    out = info.mnemonic;
+  }
+
+  switch (info.pattern) {
+    case OperandPattern::None:
+      break;
+    case OperandPattern::RcSrc:
+      out += " " + reg_or(i.rc) + ", " + src_operand(i);
+      break;
+    case OperandPattern::MemRa:
+      out += " " + src_operand(i) + ", " + reg_or(i.ra);
+      break;
+    case OperandPattern::Ra:
+      out += " " + reg_or(i.ra);
+      break;
+    case OperandPattern::Rc:
+      out += " " + reg_or(i.rc);
+      break;
+    case OperandPattern::RcRaSrc:
+      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra) + ", " + src_operand(i);
+      break;
+    case OperandPattern::RaSrc:
+      out += " " + reg_or(i.ra) + ", " + src_operand(i);
+      break;
+    case OperandPattern::RcRa:
+      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra);
+      break;
+    case OperandPattern::RcRaSrcPosW:
+      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra) + ", " + src_operand(i) +
+             ", " + std::to_string(i.pos) + ", " + std::to_string(i.width);
+      break;
+    case OperandPattern::RcRaPosW:
+      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra) + ", " +
+             std::to_string(i.pos) + ", " + std::to_string(i.width);
+      break;
+    case OperandPattern::Target:
+      // Indirect targets are signalled by rb presence (the mode byte of the
+      // Jmp family carries the condition instead).
+      if (i.rb) {
+        out += " " + reg_or(i.rb);
+      } else {
+        out += " " + hex(i.imm);
+      }
+      break;
+    case OperandPattern::Imm8:
+      out += " " + std::to_string(i.pos);
+      break;
+    case OperandPattern::RcCr:
+      out += " " + reg_or(i.rc) + ", " +
+             to_string(static_cast<CoreReg>(i.pos));
+      break;
+    case OperandPattern::CrRa:
+      out += std::string(" ") + to_string(static_cast<CoreReg>(i.pos)) + ", " +
+             reg_or(i.ra);
+      break;
+  }
+  return out;
+}
+
+}  // namespace advm::isa

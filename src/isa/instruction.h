@@ -1,0 +1,76 @@
+// SC88 instruction word: decoded form plus fixed-width binary encoding.
+//
+// Encoding is a fixed 12-byte little-endian word — deliberately simple.
+// Chip-card cores use dense variable-length encodings for ROM economy, but
+// nothing in the ADVM methodology depends on code density; a fixed word makes
+// encode/decode trivially verifiable (round-trip property tests in
+// tests/isa_test.cpp) and keeps every execution platform byte-compatible.
+//
+//   byte 0      opcode
+//   byte 1      rc  (RegSpec::encode(), or kNoRegister)
+//   byte 2      ra  (likewise)
+//   byte 3      rb  (likewise; also the pointer register of [aN] modes)
+//   byte 4      mode (AddrMode, or Cond for the Jmp family)
+//   byte 5      pos   (INSERT/EXTRACT bit position; TRAP number; CR index)
+//   byte 6      width (INSERT/EXTRACT field width)
+//   byte 7      reserved, must be zero
+//   bytes 8-11  imm32 little-endian
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/opcodes.h"
+#include "isa/registers.h"
+
+namespace advm::isa {
+
+inline constexpr std::size_t kInstrBytes = 12;
+
+using EncodedInstr = std::array<std::uint8_t, kInstrBytes>;
+
+/// Decoded instruction. A plain value type: the simulator executes these
+/// directly, and the assembler builds them before encoding.
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  std::optional<RegSpec> rc;  ///< destination
+  std::optional<RegSpec> ra;  ///< first source
+  std::optional<RegSpec> rb;  ///< second source / pointer register
+  AddrMode mode = AddrMode::None;
+  Cond cond = Cond::Always;   ///< Jmp family only (shares the mode byte)
+  std::uint8_t pos = 0;       ///< bitfield position / trap number / CR index
+  std::uint8_t width = 0;     ///< bitfield width
+  std::uint32_t imm = 0;      ///< immediate / absolute address / offset
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Validation errors found by encode()/decode().
+enum class EncodeError {
+  IllegalOpcode,
+  BadRegisterByte,
+  BadMode,
+  BadFieldGeometry,  ///< pos > 31, width 0 or > 32, or pos+width > 32
+  ReservedByteNonZero,
+};
+
+[[nodiscard]] const char* to_string(EncodeError e);
+
+/// Encodes a decoded instruction. Returns nullopt (with `error` set when
+/// non-null) if the instruction violates a structural invariant.
+[[nodiscard]] std::optional<EncodedInstr> encode(const Instruction& instr,
+                                                 EncodeError* error = nullptr);
+
+/// Decodes a 12-byte word. Returns nullopt for illegal encodings; the
+/// simulator turns that into an illegal-instruction trap.
+[[nodiscard]] std::optional<Instruction> decode(const EncodedInstr& word,
+                                                EncodeError* error = nullptr);
+
+/// Renders an instruction in assembler syntax, e.g.
+/// "INSERT d14, d14, 0x8, 0, 5" or "LOAD a12, 0x2000". Used by listings,
+/// traces and debugging output.
+[[nodiscard]] std::string disassemble(const Instruction& instr);
+
+}  // namespace advm::isa

@@ -1,0 +1,153 @@
+#include "isa/opcodes.h"
+
+#include <array>
+
+#include "support/text.h"
+
+namespace advm::isa {
+
+namespace {
+
+// rtl_cycles values model a simple in-order chip-card pipeline:
+// single-cycle ALU, 2-cycle memory access, 3-cycle taken branches (flush),
+// multi-cycle multiply/divide. The exact numbers matter less than that the
+// cycle-approximate platform charges *different* costs from the golden
+// model — experiment E4 relies on the ordering, not absolute numbers.
+constexpr std::array<OpcodeInfo, 32> kTable{{
+    {Opcode::Nop, "NOP", OperandPattern::None, false, 1},
+    {Opcode::Halt, "HALT", OperandPattern::None, false, 1},
+    {Opcode::Break, "BREAK", OperandPattern::None, false, 1},
+    {Opcode::Mov, "MOV", OperandPattern::RcSrc, false, 1},
+    {Opcode::Lea, "LEA", OperandPattern::RcSrc, false, 1},
+    {Opcode::Load, "LOAD", OperandPattern::RcSrc, false, 2},
+    {Opcode::Store, "STORE", OperandPattern::MemRa, false, 2},
+    {Opcode::Push, "PUSH", OperandPattern::Ra, false, 2},
+    {Opcode::Pop, "POP", OperandPattern::Rc, false, 2},
+    {Opcode::Add, "ADD", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Sub, "SUB", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Mul, "MUL", OperandPattern::RcRaSrc, true, 4},
+    {Opcode::Div, "DIV", OperandPattern::RcRaSrc, true, 12},
+    {Opcode::And, "AND", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Or, "OR", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Xor, "XOR", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Not, "NOT", OperandPattern::RcRa, true, 1},
+    {Opcode::Shl, "SHL", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Shr, "SHR", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Sar, "SAR", OperandPattern::RcRaSrc, true, 1},
+    {Opcode::Cmp, "CMP", OperandPattern::RaSrc, true, 1},
+    {Opcode::Insert, "INSERT", OperandPattern::RcRaSrcPosW, false, 1},
+    {Opcode::Extract, "EXTRACT", OperandPattern::RcRaPosW, false, 1},
+    {Opcode::Jmp, "JMP", OperandPattern::Target, false, 3},
+    {Opcode::Call, "CALL", OperandPattern::Target, false, 4},
+    {Opcode::Return, "RETURN", OperandPattern::None, false, 4},
+    {Opcode::Trap, "TRAP", OperandPattern::Imm8, false, 8},
+    {Opcode::Reti, "RETI", OperandPattern::None, false, 8},
+    {Opcode::Disable, "DISABLE", OperandPattern::None, false, 1},
+    {Opcode::Enable, "ENABLE", OperandPattern::None, false, 1},
+    {Opcode::Mfcr, "MFCR", OperandPattern::RcCr, false, 2},
+    {Opcode::Mtcr, "MTCR", OperandPattern::CrRa, false, 2},
+}};
+
+struct CondMnemonic {
+  const char* name;
+  Cond cond;
+};
+
+constexpr std::array<CondMnemonic, 10> kBranchMnemonics{{
+    {"JZ", Cond::Z},
+    {"JNZ", Cond::Nz},
+    {"JC", Cond::C},
+    {"JNC", Cond::Nc},
+    {"JN", Cond::N},
+    {"JNN", Cond::Nn},
+    {"JLT", Cond::Lt},
+    {"JGE", Cond::Ge},
+    {"JEQ", Cond::Eq},
+    {"JNE", Cond::Ne},
+}};
+
+}  // namespace
+
+std::span<const OpcodeInfo> opcode_table() {
+  return std::span<const OpcodeInfo>(kTable.data(), kTable.size());
+}
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  for (const auto& info : opcode_table()) {
+    if (info.op == op) return info;
+  }
+  return kTable[0];  // NOP — unreachable for valid enum values
+}
+
+std::optional<Opcode> decode_opcode(std::uint8_t byte) {
+  for (const auto& info : opcode_table()) {
+    if (static_cast<std::uint8_t>(info.op) == byte) return info.op;
+  }
+  return std::nullopt;
+}
+
+std::optional<MnemonicMatch> lookup_mnemonic(std::string_view mnemonic) {
+  using support::equals_nocase;
+  for (const auto& info : opcode_table()) {
+    if (equals_nocase(mnemonic, info.mnemonic)) {
+      return MnemonicMatch{info.op, Cond::Always};
+    }
+  }
+  for (const auto& [name, cond] : kBranchMnemonics) {
+    if (equals_nocase(mnemonic, name)) return MnemonicMatch{Opcode::Jmp, cond};
+  }
+  if (equals_nocase(mnemonic, "RET")) {
+    return MnemonicMatch{Opcode::Return, Cond::Always};
+  }
+  return std::nullopt;
+}
+
+const char* to_string(Opcode op) { return opcode_info(op).mnemonic; }
+
+const char* to_string(Cond c) {
+  switch (c) {
+    case Cond::Always:
+      return "";
+    case Cond::Z:
+      return "Z";
+    case Cond::Nz:
+      return "NZ";
+    case Cond::C:
+      return "C";
+    case Cond::Nc:
+      return "NC";
+    case Cond::N:
+      return "N";
+    case Cond::Nn:
+      return "NN";
+    case Cond::Lt:
+      return "LT";
+    case Cond::Ge:
+      return "GE";
+    case Cond::Eq:
+      return "EQ";
+    case Cond::Ne:
+      return "NE";
+  }
+  return "?";
+}
+
+const char* to_string(AddrMode m) {
+  switch (m) {
+    case AddrMode::None:
+      return "none";
+    case AddrMode::Immediate:
+      return "imm";
+    case AddrMode::Register:
+      return "reg";
+    case AddrMode::Absolute:
+      return "abs";
+    case AddrMode::RegIndirect:
+      return "ind";
+    case AddrMode::RegIndirectOff:
+      return "ind+off";
+  }
+  return "?";
+}
+
+}  // namespace advm::isa

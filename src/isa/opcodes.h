@@ -1,0 +1,137 @@
+// SC88 opcode table.
+//
+// The instruction vocabulary is chosen so that the paper's code examples
+// (Figs 6 and 7) assemble verbatim: INSERT with symbolic field position and
+// width, LOAD of immediates and symbol addresses, STORE through absolute and
+// register-indirect addresses, CALL through an address register, RETURN.
+// The rest is the minimum a directed-test methodology needs: ALU, compare
+// and branch, stack, traps/interrupts, and core-register access.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace advm::isa {
+
+enum class Opcode : std::uint8_t {
+  Nop = 0x00,
+  Halt = 0x01,   ///< ends simulation (test harness convention)
+  Break = 0x02,  ///< debug breakpoint; platforms without debug treat as NOP
+
+  Mov = 0x10,   ///< MOV rc, ra|imm      register copy / immediate load
+  Lea = 0x11,   ///< LEA ac, imm32       address materialisation
+  Load = 0x12,  ///< LOAD rc, src        imm / [abs] / [aN] / [aN+off]
+  Store = 0x13, ///< STORE dst, ra       [abs] / [aN] / [aN+off]
+  Push = 0x14,  ///< PUSH ra             SP -= 4; mem[SP] = ra
+  Pop = 0x15,   ///< POP rc              rc = mem[SP]; SP += 4
+
+  Add = 0x20,  ///< ADD rc, ra, rb|imm
+  Sub = 0x21,
+  Mul = 0x22,
+  Div = 0x23,  ///< traps on divide-by-zero
+  And = 0x24,
+  Or = 0x25,
+  Xor = 0x26,
+  Not = 0x27,  ///< NOT rc, ra
+  Shl = 0x28,
+  Shr = 0x29,  ///< logical shift right
+  Sar = 0x2A,  ///< arithmetic shift right
+  Cmp = 0x2B,  ///< CMP ra, rb|imm — flags only
+
+  Insert = 0x30,   ///< INSERT dc, da, rb|imm, pos, width (paper Fig 6)
+  Extract = 0x31,  ///< EXTRACT dc, da, pos, width (unsigned)
+
+  Jmp = 0x40,   ///< JMP imm32, and J<cond> via condition in mode byte
+  Call = 0x41,  ///< CALL imm32 | CALL aN (paper Fig 7) — pushes return addr
+  Return = 0x42,
+  Trap = 0x43,  ///< TRAP n — software trap through the vector table
+  Reti = 0x44,  ///< return from trap/interrupt
+
+  Disable = 0x50,  ///< clear PSW.IE
+  Enable = 0x51,   ///< set PSW.IE
+  Mfcr = 0x52,     ///< MFCR dc, CRNAME
+  Mtcr = 0x53,     ///< MTCR CRNAME, da
+};
+
+/// How the second source operand (or memory operand) is addressed.
+/// Stored in the instruction's mode byte.
+enum class AddrMode : std::uint8_t {
+  None = 0,
+  Immediate = 1,       ///< value = imm32
+  Register = 2,        ///< value = rb
+  Absolute = 3,        ///< mem[imm32]
+  RegIndirect = 4,     ///< mem[aN]         (aN in rb slot)
+  RegIndirectOff = 5,  ///< mem[aN + imm32] (aN in rb slot)
+};
+
+/// Branch conditions for JMP-family instructions (mode byte of Jmp).
+enum class Cond : std::uint8_t {
+  Always = 0,
+  Z = 1,   ///< zero set
+  Nz = 2,  ///< zero clear
+  C = 3,   ///< carry set
+  Nc = 4,  ///< carry clear
+  N = 5,   ///< negative set
+  Nn = 6,  ///< negative clear
+  Lt = 7,  ///< signed less (N != V)
+  Ge = 8,  ///< signed greater-or-equal (N == V)
+  Eq = 9,  ///< alias of Z — reads better after CMP
+  Ne = 10, ///< alias of Nz
+};
+
+/// Operand shape, used by the assembler's parser to map mnemonic operands
+/// onto instruction fields, and by tests to fuzz legal instruction forms.
+enum class OperandPattern : std::uint8_t {
+  None,          ///< NOP, HALT, RETURN, RETI, DISABLE, ENABLE, BREAK
+  RcSrc,         ///< MOV/LOAD: register, then imm/reg/memory source
+  MemRa,         ///< STORE: memory destination, then source register
+  Ra,            ///< PUSH
+  Rc,            ///< POP
+  RcRaSrc,       ///< three-operand ALU: rc, ra, rb|imm
+  RaSrc,         ///< CMP: ra, rb|imm
+  RcRa,          ///< NOT: rc, ra
+  RcRaSrcPosW,   ///< INSERT: rc, ra, rb|imm, pos, width
+  RcRaPosW,      ///< EXTRACT: rc, ra, pos, width
+  Target,        ///< JMP/J<cond>/CALL: label/imm32 or address register
+  Imm8,          ///< TRAP n
+  RcCr,          ///< MFCR rc, CRNAME
+  CrRa,          ///< MTCR CRNAME, ra
+};
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  Opcode op;
+  const char* mnemonic;
+  OperandPattern pattern;
+  bool sets_flags;
+  /// Cycle cost on the cycle-approximate "RTL" platform model; the golden
+  /// functional model charges 1 cycle for everything.
+  std::uint8_t rtl_cycles;
+};
+
+/// Full table, indexed by nothing in particular — iterate or use lookups.
+[[nodiscard]] std::span<const OpcodeInfo> opcode_table();
+
+/// Lookup by enum; never fails for valid enum values.
+[[nodiscard]] const OpcodeInfo& opcode_info(Opcode op);
+
+/// Lookup by raw encoded byte; nullopt for illegal encodings.
+[[nodiscard]] std::optional<Opcode> decode_opcode(std::uint8_t byte);
+
+/// Mnemonic lookup (case-insensitive). Handles the branch family:
+/// "JZ" → (Jmp, Cond::Z) etc. Returns the opcode and, for branches, the
+/// condition to place in the mode byte.
+struct MnemonicMatch {
+  Opcode op;
+  Cond cond = Cond::Always;
+};
+[[nodiscard]] std::optional<MnemonicMatch> lookup_mnemonic(
+    std::string_view mnemonic);
+
+[[nodiscard]] const char* to_string(Opcode op);
+[[nodiscard]] const char* to_string(Cond c);
+[[nodiscard]] const char* to_string(AddrMode m);
+
+}  // namespace advm::isa

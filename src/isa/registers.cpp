@@ -1,0 +1,46 @@
+#include "isa/registers.h"
+
+#include "support/text.h"
+
+namespace advm::isa {
+
+std::optional<RegSpec> parse_register(std::string_view text) {
+  if (text.size() < 2 || text.size() > 3) return std::nullopt;
+  char kind_char = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(text[0])));
+  if (kind_char != 'd' && kind_char != 'a') return std::nullopt;
+
+  int index = 0;
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    index = index * 10 + (text[i] - '0');
+  }
+  if (index >= kNumDataRegs) return std::nullopt;
+  return kind_char == 'd' ? RegSpec::data(static_cast<std::uint8_t>(index))
+                          : RegSpec::address(static_cast<std::uint8_t>(index));
+}
+
+const char* to_string(CoreReg r) {
+  switch (r) {
+    case CoreReg::Psw:
+      return "PSW";
+    case CoreReg::VtBase:
+      return "VTBASE";
+    case CoreReg::CoreId:
+      return "COREID";
+    case CoreReg::CycleLo:
+      return "CYCLELO";
+  }
+  return "?";
+}
+
+std::optional<CoreReg> parse_core_reg(std::string_view text) {
+  using support::equals_nocase;
+  if (equals_nocase(text, "PSW")) return CoreReg::Psw;
+  if (equals_nocase(text, "VTBASE")) return CoreReg::VtBase;
+  if (equals_nocase(text, "COREID")) return CoreReg::CoreId;
+  if (equals_nocase(text, "CYCLELO")) return CoreReg::CycleLo;
+  return std::nullopt;
+}
+
+}  // namespace advm::isa

@@ -1,0 +1,94 @@
+// SC88 register model.
+//
+// The SC88 is this repo's synthetic stand-in for the Infineon SLE88 chip-card
+// CPU (proprietary; see DESIGN.md substitution table). Like the SLE88's
+// TriCore-flavoured core, it has separate data and address register files —
+// the paper's code examples use both (`d14` in Fig 6, `A12` via
+// `.DEFINE CallAddr A12` in Fig 7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace advm::isa {
+
+enum class RegKind : std::uint8_t {
+  Data,     ///< d0..d15 — 32-bit general purpose data
+  Address,  ///< a0..a15 — 32-bit addresses; a10 = SP, a11 = link register
+};
+
+inline constexpr int kNumDataRegs = 16;
+inline constexpr int kNumAddrRegs = 16;
+inline constexpr int kStackPointerIndex = 10;  ///< a10, TriCore convention
+inline constexpr int kLinkRegisterIndex = 11;  ///< a11, TriCore convention
+
+/// One register operand: kind + index. Value type, freely copyable.
+struct RegSpec {
+  RegKind kind = RegKind::Data;
+  std::uint8_t index = 0;
+
+  [[nodiscard]] bool is_data() const { return kind == RegKind::Data; }
+  [[nodiscard]] bool is_address() const { return kind == RegKind::Address; }
+
+  /// "d4" / "a12" — assembler rendering.
+  [[nodiscard]] std::string to_string() const {
+    return (is_data() ? "d" : "a") + std::to_string(index);
+  }
+
+  /// Single-byte encoding used inside instruction words:
+  /// 0x00..0x0F data, 0x10..0x1F address.
+  [[nodiscard]] std::uint8_t encode() const {
+    return static_cast<std::uint8_t>((is_address() ? 0x10 : 0x00) |
+                                     (index & 0x0F));
+  }
+
+  static RegSpec data(std::uint8_t index) {
+    return RegSpec{RegKind::Data, index};
+  }
+  static RegSpec address(std::uint8_t index) {
+    return RegSpec{RegKind::Address, index};
+  }
+  static RegSpec sp() { return address(kStackPointerIndex); }
+
+  /// Decodes the single-byte form; nullopt for the "no register" byte 0xFF
+  /// and any other out-of-range value.
+  static std::optional<RegSpec> decode(std::uint8_t byte) {
+    if (byte <= 0x0F) return data(byte);
+    if (byte >= 0x10 && byte <= 0x1F)
+      return address(static_cast<std::uint8_t>(byte & 0x0F));
+    return std::nullopt;
+  }
+
+  friend bool operator==(const RegSpec&, const RegSpec&) = default;
+};
+
+/// Byte value meaning "operand slot unused".
+inline constexpr std::uint8_t kNoRegister = 0xFF;
+
+/// Parses "d0".."d15" / "a0".."a15" (case-insensitive). Returns nullopt for
+/// anything else — symbol resolution happens above this level.
+[[nodiscard]] std::optional<RegSpec> parse_register(std::string_view text);
+
+/// Core (special) registers accessible via MFCR/MTCR.
+enum class CoreReg : std::uint8_t {
+  Psw = 0,     ///< flags + interrupt-enable
+  VtBase = 1,  ///< trap/interrupt vector table base address
+  CoreId = 2,  ///< derivative-reported core identifier (read-only)
+  CycleLo = 3, ///< low 32 bits of the cycle counter (read-only)
+};
+
+[[nodiscard]] const char* to_string(CoreReg r);
+[[nodiscard]] std::optional<CoreReg> parse_core_reg(std::string_view text);
+
+/// PSW bit assignments.
+struct Psw {
+  static constexpr std::uint32_t kZero = 1u << 0;
+  static constexpr std::uint32_t kNegative = 1u << 1;
+  static constexpr std::uint32_t kCarry = 1u << 2;
+  static constexpr std::uint32_t kOverflow = 1u << 3;
+  static constexpr std::uint32_t kInterruptEnable = 1u << 4;
+};
+
+}  // namespace advm::isa

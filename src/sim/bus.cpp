@@ -1,0 +1,223 @@
+#include "sim/bus.h"
+
+#include <algorithm>
+
+namespace advm::sim {
+
+// -------------------------------------------------------------- BusDevice --
+
+bool BusDevice::read32(std::uint32_t offset, std::uint32_t& value) {
+  value = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::uint8_t b = 0;
+    if (!read8(offset + static_cast<std::uint32_t>(i), b)) return false;
+    value |= static_cast<std::uint32_t>(b) << (8 * i);
+  }
+  return true;
+}
+
+bool BusDevice::write32(std::uint32_t offset, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    if (!write8(offset + static_cast<std::uint32_t>(i),
+                static_cast<std::uint8_t>(value >> (8 * i)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ MmioDevice --
+
+bool MmioDevice::read8(std::uint32_t offset, std::uint8_t& value) {
+  std::uint32_t word = 0;
+  if (!read_reg(offset & ~3u, word)) return false;
+  value = static_cast<std::uint8_t>(word >> (8 * (offset & 3u)));
+  return true;
+}
+
+bool MmioDevice::write8(std::uint32_t offset, std::uint8_t value) {
+  std::uint32_t word = 0;
+  if (!read_reg(offset & ~3u, word)) return false;
+  const std::uint32_t shift = 8 * (offset & 3u);
+  word = (word & ~(0xFFu << shift)) |
+         (static_cast<std::uint32_t>(value) << shift);
+  return write_reg(offset & ~3u, word);
+}
+
+bool MmioDevice::read32(std::uint32_t offset, std::uint32_t& value) {
+  if ((offset & 3u) != 0) return false;
+  return read_reg(offset, value);
+}
+
+bool MmioDevice::write32(std::uint32_t offset, std::uint32_t value) {
+  if ((offset & 3u) != 0) return false;
+  return write_reg(offset, value);
+}
+
+// -------------------------------------------------------------------- Bus --
+
+bool Bus::map(std::uint32_t base, std::unique_ptr<BusDevice> device) {
+  const std::uint32_t size = device->size();
+  if (size == 0) return false;
+  const std::uint64_t end = static_cast<std::uint64_t>(base) + size;
+  if (end > 0x1'0000'0000ULL) return false;
+  for (const auto& m : mappings_) {
+    const std::uint64_t m_end = static_cast<std::uint64_t>(m.base) + m.size;
+    if (base < m_end && m.base < end) return false;  // overlap
+  }
+  Mapping mapping;
+  mapping.base = base;
+  mapping.size = size;
+  mapping.device = std::move(device);
+  auto it = std::upper_bound(
+      mappings_.begin(), mappings_.end(), base,
+      [](std::uint32_t b, const Mapping& m) { return b < m.base; });
+  mappings_.insert(it, std::move(mapping));
+  return true;
+}
+
+const Bus::Mapping* Bus::find(std::uint32_t addr) const {
+  // Binary search over the sorted windows.
+  auto it = std::upper_bound(
+      mappings_.begin(), mappings_.end(), addr,
+      [](std::uint32_t a, const Mapping& m) { return a < m.base; });
+  if (it == mappings_.begin()) return nullptr;
+  --it;
+  if (addr - it->base < it->size) return &*it;
+  return nullptr;
+}
+
+bool Bus::read8(std::uint32_t addr, std::uint8_t& value) const {
+  const Mapping* m = find(addr);
+  if (!m) return false;
+  return m->device->read8(addr - m->base, value);
+}
+
+bool Bus::write8(std::uint32_t addr, std::uint8_t value) {
+  const Mapping* m = find(addr);
+  if (!m) return false;
+  return m->device->write8(addr - m->base, value);
+}
+
+bool Bus::read32(std::uint32_t addr, std::uint32_t& value) const {
+  const Mapping* m = find(addr);
+  if (m && addr - m->base + 4 <= m->size) {
+    return m->device->read32(addr - m->base, value);
+  }
+  // Transaction spans windows (or is unmapped at the start): byte route.
+  value = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::uint8_t b = 0;
+    if (!read8(addr + static_cast<std::uint32_t>(i), b)) return false;
+    value |= static_cast<std::uint32_t>(b) << (8 * i);
+  }
+  return true;
+}
+
+bool Bus::write32(std::uint32_t addr, std::uint32_t value) {
+  const Mapping* m = find(addr);
+  if (m && addr - m->base + 4 <= m->size) {
+    return m->device->write32(addr - m->base, value);
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (!write8(addr + static_cast<std::uint32_t>(i),
+                static_cast<std::uint8_t>(value >> (8 * i)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Bus::fetch(std::uint32_t addr, isa::EncodedInstr& word) const {
+  for (std::size_t i = 0; i < isa::kInstrBytes; ++i) {
+    if (!read8(addr + static_cast<std::uint32_t>(i), word[i])) return false;
+  }
+  return true;
+}
+
+bool Bus::load_bytes(std::uint32_t addr,
+                     const std::vector<std::uint8_t>& bytes) {
+  // ROM windows reject bus writes, so image loading uses the program()
+  // backdoor when the target is a Rom.
+  std::uint32_t cursor = addr;
+  std::size_t index = 0;
+  while (index < bytes.size()) {
+    const Mapping* m = find(cursor);
+    if (!m) return false;
+    const std::uint32_t offset = cursor - m->base;
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes.size() - index, m->size - offset);
+    if (auto* rom = dynamic_cast<Rom*>(m->device.get())) {
+      rom->program(offset, {bytes.begin() + static_cast<std::ptrdiff_t>(index),
+                            bytes.begin() +
+                                static_cast<std::ptrdiff_t>(index + chunk)});
+    } else {
+      for (std::size_t i = 0; i < chunk; ++i) {
+        if (!m->device->write8(offset + static_cast<std::uint32_t>(i),
+                               bytes[index + i])) {
+          return false;
+        }
+      }
+    }
+    cursor += static_cast<std::uint32_t>(chunk);
+    index += chunk;
+  }
+  return true;
+}
+
+void Bus::tick_all(std::uint64_t cycles) {
+  for (auto& m : mappings_) m.device->tick(cycles);
+}
+
+BusDevice* Bus::device_at(std::uint32_t addr) {
+  const Mapping* m = find(addr);
+  return m ? m->device.get() : nullptr;
+}
+
+// -------------------------------------------------------------------- Ram --
+
+Ram::Ram(std::string name, std::uint32_t size, bool track_init)
+    : name_(std::move(name)),
+      bytes_(size, 0),
+      initialized_(track_init ? size : 0, false),
+      track_init_(track_init) {}
+
+bool Ram::read8(std::uint32_t offset, std::uint8_t& value) {
+  if (offset >= bytes_.size()) return false;
+  if (track_init_ && !initialized_[offset]) ++uninitialized_reads_;
+  value = bytes_[offset];
+  return true;
+}
+
+bool Ram::write8(std::uint32_t offset, std::uint8_t value) {
+  if (offset >= bytes_.size()) return false;
+  bytes_[offset] = value;
+  if (track_init_) initialized_[offset] = true;
+  return true;
+}
+
+// -------------------------------------------------------------------- Rom --
+
+Rom::Rom(std::string name, std::uint32_t size)
+    : name_(std::move(name)), bytes_(size, 0) {}
+
+bool Rom::read8(std::uint32_t offset, std::uint8_t& value) {
+  if (offset >= bytes_.size()) return false;
+  value = bytes_[offset];
+  return true;
+}
+
+bool Rom::write8(std::uint32_t offset, std::uint8_t value) {
+  (void)offset;
+  (void)value;
+  return false;  // mask ROM: bus writes fault
+}
+
+void Rom::program(std::uint32_t offset,
+                  const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (offset + i < bytes_.size()) bytes_[offset + i] = bytes[i];
+  }
+}
+
+}  // namespace advm::sim

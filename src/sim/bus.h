@@ -1,0 +1,147 @@
+// Memory bus and device model for the SC88 SoC simulator.
+//
+// The bus is a flat 32-bit byte-addressed space with non-overlapping device
+// windows. Accesses outside any window fail, which the machine core turns
+// into bus-error traps — exactly the behaviour directed tests rely on when
+// probing derivative memory maps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace advm::sim {
+
+/// One memory-mapped device. Offsets passed to read8/write8 are relative to
+/// the device's window base.
+class BusDevice {
+ public:
+  virtual ~BusDevice() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::uint32_t size() const = 0;
+
+  /// Byte access; return false to signal a bus error.
+  virtual bool read8(std::uint32_t offset, std::uint8_t& value) = 0;
+  virtual bool write8(std::uint32_t offset, std::uint8_t value) = 0;
+
+  /// Word access — the transaction size the SC88's LOAD/STORE issue. The
+  /// default composes byte accesses (fine for memories); register devices
+  /// override so a single STORE is a single register write, not four
+  /// read-modify-write byte cycles with repeated side effects.
+  virtual bool read32(std::uint32_t offset, std::uint32_t& value);
+  virtual bool write32(std::uint32_t offset, std::uint32_t value);
+
+  /// Advances device-local time (timers, UART shift registers, NVM state
+  /// machines). Called with the cycles consumed by each executed
+  /// instruction.
+  virtual void tick(std::uint64_t cycles) { (void)cycles; }
+};
+
+/// Word-register peripheral convenience base: devices exposing aligned
+/// 32-bit registers implement read_reg/write_reg and inherit byte-lane
+/// adaptation. Byte writes perform read-modify-write on the whole register.
+class MmioDevice : public BusDevice {
+ public:
+  bool read8(std::uint32_t offset, std::uint8_t& value) final;
+  bool write8(std::uint32_t offset, std::uint8_t value) final;
+  /// Aligned word access maps 1:1 onto a register transaction; unaligned
+  /// word access to registers is a bus error (as on real peripherals).
+  bool read32(std::uint32_t offset, std::uint32_t& value) final;
+  bool write32(std::uint32_t offset, std::uint32_t value) final;
+
+ protected:
+  /// `reg` is the word-aligned offset (offset & ~3u).
+  virtual bool read_reg(std::uint32_t reg, std::uint32_t& value) = 0;
+  virtual bool write_reg(std::uint32_t reg, std::uint32_t value) = 0;
+};
+
+/// The system bus: owns devices, routes accesses.
+class Bus {
+ public:
+  /// Maps a device at [base, base+device->size()). Returns false (and does
+  /// not map) if the window overlaps an existing mapping.
+  bool map(std::uint32_t base, std::unique_ptr<BusDevice> device);
+
+  [[nodiscard]] bool read8(std::uint32_t addr, std::uint8_t& value) const;
+  [[nodiscard]] bool write8(std::uint32_t addr, std::uint8_t value);
+  [[nodiscard]] bool read32(std::uint32_t addr, std::uint32_t& value) const;
+  [[nodiscard]] bool write32(std::uint32_t addr, std::uint32_t value);
+
+  /// Fetches one 12-byte instruction word.
+  [[nodiscard]] bool fetch(std::uint32_t addr, isa::EncodedInstr& word) const;
+
+  /// Bulk load (program image loading). Fails if any byte is unmapped.
+  [[nodiscard]] bool load_bytes(std::uint32_t addr,
+                                const std::vector<std::uint8_t>& bytes);
+
+  void tick_all(std::uint64_t cycles);
+
+  /// Finds the device mapped at `addr`, or nullptr. Used by debug ports.
+  [[nodiscard]] BusDevice* device_at(std::uint32_t addr);
+
+  [[nodiscard]] std::size_t device_count() const { return mappings_.size(); }
+
+ private:
+  struct Mapping {
+    std::uint32_t base = 0;
+    std::uint32_t size = 0;
+    std::unique_ptr<BusDevice> device;
+  };
+  [[nodiscard]] const Mapping* find(std::uint32_t addr) const;
+
+  std::vector<Mapping> mappings_;  // sorted by base
+};
+
+/// Plain RAM. Optionally tracks per-byte initialisation so the gate-level
+/// platform can flag reads of never-written memory (X-propagation checking).
+class Ram : public BusDevice {
+ public:
+  Ram(std::string name, std::uint32_t size, bool track_init = false);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::uint32_t size() const override {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+  bool read8(std::uint32_t offset, std::uint8_t& value) override;
+  bool write8(std::uint32_t offset, std::uint8_t value) override;
+
+  /// Number of reads that touched never-written bytes.
+  [[nodiscard]] std::uint64_t uninitialized_reads() const {
+    return uninitialized_reads_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<bool> initialized_;
+  bool track_init_ = false;
+  std::uint64_t uninitialized_reads_ = 0;
+};
+
+/// ROM: writes are rejected (bus error), matching real mask ROM behaviour.
+class Rom : public BusDevice {
+ public:
+  Rom(std::string name, std::uint32_t size);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::uint32_t size() const override {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+  bool read8(std::uint32_t offset, std::uint8_t& value) override;
+  bool write8(std::uint32_t offset, std::uint8_t value) override;
+
+  /// Image loading backdoor (not a bus write).
+  void program(std::uint32_t offset, const std::vector<std::uint8_t>& bytes);
+
+ private:
+  std::string name_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace advm::sim

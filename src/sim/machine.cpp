@@ -1,0 +1,580 @@
+#include "sim/machine.h"
+
+#include "support/hash.h"
+
+namespace advm::sim {
+
+using isa::AddrMode;
+using isa::Cond;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Psw;
+using isa::RegSpec;
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::Running:
+      return "running";
+    case StopReason::Halted:
+      return "halted";
+    case StopReason::Breakpoint:
+      return "breakpoint";
+    case StopReason::CycleLimit:
+      return "cycle-limit";
+    case StopReason::UnhandledTrap:
+      return "unhandled-trap";
+    case StopReason::DoubleFault:
+      return "double-fault";
+  }
+  return "?";
+}
+
+Machine::Machine(Bus& bus, const TimingModel& timing, MachineConfig config)
+    : bus_(bus), timing_(timing), config_(config) {}
+
+void Machine::reset(std::uint32_t entry, std::uint32_t stack_top,
+                    std::uint32_t vtbase) {
+  d_.fill(0);
+  a_.fill(0);
+  d_written_.fill(false);
+  a_written_.fill(false);
+  x_warnings_ = 0;
+  pc_ = entry;
+  psw_ = 0;
+  vtbase_ = vtbase;
+  cycles_ = 0;
+  instructions_ = 0;
+  a_[isa::kStackPointerIndex] = stack_top;
+  a_written_[isa::kStackPointerIndex] = true;  // SP is architecturally primed
+}
+
+void Machine::set_d(int i, std::uint32_t v) {
+  d_[static_cast<std::size_t>(i)] = v;
+  d_written_[static_cast<std::size_t>(i)] = true;
+}
+
+void Machine::set_a(int i, std::uint32_t v) {
+  a_[static_cast<std::size_t>(i)] = v;
+  a_written_[static_cast<std::size_t>(i)] = true;
+}
+
+std::uint64_t Machine::state_digest() const {
+  support::Fnv1a h;
+  for (std::uint32_t v : d_) h.update(std::uint64_t{v});
+  for (std::uint32_t v : a_) h.update(std::uint64_t{v});
+  h.update(std::uint64_t{psw_ & ~Psw::kInterruptEnable});
+  return h.digest();
+}
+
+RunResult Machine::run(std::uint64_t max_instructions) {
+  RunResult result;
+  while (result.instructions < max_instructions) {
+    StopReason reason = step();
+    ++result.instructions;
+    if (reason != StopReason::Running) {
+      result.reason = reason;
+      result.cycles = cycles_;
+      result.stop_pc = pc_;
+      if (reason == StopReason::UnhandledTrap ||
+          reason == StopReason::DoubleFault) {
+        result.fault_vector = pending_fault_vector_;
+      }
+      return result;
+    }
+  }
+  result.reason = StopReason::CycleLimit;
+  result.cycles = cycles_;
+  result.stop_pc = pc_;
+  return result;
+}
+
+StopReason Machine::step() {
+  // Interrupt window between instructions.
+  if (flag(Psw::kInterruptEnable) && irq_poll_) {
+    if (auto irq = irq_poll_()) {
+      const auto vector =
+          static_cast<std::uint8_t>(TrapVectors::kInterruptBase + *irq);
+      if (trace_) trace_->on_trap(cycles_, vector);
+      StopReason r = take_trap(vector, pc_);
+      if (r != StopReason::Running) return r;
+    }
+  }
+
+  isa::EncodedInstr word;
+  const std::uint32_t fetch_pc = pc_;
+  if (!bus_.fetch(fetch_pc, word)) {
+    if (trace_) trace_->on_trap(cycles_, TrapVectors::kBusError);
+    return take_trap(TrapVectors::kBusError, fetch_pc);
+  }
+
+  auto decoded = isa::decode(word);
+  if (!decoded) {
+    if (trace_) trace_->on_trap(cycles_, TrapVectors::kIllegalInstruction);
+    return take_trap(TrapVectors::kIllegalInstruction, fetch_pc);
+  }
+
+  if (trace_) trace_->on_instruction(cycles_, fetch_pc, *decoded);
+
+  pc_ = fetch_pc + isa::kInstrBytes;  // default next; branches overwrite
+
+  bool taken_branch = false;
+  std::uint8_t trap_vector = 0;
+  const ExecStatus status = execute(*decoded, taken_branch, trap_vector);
+
+  const std::uint64_t cost =
+      timing_.instruction_cost(*decoded, taken_branch);
+  cycles_ += cost;
+  ++instructions_;
+  bus_.tick_all(cost);
+
+  switch (status) {
+    case ExecStatus::Ok:
+      return StopReason::Running;
+    case ExecStatus::Halt:
+      return StopReason::Halted;
+    case ExecStatus::Break:
+      return StopReason::Breakpoint;
+    case ExecStatus::Trap: {
+      if (trace_) trace_->on_trap(cycles_, trap_vector);
+      // Faults re-report the faulting instruction's address; software traps
+      // (TRAP n) resume after the trap instruction.
+      const bool is_software =
+          trap_vector >= TrapVectors::kSoftwareBase &&
+          trap_vector < TrapVectors::kInterruptBase;
+      return take_trap(trap_vector, is_software ? pc_ : fetch_pc);
+    }
+  }
+  return StopReason::Running;
+}
+
+StopReason Machine::take_trap(std::uint8_t vector, std::uint32_t return_pc) {
+  pending_fault_vector_ = vector;
+  std::uint32_t handler = 0;
+  if (vector >= TrapVectors::kTableEntries ||
+      !mem_read32(vtbase_ + 4u * vector, handler)) {
+    pc_ = return_pc;
+    return StopReason::DoubleFault;
+  }
+  if (handler == 0) {
+    pc_ = return_pc;
+    return StopReason::UnhandledTrap;
+  }
+  if (!push32(return_pc) || !push32(psw_)) {
+    pc_ = return_pc;
+    return StopReason::DoubleFault;
+  }
+  set_flag(Psw::kInterruptEnable, false);
+  pc_ = handler;
+  cycles_ += timing_.trap_cost();
+  return StopReason::Running;
+}
+
+// ------------------------------------------------------------- registers --
+
+std::uint32_t Machine::read_reg(const RegSpec& r) {
+  if (config_.x_check_registers) {
+    const bool written = r.is_data() ? d_written_[r.index]
+                                     : a_written_[r.index];
+    if (!written) ++x_warnings_;
+  }
+  return r.is_data() ? d_[r.index] : a_[r.index];
+}
+
+void Machine::write_reg(const RegSpec& r, std::uint32_t value) {
+  if (r.is_data()) {
+    d_[r.index] = value;
+    d_written_[r.index] = true;
+  } else {
+    a_[r.index] = value;
+    a_written_[r.index] = true;
+  }
+}
+
+// ----------------------------------------------------------------- memory --
+
+bool Machine::mem_read32(std::uint32_t addr, std::uint32_t& value) {
+  if (!bus_.read32(addr, value)) return false;
+  if (trace_) trace_->on_memory(cycles_, addr, value, /*is_write=*/false);
+  return true;
+}
+
+bool Machine::mem_write32(std::uint32_t addr, std::uint32_t value) {
+  if (!bus_.write32(addr, value)) return false;
+  if (trace_) trace_->on_memory(cycles_, addr, value, /*is_write=*/true);
+  return true;
+}
+
+bool Machine::push32(std::uint32_t value) {
+  std::uint32_t& sp = a_[isa::kStackPointerIndex];
+  sp -= 4;
+  return mem_write32(sp, value);
+}
+
+bool Machine::pop32(std::uint32_t& value) {
+  std::uint32_t& sp = a_[isa::kStackPointerIndex];
+  if (!mem_read32(sp, value)) return false;
+  sp += 4;
+  return true;
+}
+
+// ------------------------------------------------------------------ flags --
+
+void Machine::set_flags_zn(std::uint32_t result) {
+  set_flag(Psw::kZero, result == 0);
+  set_flag(Psw::kNegative, (result & 0x8000'0000u) != 0);
+}
+
+void Machine::set_flag(std::uint32_t bit, bool on) {
+  if (on) {
+    psw_ |= bit;
+  } else {
+    psw_ &= ~bit;
+  }
+}
+
+bool Machine::condition_met(Cond cond) const {
+  switch (cond) {
+    case Cond::Always:
+      return true;
+    case Cond::Z:
+    case Cond::Eq:
+      return flag(Psw::kZero);
+    case Cond::Nz:
+    case Cond::Ne:
+      return !flag(Psw::kZero);
+    case Cond::C:
+      return flag(Psw::kCarry);
+    case Cond::Nc:
+      return !flag(Psw::kCarry);
+    case Cond::N:
+      return flag(Psw::kNegative);
+    case Cond::Nn:
+      return !flag(Psw::kNegative);
+    case Cond::Lt:
+      return flag(Psw::kNegative) != flag(Psw::kOverflow);
+    case Cond::Ge:
+      return flag(Psw::kNegative) == flag(Psw::kOverflow);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- operands --
+
+bool Machine::source_value(const Instruction& instr, std::uint32_t& value,
+                           std::uint8_t& trap_vector) {
+  switch (instr.mode) {
+    case AddrMode::Immediate:
+      value = instr.imm;
+      return true;
+    case AddrMode::Register:
+      value = instr.rb ? read_reg(*instr.rb) : 0;
+      return true;
+    case AddrMode::Absolute:
+      if (!mem_read32(instr.imm, value)) {
+        trap_vector = TrapVectors::kBusError;
+        return false;
+      }
+      return true;
+    case AddrMode::RegIndirect: {
+      const std::uint32_t addr = instr.rb ? read_reg(*instr.rb) : 0;
+      if (!mem_read32(addr, value)) {
+        trap_vector = TrapVectors::kBusError;
+        return false;
+      }
+      return true;
+    }
+    case AddrMode::RegIndirectOff: {
+      const std::uint32_t addr =
+          (instr.rb ? read_reg(*instr.rb) : 0) + instr.imm;
+      if (!mem_read32(addr, value)) {
+        trap_vector = TrapVectors::kBusError;
+        return false;
+      }
+      return true;
+    }
+    case AddrMode::None:
+      value = instr.imm;
+      return true;
+  }
+  value = 0;
+  return true;
+}
+
+// ---------------------------------------------------------------- execute --
+
+Machine::ExecStatus Machine::execute(const Instruction& instr,
+                                     bool& taken_branch,
+                                     std::uint8_t& trap_vector) {
+  auto trap = [&](std::uint8_t vec) {
+    trap_vector = vec;
+    return ExecStatus::Trap;
+  };
+
+  switch (instr.op) {
+    case Opcode::Nop:
+      return ExecStatus::Ok;
+    case Opcode::Halt:
+      return ExecStatus::Halt;
+    case Opcode::Break:
+      return config_.break_stops ? ExecStatus::Break : ExecStatus::Ok;
+
+    case Opcode::Mov:
+    case Opcode::Lea:
+    case Opcode::Load: {
+      std::uint32_t value = 0;
+      if (!source_value(instr, value, trap_vector)) return ExecStatus::Trap;
+      if (instr.rc) write_reg(*instr.rc, value);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Store: {
+      const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t addr = 0;
+      switch (instr.mode) {
+        case AddrMode::Absolute:
+          addr = instr.imm;
+          break;
+        case AddrMode::RegIndirect:
+          addr = instr.rb ? read_reg(*instr.rb) : 0;
+          break;
+        case AddrMode::RegIndirectOff:
+          addr = (instr.rb ? read_reg(*instr.rb) : 0) + instr.imm;
+          break;
+        default:
+          return trap(TrapVectors::kIllegalInstruction);
+      }
+      if (!mem_write32(addr, value)) return trap(TrapVectors::kBusError);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Push: {
+      const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
+      if (!push32(value)) return trap(TrapVectors::kBusError);
+      return ExecStatus::Ok;
+    }
+    case Opcode::Pop: {
+      std::uint32_t value = 0;
+      if (!pop32(value)) return trap(TrapVectors::kBusError);
+      if (instr.rc) write_reg(*instr.rc, value);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Cmp: {
+      const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t rhs = 0;
+      if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
+      const bool is_add = instr.op == Opcode::Add;
+      const std::uint64_t wide =
+          is_add ? static_cast<std::uint64_t>(lhs) + rhs
+                 : static_cast<std::uint64_t>(lhs) - rhs;
+      const auto result = static_cast<std::uint32_t>(wide);
+      set_flags_zn(result);
+      set_flag(Psw::kCarry, (wide >> 32) != 0);
+      const bool lhs_neg = (lhs >> 31) != 0;
+      const bool rhs_neg = (rhs >> 31) != 0;
+      const bool res_neg = (result >> 31) != 0;
+      const bool overflow = is_add ? (lhs_neg == rhs_neg && res_neg != lhs_neg)
+                                   : (lhs_neg != rhs_neg && res_neg != lhs_neg);
+      set_flag(Psw::kOverflow, overflow);
+      if (instr.op != Opcode::Cmp && instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Mul: {
+      const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t rhs = 0;
+      if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
+      const std::uint64_t wide = static_cast<std::uint64_t>(lhs) * rhs;
+      const auto result = static_cast<std::uint32_t>(wide);
+      set_flags_zn(result);
+      set_flag(Psw::kCarry, false);
+      set_flag(Psw::kOverflow, (wide >> 32) != 0);
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Div: {
+      const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t rhs = 0;
+      if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
+      if (rhs == 0) return trap(TrapVectors::kDivideByZero);
+      const auto slhs = static_cast<std::int32_t>(lhs);
+      const auto srhs = static_cast<std::int32_t>(rhs);
+      std::uint32_t result;
+      if (slhs == INT32_MIN && srhs == -1) {
+        result = static_cast<std::uint32_t>(INT32_MIN);  // saturating edge
+        set_flag(Psw::kOverflow, true);
+      } else {
+        result = static_cast<std::uint32_t>(slhs / srhs);
+        set_flag(Psw::kOverflow, false);
+      }
+      set_flags_zn(result);
+      set_flag(Psw::kCarry, false);
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor: {
+      const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t rhs = 0;
+      if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
+      std::uint32_t result = 0;
+      if (instr.op == Opcode::And) result = lhs & rhs;
+      if (instr.op == Opcode::Or) result = lhs | rhs;
+      if (instr.op == Opcode::Xor) result = lhs ^ rhs;
+      set_flags_zn(result);
+      set_flag(Psw::kCarry, false);
+      set_flag(Psw::kOverflow, false);
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Not: {
+      const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
+      const std::uint32_t result = ~value;
+      set_flags_zn(result);
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Sar: {
+      const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t rhs = 0;
+      if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
+      const std::uint32_t sh = rhs & 31u;  // hardware masks shift amounts
+      std::uint32_t result = 0;
+      bool carry = false;
+      if (instr.op == Opcode::Shl) {
+        result = lhs << sh;
+        carry = sh != 0 && ((lhs >> (32 - sh)) & 1u) != 0;
+      } else if (instr.op == Opcode::Shr) {
+        result = lhs >> sh;
+        carry = sh != 0 && ((lhs >> (sh - 1)) & 1u) != 0;
+      } else {
+        result = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(lhs) >> sh);
+        carry = sh != 0 && ((lhs >> (sh - 1)) & 1u) != 0;
+      }
+      set_flags_zn(result);
+      set_flag(Psw::kCarry, carry);
+      set_flag(Psw::kOverflow, false);
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Insert: {
+      const std::uint32_t base = instr.ra ? read_reg(*instr.ra) : 0;
+      std::uint32_t value = 0;
+      if (!source_value(instr, value, trap_vector)) return ExecStatus::Trap;
+      const std::uint32_t mask =
+          instr.width >= 32 ? 0xFFFF'FFFFu : ((1u << instr.width) - 1u);
+      const std::uint32_t result = (base & ~(mask << instr.pos)) |
+                                   ((value & mask) << instr.pos);
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Extract: {
+      const std::uint32_t base = instr.ra ? read_reg(*instr.ra) : 0;
+      const std::uint32_t mask =
+          instr.width >= 32 ? 0xFFFF'FFFFu : ((1u << instr.width) - 1u);
+      const std::uint32_t result = (base >> instr.pos) & mask;
+      if (instr.rc) write_reg(*instr.rc, result);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Jmp: {
+      if (!condition_met(instr.cond)) return ExecStatus::Ok;
+      pc_ = instr.rb ? read_reg(*instr.rb) : instr.imm;
+      taken_branch = true;
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Call: {
+      const std::uint32_t target = instr.rb ? read_reg(*instr.rb) : instr.imm;
+      if (!push32(pc_)) return trap(TrapVectors::kBusError);
+      pc_ = target;
+      taken_branch = true;
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Return: {
+      std::uint32_t ret = 0;
+      if (!pop32(ret)) return trap(TrapVectors::kBusError);
+      pc_ = ret;
+      taken_branch = true;
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Trap:
+      return trap(static_cast<std::uint8_t>(TrapVectors::kSoftwareBase +
+                                            instr.pos));
+
+    case Opcode::Reti: {
+      std::uint32_t saved_psw = 0;
+      std::uint32_t ret = 0;
+      if (!pop32(saved_psw) || !pop32(ret)) {
+        return trap(TrapVectors::kBusError);
+      }
+      psw_ = saved_psw;
+      pc_ = ret;
+      taken_branch = true;
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Disable:
+      set_flag(Psw::kInterruptEnable, false);
+      return ExecStatus::Ok;
+    case Opcode::Enable:
+      set_flag(Psw::kInterruptEnable, true);
+      return ExecStatus::Ok;
+
+    case Opcode::Mfcr: {
+      std::uint32_t value = 0;
+      switch (static_cast<isa::CoreReg>(instr.pos)) {
+        case isa::CoreReg::Psw:
+          value = psw_;
+          break;
+        case isa::CoreReg::VtBase:
+          value = vtbase_;
+          break;
+        case isa::CoreReg::CoreId:
+          value = core_id_;
+          break;
+        case isa::CoreReg::CycleLo:
+          value = static_cast<std::uint32_t>(cycles_);
+          break;
+        default:
+          return trap(TrapVectors::kIllegalInstruction);
+      }
+      if (instr.rc) write_reg(*instr.rc, value);
+      return ExecStatus::Ok;
+    }
+
+    case Opcode::Mtcr: {
+      const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
+      switch (static_cast<isa::CoreReg>(instr.pos)) {
+        case isa::CoreReg::Psw:
+          psw_ = value;
+          return ExecStatus::Ok;
+        case isa::CoreReg::VtBase:
+          vtbase_ = value;
+          return ExecStatus::Ok;
+        case isa::CoreReg::CoreId:
+        case isa::CoreReg::CycleLo:
+          return trap(TrapVectors::kIllegalInstruction);  // read-only
+        default:
+          return trap(TrapVectors::kIllegalInstruction);
+      }
+    }
+  }
+  return trap(TrapVectors::kIllegalInstruction);
+}
+
+}  // namespace advm::sim

@@ -1,0 +1,165 @@
+// The SC88 machine core: fetch / decode / execute, traps and interrupts.
+//
+// One core implementation serves all six execution platforms — the paper's
+// whole premise is that the *same test binary* runs everywhere — while the
+// platform layer varies timing model, visibility and checking around it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "isa/instruction.h"
+#include "isa/registers.h"
+#include "sim/bus.h"
+#include "sim/timing.h"
+#include "sim/trace.h"
+
+namespace advm::sim {
+
+/// Trap/interrupt vector assignments. The table lives at VTBASE; entry i is
+/// the 32-bit handler address at VTBASE + 4*i. A zero entry means "no
+/// handler installed" and stops simulation with StopReason::UnhandledTrap.
+struct TrapVectors {
+  static constexpr std::uint8_t kReset = 0;
+  static constexpr std::uint8_t kIllegalInstruction = 1;
+  static constexpr std::uint8_t kBusError = 2;
+  static constexpr std::uint8_t kDivideByZero = 3;
+  static constexpr std::uint8_t kOverflow = 4;
+  static constexpr std::uint8_t kSoftwareBase = 8;   ///< TRAP n → 8 + n
+  static constexpr std::uint8_t kInterruptBase = 16; ///< IRQ n → 16 + n
+  static constexpr std::uint32_t kTableEntries = 32;
+};
+
+enum class StopReason {
+  Running,        ///< step() only: nothing stopped execution
+  Halted,         ///< HALT executed — normal end of a directed test
+  Breakpoint,     ///< BREAK executed on a debug-capable platform
+  CycleLimit,     ///< instruction budget exhausted (runaway test)
+  UnhandledTrap,  ///< trap taken with empty vector entry
+  DoubleFault,    ///< fault during trap entry (e.g. bad stack)
+};
+
+[[nodiscard]] const char* to_string(StopReason r);
+
+struct RunResult {
+  StopReason reason = StopReason::Running;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  /// For UnhandledTrap/DoubleFault: the vector that could not be serviced.
+  std::optional<std::uint8_t> fault_vector;
+  /// PC where execution stopped.
+  std::uint32_t stop_pc = 0;
+};
+
+struct MachineConfig {
+  /// Gate-level platforms flag use of never-written registers
+  /// (X-propagation checking).
+  bool x_check_registers = false;
+  /// Debug-capable platforms stop at BREAK; others execute it as NOP.
+  bool break_stops = false;
+};
+
+class Machine {
+ public:
+  Machine(Bus& bus, const TimingModel& timing, MachineConfig config = {});
+
+  /// Puts the core into its power-on state and primes PC/SP/VTBASE.
+  void reset(std::uint32_t entry, std::uint32_t stack_top,
+             std::uint32_t vtbase);
+
+  /// Runs until HALT, a fault, or `max_instructions` retired.
+  RunResult run(std::uint64_t max_instructions);
+
+  /// Executes one instruction (including any trap it raises).
+  /// Returns Running while execution can continue.
+  StopReason step();
+
+  // Architectural state access (debug port / assertions in tests).
+  [[nodiscard]] std::uint32_t d(int i) const {
+    return d_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::uint32_t a(int i) const {
+    return a_[static_cast<std::size_t>(i)];
+  }
+  void set_d(int i, std::uint32_t v);
+  void set_a(int i, std::uint32_t v);
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  [[nodiscard]] std::uint32_t psw() const { return psw_; }
+  [[nodiscard]] std::uint32_t vtbase() const { return vtbase_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+
+  /// Digest of the architectural register state — used by experiment E4 to
+  /// prove platform equivalence.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+  /// Count of x-check violations (reads of never-written registers).
+  [[nodiscard]] std::uint64_t x_warnings() const { return x_warnings_; }
+
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Value returned by `MFCR rc, COREID` — derivatives report distinct ids.
+  void set_core_id(std::uint32_t id) { core_id_ = id; }
+
+  /// The interrupt controller publishes the highest-priority pending IRQ
+  /// line (0-15) through this hook; nullopt = nothing pending.
+  void set_irq_poll(std::function<std::optional<std::uint8_t>()> poll) {
+    irq_poll_ = std::move(poll);
+  }
+
+ private:
+  enum class ExecStatus { Ok, Trap, Halt, Break };
+
+  ExecStatus execute(const isa::Instruction& instr, bool& taken_branch,
+                     std::uint8_t& trap_vector);
+
+  std::uint32_t read_reg(const isa::RegSpec& r);
+  void write_reg(const isa::RegSpec& r, std::uint32_t value);
+
+  /// Resolves the flexible source operand value; false → bus error.
+  bool source_value(const isa::Instruction& instr, std::uint32_t& value,
+                    std::uint8_t& trap_vector);
+
+  bool mem_read32(std::uint32_t addr, std::uint32_t& value);
+  bool mem_write32(std::uint32_t addr, std::uint32_t value);
+  bool push32(std::uint32_t value);
+  bool pop32(std::uint32_t& value);
+
+  void set_flags_zn(std::uint32_t result);
+  void set_flag(std::uint32_t bit, bool on);
+  [[nodiscard]] bool flag(std::uint32_t bit) const {
+    return (psw_ & bit) != 0;
+  }
+  [[nodiscard]] bool condition_met(isa::Cond cond) const;
+
+  /// Enters the handler for `vector`. Returns the stop reason: Running if
+  /// the handler was entered, UnhandledTrap/DoubleFault otherwise.
+  StopReason take_trap(std::uint8_t vector, std::uint32_t return_pc);
+
+  Bus& bus_;
+  const TimingModel& timing_;
+  MachineConfig config_;
+
+  std::array<std::uint32_t, isa::kNumDataRegs> d_{};
+  std::array<std::uint32_t, isa::kNumAddrRegs> a_{};
+  std::uint32_t pc_ = 0;
+  std::uint32_t psw_ = 0;
+  std::uint32_t vtbase_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+
+  // X-check bookkeeping.
+  std::array<bool, isa::kNumDataRegs> d_written_{};
+  std::array<bool, isa::kNumAddrRegs> a_written_{};
+  std::uint64_t x_warnings_ = 0;
+
+  std::uint32_t core_id_ = 0;
+  std::optional<std::uint8_t> pending_fault_vector_;
+
+  TraceSink* trace_ = nullptr;
+  std::function<std::optional<std::uint8_t>()> irq_poll_;
+};
+
+}  // namespace advm::sim

@@ -1,0 +1,47 @@
+#include "sim/platform.h"
+
+namespace advm::sim {
+
+namespace {
+
+// Modeled rates follow the usual industry orders of magnitude for the era
+// (paper is a 2004 chip-card project): RTL simulation in the tens of kIPS,
+// gate-level hundreds of IPS, emulation around a MIPS, silicon tens of MIPS.
+// Experiment E4 reports these; only their ordering and rough ratios matter.
+constexpr PlatformCaps kCaps[] = {
+    // name, trace, regs, mem, xchk, brk, cyc, modeled_ips
+    {"golden-model", true, true, true, false, true, false, 10e6},
+    {"hdl-rtl", true, true, true, false, true, true, 20e3},
+    {"hdl-gate", true, true, true, true, true, true, 400},
+    {"accelerator", false, false, true, false, false, true, 1.2e6},
+    {"bondout", false, true, true, false, true, false, 25e6},
+    {"product", false, false, false, false, false, false, 25e6},
+};
+
+}  // namespace
+
+const PlatformCaps& platform_caps(PlatformKind kind) {
+  return kCaps[static_cast<std::size_t>(kind)];
+}
+
+std::string_view to_string(PlatformKind kind) {
+  return platform_caps(kind).name;
+}
+
+std::unique_ptr<TimingModel> make_timing(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::RtlSim:
+    case PlatformKind::GateSim:
+    case PlatformKind::Accelerator:
+      // The accelerator emulates the synthesised design, so it reports the
+      // same cycle counts as the HDL platforms — just much faster.
+      return std::make_unique<PipelineTiming>();
+    case PlatformKind::GoldenModel:
+    case PlatformKind::Bondout:
+    case PlatformKind::ProductSilicon:
+      return std::make_unique<FunctionalTiming>();
+  }
+  return std::make_unique<FunctionalTiming>();
+}
+
+}  // namespace advm::sim

@@ -1,0 +1,61 @@
+// The six development platforms of the paper's §1.
+//
+// "The same suite of assembler tests can be used to perform functional
+//  verification of each of the following development platforms:
+//    Golden Reference Model / HDL-RTL Simulation / HDL-Gate Level
+//    Simulation / Hardware Accelerator / Bondout Silicon / Product Silicon"
+//
+// The originals are proprietary Infineon infrastructure; here each platform
+// is a policy bundle over the shared SC88 core (DESIGN.md substitution
+// table): timing model, visibility capabilities, checking features, and a
+// modeled execution rate that reproduces the platforms' relative throughput
+// ordering (an RTL simulator runs orders of magnitude slower than silicon).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "sim/timing.h"
+
+namespace advm::sim {
+
+enum class PlatformKind : std::uint8_t {
+  GoldenModel,     ///< customer software simulator — functional, full trace
+  RtlSim,          ///< HDL design for silicon — cycle-approximate, slow
+  GateSim,         ///< post-synthesis netlist — adds X-checking, crawls
+  Accelerator,     ///< Quickturn/IKOS-class emulator — fast, no visibility
+  Bondout,         ///< debug silicon — real-time, debug port
+  ProductSilicon,  ///< the customer part — real-time, pins only
+};
+
+inline constexpr std::array<PlatformKind, 6> kAllPlatforms = {
+    PlatformKind::GoldenModel, PlatformKind::RtlSim,
+    PlatformKind::GateSim,     PlatformKind::Accelerator,
+    PlatformKind::Bondout,     PlatformKind::ProductSilicon,
+};
+
+/// What a platform can observe and check, and how fast it runs.
+struct PlatformCaps {
+  std::string_view name;
+  bool instruction_trace;   ///< can attach a TraceSink
+  bool register_access;     ///< debug read of architectural registers
+  bool memory_access;       ///< debug read of memory
+  bool x_checking;          ///< flags use of uninitialised state
+  bool breakpoints;         ///< BREAK stops execution
+  bool cycle_accurate;      ///< reports pipeline cycles, not instr counts
+  /// Modeled native execution rate in instructions/second; reproduces the
+  /// platform throughput ordering of the paper's §1 platform list.
+  double modeled_ips;
+};
+
+[[nodiscard]] const PlatformCaps& platform_caps(PlatformKind kind);
+[[nodiscard]] std::string_view to_string(PlatformKind kind);
+
+/// Builds the timing model a platform charges time with. Functional
+/// platforms use FunctionalTiming; HDL platforms use PipelineTiming.
+[[nodiscard]] std::unique_ptr<TimingModel> make_timing(PlatformKind kind);
+
+}  // namespace advm::sim

@@ -1,0 +1,58 @@
+// Cycle-cost models distinguishing the execution platforms (paper §1).
+//
+// The golden reference model is purely functional: one cycle per
+// instruction. The HDL platforms are cycle-approximate: they charge the
+// opcode table's pipeline costs plus branch-flush penalties. The absolute
+// numbers are synthetic; what experiment E4 reproduces is that the *same
+// test* reports different (but internally consistent) cycle counts per
+// platform while producing identical architectural results.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+#include "isa/opcodes.h"
+
+namespace advm::sim {
+
+class TimingModel {
+ public:
+  virtual ~TimingModel() = default;
+
+  /// Cycles consumed by one executed instruction.
+  [[nodiscard]] virtual std::uint64_t instruction_cost(
+      const isa::Instruction& instr, bool taken_branch) const = 0;
+
+  /// Cycles consumed by trap/interrupt entry or RETI context restore.
+  [[nodiscard]] virtual std::uint64_t trap_cost() const { return 8; }
+};
+
+/// Functional model: everything costs one cycle.
+class FunctionalTiming final : public TimingModel {
+ public:
+  std::uint64_t instruction_cost(const isa::Instruction&,
+                                 bool) const override {
+    return 1;
+  }
+  std::uint64_t trap_cost() const override { return 1; }
+};
+
+/// Cycle-approximate in-order pipeline: per-opcode costs from the opcode
+/// table plus a flush penalty for taken branches.
+class PipelineTiming final : public TimingModel {
+ public:
+  explicit PipelineTiming(std::uint64_t branch_penalty = 2)
+      : branch_penalty_(branch_penalty) {}
+
+  std::uint64_t instruction_cost(const isa::Instruction& instr,
+                                 bool taken_branch) const override {
+    std::uint64_t cost = isa::opcode_info(instr.op).rtl_cycles;
+    if (taken_branch) cost += branch_penalty_;
+    return cost;
+  }
+
+ private:
+  std::uint64_t branch_penalty_;
+};
+
+}  // namespace advm::sim

@@ -1,0 +1,65 @@
+// Execution observation interface.
+//
+// Platforms differ in visibility (paper §1): HDL simulators show every
+// instruction and bus transaction, the hardware accelerator and silicon do
+// not. The machine core emits events to an optional TraceSink; the platform
+// layer decides whether a sink may be attached at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace advm::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_instruction(std::uint64_t cycle, std::uint32_t pc,
+                              const isa::Instruction& instr) = 0;
+  virtual void on_memory(std::uint64_t cycle, std::uint32_t addr,
+                         std::uint32_t value, bool is_write) = 0;
+  virtual void on_trap(std::uint64_t cycle, std::uint8_t vector) = 0;
+};
+
+/// Records everything; used by tests and by the RTL/gate platforms' log
+/// outputs.
+class RecordingTrace final : public TraceSink {
+ public:
+  struct InstrEvent {
+    std::uint64_t cycle;
+    std::uint32_t pc;
+    isa::Instruction instr;
+  };
+  struct MemEvent {
+    std::uint64_t cycle;
+    std::uint32_t addr;
+    std::uint32_t value;
+    bool is_write;
+  };
+  struct TrapEvent {
+    std::uint64_t cycle;
+    std::uint8_t vector;
+  };
+
+  void on_instruction(std::uint64_t cycle, std::uint32_t pc,
+                      const isa::Instruction& instr) override {
+    instrs.push_back({cycle, pc, instr});
+  }
+  void on_memory(std::uint64_t cycle, std::uint32_t addr, std::uint32_t value,
+                 bool is_write) override {
+    mems.push_back({cycle, addr, value, is_write});
+  }
+  void on_trap(std::uint64_t cycle, std::uint8_t vector) override {
+    traps.push_back({cycle, vector});
+  }
+
+  std::vector<InstrEvent> instrs;
+  std::vector<MemEvent> mems;
+  std::vector<TrapEvent> traps;
+};
+
+}  // namespace advm::sim

@@ -1,0 +1,98 @@
+#include "soc/derivative.h"
+
+namespace advm::soc {
+
+namespace {
+
+DerivativeSpec make_a() {
+  DerivativeSpec d;
+  d.name = "SC88-A";
+  d.core_id = 0x88A0'0001;
+  return d;  // struct defaults are the A baseline
+}
+
+DerivativeSpec make_b() {
+  DerivativeSpec d = make_a();
+  d.name = "SC88-B";
+  d.core_id = 0x88B0'0001;
+  // The paper §4's first change scenario, shipped as silicon: "the location
+  // of these control bits have been shifted by one".
+  d.page_field = FieldGeometry{1, 5};
+  return d;
+}
+
+DerivativeSpec make_c() {
+  DerivativeSpec d = make_a();
+  d.name = "SC88-C";
+  d.core_id = 0x88C0'0001;
+  // "this version of the module is now capable of handling more pages ...
+  //  the page control field size has increased by one bit" (paper §4).
+  d.page_field = FieldGeometry{0, 6};
+  d.page_count = 40;
+  // Peripheral revs that force abstraction-layer updates:
+  d.uart_version = 2;
+  d.nvm_cmd_program = 0x50;
+  d.nvm_cmd_erase = 0x60;
+  d.nvm_key1 = 0xC0DE'1001;
+  d.nvm_key2 = 0xC0DE'1002;
+  d.es_version = 2;  // ES_Init_Register input registers swapped (Fig 7)
+  return d;
+}
+
+DerivativeSpec make_d() {
+  DerivativeSpec d = make_c();
+  d.name = "SC88-D";
+  d.core_id = 0x88D0'0001;
+  // Larger memories, moved peripherals, renamed registers, re-coded ES.
+  d.ram_size = 0x0008'0000;
+  d.page_module_base = 0xE001'0000;
+  d.uart_base = 0xE001'1000;
+  d.nvm_ctrl_base = 0xE001'2000;
+  d.timer_base = 0xE001'3000;
+  d.intc_base = 0xE001'4000;
+  d.simctrl_base = 0xE001'F000;
+  d.page_count = 48;
+  d.nvm_pages = 32;
+  d.nvm_page_size = 512;
+  d.timer_prescale = 4;
+  d.naming = RegisterNaming::Underscored;
+  d.es_version = 3;  // function also renamed
+  d.irq_uart = 5;
+  d.irq_timer = 6;
+  d.irq_nvm = 7;
+  return d;
+}
+
+}  // namespace
+
+const DerivativeSpec& derivative_a() {
+  static const DerivativeSpec d = make_a();
+  return d;
+}
+const DerivativeSpec& derivative_b() {
+  static const DerivativeSpec d = make_b();
+  return d;
+}
+const DerivativeSpec& derivative_c() {
+  static const DerivativeSpec d = make_c();
+  return d;
+}
+const DerivativeSpec& derivative_d() {
+  static const DerivativeSpec d = make_d();
+  return d;
+}
+
+const std::vector<const DerivativeSpec*>& all_derivatives() {
+  static const std::vector<const DerivativeSpec*> all = {
+      &derivative_a(), &derivative_b(), &derivative_c(), &derivative_d()};
+  return all;
+}
+
+const DerivativeSpec* find_derivative(std::string_view name) {
+  for (const DerivativeSpec* d : all_derivatives()) {
+    if (d->name == name) return d;
+  }
+  return nullptr;
+}
+
+}  // namespace advm::soc

@@ -1,0 +1,178 @@
+#include "soc/global_layer.h"
+
+#include <sstream>
+
+namespace advm::soc {
+
+RegisterNames register_names(RegisterNaming naming) {
+  if (naming == RegisterNaming::Compact) {
+    return RegisterNames{
+        "PMCTRL",   "PMSTAT",   "PMCOUNT",  "PMDATA",   "UARTDATA",
+        "UARTSTAT", "UARTCTRL", "NVMCMD",   "NVMADDR",  "NVMDATA",
+        "NVMSTAT",  "NVMLOCK",  "TIMCNT",   "TIMCMP",   "TIMCTRL",
+        "TIMSTAT",  "ICPEND",   "ICENAB",   "ICCURR",   "SIMRES",
+        "SIMCON",   "SIMPLAT",  "SIMSCRATCH"};
+  }
+  return RegisterNames{
+      "PM_CONTROL",  "PM_STATUS",    "PM_COUNT",    "PM_DATA",
+      "UART_DATA",   "UART_STATUS",  "UART_CONTROL","NVM_CMD",
+      "NVM_ADDR",    "NVM_DATA",     "NVM_STATUS",  "NVM_LOCK",
+      "TIM_COUNT",   "TIM_COMPARE",  "TIM_CONTROL", "TIM_STATUS",
+      "IC_PENDING",  "IC_ENABLE",    "IC_CURRENT",  "SIM_RESULT",
+      "SIM_CONSOLE", "SIM_PLATFORM", "SIM_SCRATCH"};
+}
+
+std::string register_defs_source(const DerivativeSpec& spec) {
+  const RegisterNames n = register_names(spec.naming);
+  std::ostringstream os;
+  os << std::hex;
+  os << ";; " << kRegisterDefsFile << " — GLOBAL LAYER\n"
+     << ";; Control & status register definitions for " << spec.name << ".\n"
+     << ";; Generated from the derivative databook; NOT owned by any test\n"
+     << ";; environment (paper Fig 1, global layer).\n";
+  auto reg = [&](const std::string& name, std::uint32_t addr) {
+    os << name << " .EQU 0x" << addr << "\n";
+  };
+  reg(n.pm_ctrl, spec.page_module_base + 0x0);
+  reg(n.pm_status, spec.page_module_base + 0x4);
+  reg(n.pm_count, spec.page_module_base + 0x8);
+  reg(n.pm_data, spec.page_module_base + 0xC);
+  reg(n.uart_data, spec.uart_base + 0x0);
+  reg(n.uart_status, spec.uart_base + 0x4);
+  reg(n.uart_ctrl, spec.uart_base + 0x8);
+  reg(n.nvm_cmd, spec.nvm_ctrl_base + 0x00);
+  reg(n.nvm_addr, spec.nvm_ctrl_base + 0x04);
+  reg(n.nvm_data, spec.nvm_ctrl_base + 0x08);
+  reg(n.nvm_status, spec.nvm_ctrl_base + 0x0C);
+  reg(n.nvm_lock, spec.nvm_ctrl_base + 0x10);
+  reg(n.tim_count, spec.timer_base + 0x0);
+  reg(n.tim_compare, spec.timer_base + 0x4);
+  reg(n.tim_ctrl, spec.timer_base + 0x8);
+  reg(n.tim_status, spec.timer_base + 0xC);
+  reg(n.ic_pending, spec.intc_base + 0x0);
+  reg(n.ic_enable, spec.intc_base + 0x4);
+  reg(n.ic_current, spec.intc_base + 0x8);
+  reg(n.sim_result, spec.simctrl_base + 0x0);
+  reg(n.sim_console, spec.simctrl_base + 0x4);
+  reg(n.sim_platform, spec.simctrl_base + 0x8);
+  reg(n.sim_scratch, spec.simctrl_base + 0xC);
+  return os.str();
+}
+
+std::string embedded_software_source(const DerivativeSpec& spec) {
+  const RegisterNames n = register_names(spec.naming);
+  // TX_READY polling bit depends on the UART version the ES was built for.
+  // Hardwiring it here is *correct*: the ES ships with its silicon. Test
+  // code must not copy this style — that is what the abstraction layer is
+  // for.
+  const int tx_ready_bit = spec.uart_version == 1 ? 0 : 4;
+
+  std::ostringstream os;
+  os << ";; " << kEmbeddedSoftwareFile << " — GLOBAL LAYER\n"
+     << ";; Customer/boot ROM library for " << spec.name << " (ES v"
+     << spec.es_version << ").\n"
+     << ";; Not owned by any test environment; subject to change without\n"
+     << ";; notice (the paper's Fig 7 scenario).\n"
+     << ".INCLUDE " << kRegisterDefsFile << "\n"
+     << ".SECTION es\n"
+     << ".ORG 0x" << std::hex << spec.es_rom_base << std::dec << "\n\n";
+
+  // --- ES_Init_Register: the Fig 7 churn target. ---------------------------
+  if (spec.es_version == 1) {
+    os << ";; ES_Init_Register(a4 = register address, d4 = value)\n"
+       << "ES_Init_Register:\n"
+       << " STORE [a4], d4\n"
+       << " RETURN\n\n";
+  } else {
+    const char* fn_name =
+        spec.es_version >= 3 ? "ES_InitReg" : "ES_Init_Register";
+    os << ";; " << fn_name
+       << "(a5 = register address, d5 = value) — inputs swapped vs v1\n"
+       << fn_name << ":\n"
+       << " STORE [a5], d5\n"
+       << " RETURN\n\n";
+  }
+
+  // --- ES_Get_Version -------------------------------------------------------
+  os << ";; ES_Get_Version() → d2\n"
+     << "ES_Get_Version:\n"
+     << " MOV d2, " << spec.es_version << "\n"
+     << " RETURN\n\n";
+
+  // --- ES_Uart_Send_Byte ----------------------------------------------------
+  os << ";; ES_Uart_Send_Byte(d4 = byte) — blocking transmit\n"
+     << "ES_Uart_Send_Byte:\n"
+     << ".wait_tx:\n"
+     << " LOAD d2, [" << n.uart_status << "]\n"
+     << " EXTRACT d2, d2, " << tx_ready_bit << ", 1\n"
+     << " CMP d2, 1\n"
+     << " JNE .wait_tx\n"
+     << " STORE [" << n.uart_data << "], d4\n"
+     << " RETURN\n\n";
+
+  // --- ES_Nvm_Unlock ----------------------------------------------------------
+  os << ";; ES_Nvm_Unlock() — key sequence is ES-private\n"
+     << "ES_Nvm_Unlock:\n"
+     << " LOAD d2, 0x" << std::hex << spec.nvm_key1 << "\n"
+     << " STORE [" << n.nvm_lock << "], d2\n"
+     << " LOAD d2, 0x" << spec.nvm_key2 << std::dec << "\n"
+     << " STORE [" << n.nvm_lock << "], d2\n"
+     << " RETURN\n\n";
+
+  // --- ES_Delay ----------------------------------------------------------------
+  os << ";; ES_Delay(d4 = loop count)\n"
+     << "ES_Delay:\n"
+     << ".delay_loop:\n"
+     << " SUB d4, d4, 1\n"
+     << " JNZ .delay_loop\n"
+     << " RETURN\n";
+
+  return os.str();
+}
+
+std::string common_functions_source() {
+  // Pure-CPU helpers: no device registers, so one text serves every
+  // derivative. Still global layer — tests must reach these through
+  // Base_ wrappers, not directly.
+  return ";; common_functions.asm — GLOBAL LAYER\n"
+         ";; 'Useful Common Functions' shared library (paper Fig 4).\n\n"
+         ";; Common_Mem_Set(a4 = dst, d4 = word count, d5 = value)\n"
+         "Common_Mem_Set:\n"
+         ".set_loop:\n"
+         " CMP d4, 0\n"
+         " JEQ .set_done\n"
+         " STORE [a4], d5\n"
+         " ADD a4, a4, 4\n"
+         " SUB d4, d4, 1\n"
+         " JMP .set_loop\n"
+         ".set_done:\n"
+         " RETURN\n\n"
+         ";; Common_Mem_Copy(a4 = src, a5 = dst, d4 = word count)\n"
+         "Common_Mem_Copy:\n"
+         ".copy_loop:\n"
+         " CMP d4, 0\n"
+         " JEQ .copy_done\n"
+         " LOAD d3, [a4]\n"
+         " STORE [a5], d3\n"
+         " ADD a4, a4, 4\n"
+         " ADD a5, a5, 4\n"
+         " SUB d4, d4, 1\n"
+         " JMP .copy_loop\n"
+         ".copy_done:\n"
+         " RETURN\n\n"
+         ";; Common_Checksum(a4 = addr, d4 = word count) -> d2\n"
+         "Common_Checksum:\n"
+         " MOV d2, 0\n"
+         ".sum_loop:\n"
+         " CMP d4, 0\n"
+         " JEQ .sum_done\n"
+         " LOAD d3, [a4]\n"
+         " ADD d2, d2, d3\n"
+         " ADD a4, a4, 4\n"
+         " SUB d4, d4, 1\n"
+         " JMP .sum_loop\n"
+         ".sum_done:\n"
+         " RETURN\n";
+}
+
+}  // namespace advm::soc

@@ -1,0 +1,67 @@
+// Global-layer source generators: register definition files and the
+// embedded-software (customer/boot ROM) library.
+//
+// In the paper's Fig 1, the global layer is "anything that the test
+// environment owner does not control": embedded software, customer API
+// functions, and the global control & status register definitions. Here
+// those artifacts are generated from the DerivativeSpec, so porting
+// experiments can regenerate a new derivative's global layer and watch the
+// abstraction layer absorb the change.
+#pragma once
+
+#include <string>
+
+#include "soc/derivative.h"
+
+namespace advm::soc {
+
+/// Spellings of every register symbol in the global register-definition
+/// file. Derivative D switches naming style (paper §2: register renames are
+/// a change class the abstraction layer must absorb via re-mapping).
+struct RegisterNames {
+  std::string pm_ctrl, pm_status, pm_count, pm_data;
+  std::string uart_data, uart_status, uart_ctrl;
+  std::string nvm_cmd, nvm_addr, nvm_data, nvm_status, nvm_lock;
+  std::string tim_count, tim_compare, tim_ctrl, tim_status;
+  std::string ic_pending, ic_enable, ic_current;
+  std::string sim_result, sim_console, sim_platform, sim_scratch;
+};
+
+[[nodiscard]] RegisterNames register_names(RegisterNaming naming);
+
+/// `register_defs.inc` — global layer, derivative-generated: absolute
+/// addresses of every control & status register under the derivative's
+/// spellings.
+[[nodiscard]] std::string register_defs_source(const DerivativeSpec& spec);
+
+/// `Embedded_Software.asm` — global layer: the customer/boot ROM function
+/// library at its absolute ROM address. The exported functions and their
+/// calling conventions depend on spec.es_version:
+///
+///   v1: ES_Init_Register(a4 = register address, d4 = value)
+///   v2: ES_Init_Register(a5 = register address, d5 = value)
+///       — "the input registers have been swapped around" (paper Fig 7)
+///   v3: function renamed to ES_InitReg, v2 convention kept
+///
+/// All versions also export:
+///   ES_Get_Version()            → d2 = version
+///   ES_Uart_Send_Byte(d4)       blocking transmit
+///   ES_Nvm_Unlock()             writes the (ES-private) key sequence
+///   ES_Delay(d4)                software delay loop
+[[nodiscard]] std::string embedded_software_source(const DerivativeSpec& spec);
+
+/// `common_functions.asm` — global layer: the paper Fig 4's "Useful Common
+/// Functions" shared library. Pure-CPU helpers with a stable calling
+/// convention:
+///   Common_Mem_Set(a4 = dst, d4 = word count, d5 = value)
+///   Common_Mem_Copy(a4 = src, a5 = dst, d4 = word count)
+///   Common_Checksum(a4 = addr, d4 = word count) → d2
+[[nodiscard]] std::string common_functions_source();
+
+/// The canonical file names the global layer publishes under (paper Fig 5's
+/// global library directories).
+inline constexpr const char* kRegisterDefsFile = "register_defs.inc";
+inline constexpr const char* kEmbeddedSoftwareFile = "Embedded_Software.asm";
+inline constexpr const char* kCommonFunctionsFile = "common_functions.asm";
+
+}  // namespace advm::soc

@@ -1,0 +1,24 @@
+// Shared IRQ line fabric between peripherals and the interrupt controller.
+#pragma once
+
+#include <cstdint>
+
+namespace advm::soc {
+
+/// 16 level-sensitive request lines. Peripherals raise; the interrupt
+/// controller masks, prioritises and presents to the core; handlers clear
+/// through the controller's PENDING register.
+class IrqLines {
+ public:
+  void raise(std::uint8_t line) { pending_ |= (1u << line); }
+  void clear(std::uint8_t line) { pending_ &= ~(1u << line); }
+  void clear_mask(std::uint16_t mask) {
+    pending_ &= static_cast<std::uint16_t>(~mask);
+  }
+  [[nodiscard]] std::uint16_t pending() const { return pending_; }
+
+ private:
+  std::uint16_t pending_ = 0;
+};
+
+}  // namespace advm::soc

@@ -1,0 +1,134 @@
+#include "soc/nvm.h"
+
+namespace advm::soc {
+
+NvmController::NvmController(const DerivativeSpec& spec, IrqLines& irqs)
+    : spec_(spec), irqs_(irqs), array_(spec.nvm_total_bytes(), 0xFF) {}
+
+std::uint32_t NvmController::word_at(std::uint32_t byte_offset) const {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (byte_offset + static_cast<std::uint32_t>(i) < array_.size()) {
+      v |= static_cast<std::uint32_t>(array_[byte_offset + i]) << (8 * i);
+    }
+  }
+  return v;
+}
+
+bool NvmController::read_reg(std::uint32_t reg, std::uint32_t& value) {
+  switch (reg) {
+    case kCmdOffset:
+      value = 0;
+      return true;
+    case kAddrOffset:
+      value = addr_;
+      return true;
+    case kDataOffset:
+      value = data_;
+      return true;
+    case kStatusOffset:
+      value = (busy() ? kStatusBusy : 0) | (locked() ? kStatusLocked : 0) |
+              status_errors_;
+      return true;
+    case kLockOffset:
+      value = 0;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool NvmController::write_reg(std::uint32_t reg, std::uint32_t value) {
+  switch (reg) {
+    case kCmdOffset:
+      launch(value);
+      return true;
+    case kAddrOffset:
+      addr_ = value;
+      return true;
+    case kDataOffset:
+      data_ = value;
+      return true;
+    case kStatusOffset:
+      // Error bits are write-1-clear.
+      status_errors_ &= ~(value & (kStatusCmdError | kStatusLockError));
+      return true;
+    case kLockOffset:
+      switch (lock_state_) {
+        case LockState::Locked:
+          lock_state_ = value == spec_.nvm_key1 ? LockState::HalfOpen
+                                                : LockState::Locked;
+          break;
+        case LockState::HalfOpen:
+          lock_state_ = value == spec_.nvm_key2 ? LockState::Open
+                                                : LockState::Locked;
+          break;
+        case LockState::Open:
+          // Any further write re-locks — software must unlock per session.
+          lock_state_ = LockState::Locked;
+          break;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+void NvmController::launch(std::uint32_t cmd) {
+  if (busy()) {
+    status_errors_ |= kStatusCmdError;  // command while busy
+    return;
+  }
+  if (locked()) {
+    status_errors_ |= kStatusLockError;
+    return;
+  }
+  if (cmd == spec_.nvm_cmd_program) {
+    if (addr_ + 4 > array_.size() || (addr_ & 3u) != 0) {
+      status_errors_ |= kStatusCmdError;
+      return;
+    }
+    pending_ = PendingOp::Program;
+    busy_cycles_ = spec_.nvm_program_latency;
+  } else if (cmd == spec_.nvm_cmd_erase) {
+    if (addr_ >= array_.size()) {
+      status_errors_ |= kStatusCmdError;
+      return;
+    }
+    pending_ = PendingOp::Erase;
+    busy_cycles_ = spec_.nvm_erase_latency;
+  } else {
+    status_errors_ |= kStatusCmdError;  // unknown command opcode
+  }
+}
+
+void NvmController::complete() {
+  if (pending_ == PendingOp::Program) {
+    // Flash-true: programming can only clear bits.
+    for (int i = 0; i < 4; ++i) {
+      array_[addr_ + i] &= static_cast<std::uint8_t>(data_ >> (8 * i));
+    }
+    ++programs_done_;
+  } else if (pending_ == PendingOp::Erase) {
+    const std::uint32_t page = addr_ / spec_.nvm_page_size;
+    const std::uint32_t start = page * spec_.nvm_page_size;
+    for (std::uint32_t i = 0; i < spec_.nvm_page_size; ++i) {
+      array_[start + i] = 0xFF;
+    }
+    ++erases_done_;
+  }
+  pending_ = PendingOp::None;
+  irqs_.raise(spec_.irq_nvm);
+}
+
+void NvmController::tick(std::uint64_t cycles) {
+  if (busy_cycles_ == 0) return;
+  if (cycles >= busy_cycles_) {
+    busy_cycles_ = 0;
+    complete();
+  } else {
+    busy_cycles_ -= cycles;
+  }
+}
+
+}  // namespace advm::soc

@@ -1,0 +1,55 @@
+#include "soc/page_module.h"
+
+namespace advm::soc {
+
+PageModule::PageModule(FieldGeometry field, std::uint32_t page_count)
+    : field_(field), storage_(page_count, 0) {}
+
+bool PageModule::read_reg(std::uint32_t reg, std::uint32_t& value) {
+  switch (reg) {
+    case kCtrlOffset:
+      value = ctrl_;
+      return true;
+    case kStatusOffset:
+      value = kStatusReady | (page_error_ ? kStatusPageError : 0) |
+              ((selected_ & 0xFFu) << 8);
+      return true;
+    case kCountOffset:
+      value = static_cast<std::uint32_t>(storage_.size());
+      return true;
+    case kDataOffset:
+      value = storage_[selected_];
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool PageModule::write_reg(std::uint32_t reg, std::uint32_t value) {
+  switch (reg) {
+    case kCtrlOffset: {
+      ctrl_ = value;
+      const std::uint32_t mask =
+          field_.width >= 32 ? 0xFFFF'FFFFu : ((1u << field_.width) - 1u);
+      const std::uint32_t page = (value >> field_.pos) & mask;
+      if (page < storage_.size()) {
+        selected_ = page;
+      } else {
+        page_error_ = true;  // selection rejected, page unchanged
+      }
+      return true;
+    }
+    case kStatusOffset:
+      if (value & kStatusPageError) page_error_ = false;  // write-1-clear
+      return true;
+    case kCountOffset:
+      return true;  // read-only
+    case kDataOffset:
+      storage_[selected_] = value;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace advm::soc

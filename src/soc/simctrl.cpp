@@ -1,0 +1,61 @@
+#include "soc/simctrl.h"
+
+namespace advm::soc {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::None:
+      return "no-verdict";
+    case Verdict::Pass:
+      return "PASS";
+    case Verdict::Fail:
+      return "FAIL";
+  }
+  return "?";
+}
+
+bool SimControl::read_reg(std::uint32_t reg, std::uint32_t& value) {
+  switch (reg) {
+    case kResultOffset:
+      value = verdict_ == Verdict::Pass   ? kPassMagic
+              : verdict_ == Verdict::Fail ? kFailMagic
+                                          : 0;
+      return true;
+    case kConsoleOffset:
+      value = 0;
+      return true;
+    case kPlatformOffset:
+      value = platform_id_;
+      return true;
+    case kScratchOffset:
+      value = scratch_;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SimControl::write_reg(std::uint32_t reg, std::uint32_t value) {
+  switch (reg) {
+    case kResultOffset:
+      // First verdict wins: a test that reports FAIL then falls into pass
+      // epilogue code must stay failed.
+      if (verdict_ == Verdict::None) {
+        if (value == kPassMagic) verdict_ = Verdict::Pass;
+        if (value == kFailMagic) verdict_ = Verdict::Fail;
+      }
+      return true;
+    case kConsoleOffset:
+      console_.push_back(static_cast<char>(value & 0xFF));
+      return true;
+    case kPlatformOffset:
+      return true;  // read-only: write ignored
+    case kScratchOffset:
+      scratch_ = value;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace advm::soc

@@ -1,0 +1,58 @@
+#include "soc/timer.h"
+
+namespace advm::soc {
+
+void Timer::tick(std::uint64_t cycles) {
+  if (!(ctrl_ & kCtrlEnable)) return;
+  residue_ += cycles;
+  const std::uint64_t steps = residue_ / prescale_;
+  residue_ %= prescale_;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    ++count_;
+    if (count_ == compare_) {
+      matched_ = true;
+      if (ctrl_ & kCtrlIrqEnable) irqs_.raise(irq_line_);
+      if (ctrl_ & kCtrlAutoClear) count_ = 0;
+    }
+  }
+}
+
+bool Timer::read_reg(std::uint32_t reg, std::uint32_t& value) {
+  switch (reg) {
+    case kCountOffset:
+      value = count_;
+      return true;
+    case kCompareOffset:
+      value = compare_;
+      return true;
+    case kCtrlOffset:
+      value = ctrl_;
+      return true;
+    case kStatusOffset:
+      value = matched_ ? 1u : 0u;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Timer::write_reg(std::uint32_t reg, std::uint32_t value) {
+  switch (reg) {
+    case kCountOffset:
+      count_ = value;
+      return true;
+    case kCompareOffset:
+      compare_ = value;
+      return true;
+    case kCtrlOffset:
+      ctrl_ = value;
+      return true;
+    case kStatusOffset:
+      if (value & 1u) matched_ = false;  // write-1-clear
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace advm::soc

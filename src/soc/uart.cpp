@@ -1,0 +1,82 @@
+#include "soc/uart.h"
+
+namespace advm::soc {
+
+Uart::Uart(int version, IrqLines& irqs, std::uint8_t irq_line)
+    : version_(version), irqs_(irqs), irq_line_(irq_line) {}
+
+std::uint32_t Uart::status_word() const {
+  const bool tx_ready = tx_busy_ == 0;
+  const bool rx_avail = !rx_fifo_.empty();
+  if (version_ == 1) {
+    return (tx_ready ? 1u : 0u) | (rx_avail ? 2u : 0u);
+  }
+  // v2: FIFO level in [3:0], flags moved up.
+  const auto level =
+      static_cast<std::uint32_t>(std::min<std::size_t>(rx_fifo_.size(), 15));
+  return level | (tx_ready ? (1u << 4) : 0u) | (rx_avail ? (1u << 5) : 0u);
+}
+
+bool Uart::read_reg(std::uint32_t reg, std::uint32_t& value) {
+  switch (reg) {
+    case kDataOffset:
+      if (rx_fifo_.empty()) {
+        value = 0;
+      } else {
+        value = rx_fifo_.front();
+        rx_fifo_.pop_front();
+      }
+      return true;
+    case kStatusOffset:
+      value = status_word();
+      return true;
+    case kCtrlOffset:
+      value = ctrl_;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Uart::write_reg(std::uint32_t reg, std::uint32_t value) {
+  switch (reg) {
+    case kDataOffset: {
+      const auto byte = static_cast<std::uint8_t>(value & 0xFF);
+      tx_log_.push_back(static_cast<char>(byte));
+      // Transmission time scales with the configured divisor, so tests that
+      // never program CTRL still make progress (divisor 0 → 8 cycles).
+      const std::uint32_t divisor = ctrl_ & 0xFFFF;
+      tx_busy_ = 8 + 8ull * divisor;
+      if (ctrl_ & kCtrlLoopback) {
+        rx_fifo_.push_back(byte);
+        maybe_raise_irq();
+      }
+      return true;
+    }
+    case kStatusOffset:
+      return true;  // status is read-only; writes ignored
+    case kCtrlOffset:
+      ctrl_ = value;
+      maybe_raise_irq();
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Uart::tick(std::uint64_t cycles) {
+  tx_busy_ = tx_busy_ > cycles ? tx_busy_ - cycles : 0;
+}
+
+void Uart::inject_rx(std::string_view bytes) {
+  for (char c : bytes) rx_fifo_.push_back(static_cast<std::uint8_t>(c));
+  maybe_raise_irq();
+}
+
+void Uart::maybe_raise_irq() {
+  if ((ctrl_ & kCtrlRxIrqEnable) && !rx_fifo_.empty()) {
+    irqs_.raise(irq_line_);
+  }
+}
+
+}  // namespace advm::soc

@@ -1,0 +1,88 @@
+#include "support/diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace advm::support {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+    case Severity::Fatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out;
+  if (loc.valid()) {
+    out += loc.to_string();
+    out += ": ";
+  }
+  out += advm::support::to_string(severity);
+  out += " [";
+  out += code;
+  out += "]: ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::report(Severity sev, std::string code,
+                              std::string message, SourceLoc loc) {
+  if (sev == Severity::Error || sev == Severity::Fatal) ++error_count_;
+  if (sev == Severity::Warning) ++warning_count_;
+  diags_.push_back(
+      Diagnostic{sev, std::move(code), std::move(message), std::move(loc)});
+}
+
+void DiagnosticEngine::note(std::string code, std::string message,
+                            SourceLoc loc) {
+  report(Severity::Note, std::move(code), std::move(message), std::move(loc));
+}
+
+void DiagnosticEngine::warning(std::string code, std::string message,
+                               SourceLoc loc) {
+  report(Severity::Warning, std::move(code), std::move(message),
+         std::move(loc));
+}
+
+void DiagnosticEngine::error(std::string code, std::string message,
+                             SourceLoc loc) {
+  report(Severity::Error, std::move(code), std::move(message), std::move(loc));
+}
+
+bool DiagnosticEngine::has_code(std::string_view code) const {
+  return count_code(code) > 0;
+}
+
+std::size_t DiagnosticEngine::count_code(std::string_view code) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+  warning_count_ = 0;
+}
+
+void DiagnosticEngine::print(std::ostream& os) const {
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace advm::support

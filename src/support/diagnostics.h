@@ -1,0 +1,70 @@
+// Diagnostic engine shared by the assembler, linker, simulator and the ADVM
+// environment checkers.
+//
+// Collects errors/warnings/notes with source locations instead of printing
+// eagerly, so that tools (and tests) can assert on exactly which diagnostics
+// a given input produced.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace advm::support {
+
+enum class Severity { Note, Warning, Error, Fatal };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// One reported problem. `code` is a stable machine-readable identifier
+/// (e.g. "asm.undefined-symbol", "advm.hardwired-literal") used by tests and
+/// by the violation reports of experiment E1.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;
+  std::string message;
+  SourceLoc loc;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Accumulates diagnostics for one tool run.
+///
+/// Not thread-safe by design: each assembly/link/check job owns its engine
+/// (jobs themselves may run on different threads).
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, std::string code, std::string message,
+              SourceLoc loc = {});
+
+  void note(std::string code, std::string message, SourceLoc loc = {});
+  void warning(std::string code, std::string message, SourceLoc loc = {});
+  void error(std::string code, std::string message, SourceLoc loc = {});
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return warning_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// True if any diagnostic carries the given stable code.
+  [[nodiscard]] bool has_code(std::string_view code) const;
+
+  /// Number of diagnostics carrying the given stable code.
+  [[nodiscard]] std::size_t count_code(std::string_view code) const;
+
+  void clear();
+
+  /// Renders every diagnostic, one per line, compiler style.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+}  // namespace advm::support

@@ -1,0 +1,45 @@
+#include "support/diff.h"
+
+#include <vector>
+
+#include "support/hash.h"
+#include "support/text.h"
+
+namespace advm::support {
+
+LineDiff diff_lines(std::string_view before, std::string_view after) {
+  // Hash lines first so the LCS table compares integers.
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  for (std::string_view line : split_lines(before)) {
+    a.push_back(hash_bytes(line));
+  }
+  for (std::string_view line : split_lines(after)) {
+    b.push_back(hash_bytes(line));
+  }
+
+  // Classic O(n*m) LCS length table; environment files are small (hundreds
+  // of lines), so quadratic cost is irrelevant here.
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::size_t> prev(m + 1, 0);
+  std::vector<std::size_t> cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = cur[j - 1] > prev[j] ? cur[j - 1] : prev[j];
+      }
+    }
+    std::swap(prev, cur);
+  }
+  const std::size_t lcs = prev[m];
+
+  LineDiff d;
+  d.removed = n - lcs;
+  d.added = m - lcs;
+  return d;
+}
+
+}  // namespace advm::support

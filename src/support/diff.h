@@ -1,0 +1,34 @@
+// Line-oriented diff for edit-cost accounting.
+//
+// The ADVM's central quantitative claim is about *re-factoring surface*: how
+// many files and lines must change when the specification, derivative or
+// global layer moves. We measure that mechanically with an LCS-based line
+// diff between old and new file contents (experiments E2, E3, E6).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace advm::support {
+
+struct LineDiff {
+  std::size_t added = 0;
+  std::size_t removed = 0;
+
+  /// Total edit surface: lines touched either way.
+  [[nodiscard]] std::size_t total() const { return added + removed; }
+  [[nodiscard]] bool empty() const { return total() == 0; }
+
+  LineDiff& operator+=(const LineDiff& other) {
+    added += other.added;
+    removed += other.removed;
+    return *this;
+  }
+};
+
+/// LCS-based line diff: `added` lines only in `after`, `removed` lines only
+/// in `before`. A modified line counts once in each.
+[[nodiscard]] LineDiff diff_lines(std::string_view before,
+                                  std::string_view after);
+
+}  // namespace advm::support

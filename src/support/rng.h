@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for constrained-random
+// Globals.inc generation (paper §2, "future": generating constrained-random
+// instances of the Global Defines file).
+//
+// SplitMix64: tiny, fast, well-distributed, and — crucially for regression
+// reproducibility (paper §3) — identical across platforms and standard
+// library implementations, unlike std::mt19937 + distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace advm::support {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return lo + v % span;
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return range(1, den) <= num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace advm::support

@@ -1,0 +1,33 @@
+// Source locations for assembler diagnostics.
+//
+// Every token, directive and diagnostic in the ADVM toolchain carries a
+// SourceLoc so that errors in generated test environments can be traced back
+// to the exact file and line of the offending assembler source — essential
+// when the abstraction layer expands includes and macros (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace advm::support {
+
+/// A position inside a named source buffer (1-based line/column).
+/// `file` is an interned name owned by whoever created the buffer (VFS path
+/// or synthetic name such as "<generated:Globals.inc>").
+struct SourceLoc {
+  std::string file;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+
+  /// "file:line:col" — the conventional compiler-style rendering.
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return "<unknown>";
+    return file + ":" + std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace advm::support

@@ -1,0 +1,53 @@
+// Small string utilities used across the toolchain.
+//
+// Kept deliberately minimal: only helpers that the assembler front-end and
+// the environment generators need repeatedly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace advm::support {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// Splits into lines, accepting both "\n" and "\r\n" terminators.
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view s);
+
+[[nodiscard]] std::string to_upper(std::string_view s);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+[[nodiscard]] bool starts_with_nocase(std::string_view s,
+                                      std::string_view prefix);
+[[nodiscard]] bool equals_nocase(std::string_view a, std::string_view b);
+
+/// Parses an integer literal in assembler syntax: decimal, 0x... hex,
+/// 0b... binary, or 'c' character. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::int64_t> parse_integer(std::string_view s);
+
+/// True for [A-Za-z_.$], the characters that may start an assembler symbol.
+[[nodiscard]] bool is_symbol_start(char c);
+/// True for characters that may continue an assembler symbol.
+[[nodiscard]] bool is_symbol_char(char c);
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s,
+                                      std::string_view from,
+                                      std::string_view to);
+
+/// Counts the lines in a text buffer (final unterminated line counts).
+[[nodiscard]] std::size_t count_lines(std::string_view s);
+
+/// Joins items with the given separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+}  // namespace advm::support

@@ -1,0 +1,402 @@
+// Unit tests for the ADVM core: globals generation, base-functions library,
+// corpus generation, environment building, violation checking, diff
+// accounting and constrained-random generation.
+#include <gtest/gtest.h>
+
+#include "advm/base_functions.h"
+#include "advm/corpus.h"
+#include "advm/environment.h"
+#include "advm/globals_gen.h"
+#include "advm/random_globals.h"
+#include "advm/violations.h"
+#include "soc/derivative.h"
+#include "support/diff.h"
+#include "support/text.h"
+#include "support/vfs.h"
+
+namespace {
+
+using namespace advm::core;
+using advm::soc::derivative_a;
+using advm::soc::derivative_b;
+using advm::soc::derivative_c;
+using advm::soc::derivative_d;
+using advm::support::VirtualFileSystem;
+
+// ------------------------------------------------------------------ diff ---
+
+TEST(Diff, IdenticalTextIsEmptyDiff) {
+  EXPECT_TRUE(advm::support::diff_lines("a\nb\nc\n", "a\nb\nc\n").empty());
+}
+
+TEST(Diff, SingleLineChangeCountsOnceEachWay) {
+  auto d = advm::support::diff_lines("a\nb\nc\n", "a\nX\nc\n");
+  EXPECT_EQ(d.added, 1u);
+  EXPECT_EQ(d.removed, 1u);
+}
+
+TEST(Diff, InsertionOnlyAdds) {
+  auto d = advm::support::diff_lines("a\nc\n", "a\nb\nc\n");
+  EXPECT_EQ(d.added, 1u);
+  EXPECT_EQ(d.removed, 0u);
+}
+
+TEST(Diff, DisjointTextCountsEverything) {
+  auto d = advm::support::diff_lines("a\nb\n", "x\ny\nz\n");
+  EXPECT_EQ(d.removed, 2u);
+  EXPECT_EQ(d.added, 3u);
+}
+
+// ----------------------------------------------------------- globals gen ---
+
+TEST(GlobalsGen, ContainsPaperFig6Names) {
+  std::string g = generate_globals(derivative_a());
+  EXPECT_NE(g.find("PAGE_FIELD_START_POSITION .EQU 0"), std::string::npos);
+  EXPECT_NE(g.find("PAGE_FIELD_SIZE .EQU 5"), std::string::npos);
+  EXPECT_NE(g.find("TEST1_TARGET_PAGE .EQU 8"), std::string::npos);
+  EXPECT_NE(g.find("TEST2_TARGET_PAGE .EQU 7"), std::string::npos);
+}
+
+TEST(GlobalsGen, RemapsRegistersPerNamingStyle) {
+  std::string a = generate_globals(derivative_a());
+  EXPECT_NE(a.find("PAGE_CTRL_REG .EQU PMCTRL"), std::string::npos);
+  std::string d = generate_globals(derivative_d());
+  EXPECT_NE(d.find("PAGE_CTRL_REG .EQU PM_CONTROL"), std::string::npos);
+  // The abstraction name is stable; only the re-map target moved.
+  EXPECT_NE(d.find("PAGE_CTRL_REG"), std::string::npos);
+}
+
+TEST(GlobalsGen, FieldGeometryFollowsDerivative) {
+  std::string b = generate_globals(derivative_b());
+  EXPECT_NE(b.find("PAGE_FIELD_START_POSITION .EQU 1"), std::string::npos);
+  std::string c = generate_globals(derivative_c());
+  EXPECT_NE(c.find("PAGE_FIELD_SIZE .EQU 6"), std::string::npos);
+}
+
+TEST(GlobalsGen, UartBitsMoveWithVersion) {
+  std::string a = generate_globals(derivative_a());
+  EXPECT_NE(a.find("UART_TX_READY_BIT .EQU 0"), std::string::npos);
+  std::string c = generate_globals(derivative_c());
+  EXPECT_NE(c.find("UART_TX_READY_BIT .EQU 4"), std::string::npos);
+}
+
+TEST(GlobalsGen, OverridesWin) {
+  GlobalsOptions options;
+  options.overrides[GlobalDefineNames::kTest1TargetPage] = 13;
+  std::string g = generate_globals(derivative_a(), options);
+  EXPECT_NE(g.find("TEST1_TARGET_PAGE .EQU 13"), std::string::npos);
+  EXPECT_EQ(g.find("TEST1_TARGET_PAGE .EQU 8"), std::string::npos);
+}
+
+TEST(GlobalsGen, PlatformStampOnlyWhenRequested) {
+  EXPECT_EQ(generate_globals(derivative_a()).find("PLATFORM_ID"),
+            std::string::npos);
+  GlobalsOptions options;
+  options.platform = advm::sim::PlatformKind::RtlSim;
+  EXPECT_NE(generate_globals(derivative_a(), options).find("PLATFORM_ID"),
+            std::string::npos);
+}
+
+TEST(GlobalsGen, CallingConventionDefinesMatchPaper) {
+  std::string g = generate_globals(derivative_a());
+  EXPECT_NE(g.find(".DEFINE CallAddr A12"), std::string::npos);
+}
+
+// --------------------------------------------------------- base functions ---
+
+TEST(BaseFunctions, FullLibraryContainsEveryName) {
+  std::string lib = generate_base_functions();
+  for (const std::string& name : all_base_function_names()) {
+    EXPECT_NE(lib.find(name + ":"), std::string::npos) << name;
+  }
+}
+
+TEST(BaseFunctions, SubsetGeneratesOnlyRequested) {
+  BaseFunctionsOptions options;
+  options.subset = {"Base_Report_Pass", "Base_Select_Page"};
+  std::string lib = generate_base_functions(options);
+  EXPECT_NE(lib.find("Base_Report_Pass:"), std::string::npos);
+  EXPECT_NE(lib.find("Base_Select_Page:"), std::string::npos);
+  EXPECT_EQ(lib.find("Base_Nvm_Program:"), std::string::npos);
+}
+
+TEST(BaseFunctions, EsAdaptationLevels) {
+  BaseFunctionsOptions v1only;
+  v1only.max_es_version = 1;
+  std::string lib1 = generate_base_functions(v1only);
+  EXPECT_EQ(lib1.find("ES_VERSION >= 2"), std::string::npos);
+  EXPECT_NE(lib1.find("ES_Init_Register"), std::string::npos);
+
+  BaseFunctionsOptions v2;
+  v2.max_es_version = 2;
+  std::string lib2 = generate_base_functions(v2);
+  EXPECT_NE(lib2.find(".IF ES_VERSION >= 2"), std::string::npos);
+  EXPECT_EQ(lib2.find("ES_InitReg"), std::string::npos);
+
+  std::string lib3 = generate_base_functions();  // v3 default
+  EXPECT_NE(lib3.find("ES_InitReg"), std::string::npos);
+}
+
+TEST(BaseFunctions, LibraryGrowsWithEsSupport) {
+  BaseFunctionsOptions v1only;
+  v1only.max_es_version = 1;
+  // The Fig 7 repair strictly adds adaptation code.
+  EXPECT_GT(generate_base_functions().size(),
+            generate_base_functions(v1only).size());
+}
+
+TEST(BaseFunctions, TrapLibraryUsesDerivativeNames) {
+  std::string a = generate_trap_library(derivative_a());
+  EXPECT_NE(a.find("SIMRES"), std::string::npos);
+  std::string d = generate_trap_library(derivative_d());
+  EXPECT_NE(d.find("SIM_RESULT"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- corpus ---
+
+TEST(Corpus, BuildCorpusCyclesClassesWithStableIds) {
+  auto tests = build_corpus(ModuleKind::Register, 12);
+  ASSERT_EQ(tests.size(), 12u);
+  EXPECT_EQ(tests[0].id, "TEST_REGISTER_000");
+  EXPECT_EQ(tests[11].id, "TEST_REGISTER_011");
+  EXPECT_EQ(tests[0].cls, TestClass::PageSelect);
+  EXPECT_EQ(tests[5].cls, TestClass::PageSelect);  // wrapped around
+  EXPECT_EQ(tests[5].variant, 1);                  // second lap
+}
+
+TEST(Corpus, AdvmSourceUsesAbstractionOnly) {
+  TestSpec t = build_corpus(ModuleKind::Register, 1)[0];
+  std::string src = advm_test_source(t);
+  EXPECT_NE(src.find(".INCLUDE Globals.inc"), std::string::npos);
+  EXPECT_NE(src.find("PAGE_FIELD_START_POSITION"), std::string::npos);
+  EXPECT_EQ(src.find("register_defs.inc"), std::string::npos);
+  EXPECT_EQ(src.find("0x600D600D"), std::string::npos);  // no magic verdicts
+}
+
+TEST(Corpus, BaselineSourceIsHardwired) {
+  TestSpec t = build_corpus(ModuleKind::Register, 1)[0];
+  std::string src = baseline_test_source(t, derivative_a());
+  EXPECT_NE(src.find(".INCLUDE register_defs.inc"), std::string::npos);
+  EXPECT_NE(src.find("0x600D600D"), std::string::npos);
+  EXPECT_NE(src.find("INSERT d14, d14, 8, 0, 5"), std::string::npos);
+}
+
+TEST(Corpus, BaselineDiffersAcrossDerivatives) {
+  TestSpec t = build_corpus(ModuleKind::Register, 1)[0];
+  EXPECT_NE(baseline_test_source(t, derivative_a()),
+            baseline_test_source(t, derivative_b()));
+  // The ADVM rendering is one text for all derivatives.
+  EXPECT_EQ(advm_test_source(t), advm_test_source(t));
+}
+
+TEST(Corpus, EveryModuleProducesEveryClass) {
+  for (auto module : {ModuleKind::Register, ModuleKind::Uart, ModuleKind::Nvm,
+                      ModuleKind::Timer}) {
+    auto tests = build_corpus(module, 6);
+    for (const auto& t : tests) {
+      EXPECT_FALSE(advm_test_source(t).empty());
+      EXPECT_FALSE(baseline_test_source(t, derivative_a()).empty());
+    }
+  }
+}
+
+// ------------------------------------------------------------ environment ---
+
+class EnvTest : public ::testing::Test {
+ protected:
+  SystemConfig small_config() {
+    SystemConfig config;
+    config.environments = {
+        {"PAGE_MODULE", ModuleKind::Register, 3, true},
+        {"UART_MODULE", ModuleKind::Uart, 2, true},
+    };
+    return config;
+  }
+  VirtualFileSystem vfs_;
+};
+
+TEST_F(EnvTest, BuildsPaperFig5Tree) {
+  auto layout = build_system(vfs_, small_config(), derivative_a());
+  // Global libraries (Fig 5, white boxes).
+  EXPECT_TRUE(vfs_.exists(layout.global_dir + "/register_defs.inc"));
+  EXPECT_TRUE(vfs_.exists(layout.global_dir + "/Embedded_Software.asm"));
+  EXPECT_TRUE(vfs_.exists(layout.global_dir + "/trap_handlers.asm"));
+  // Module environment (Fig 3): abstraction layer + testplan + cells.
+  EXPECT_TRUE(vfs_.exists(
+      layout.root + "/PAGE_MODULE/Abstraction_Layer/Globals.inc"));
+  EXPECT_TRUE(vfs_.exists(
+      layout.root + "/PAGE_MODULE/Abstraction_Layer/base_functions.asm"));
+  EXPECT_TRUE(vfs_.exists(layout.root + "/PAGE_MODULE/TESTPLAN.TXT"));
+  EXPECT_TRUE(
+      vfs_.exists(layout.root + "/PAGE_MODULE/TEST_REGISTER_000/test.asm"));
+  EXPECT_TRUE(
+      vfs_.exists(layout.root + "/UART_MODULE/TEST_UART_001/test.asm"));
+}
+
+TEST_F(EnvTest, TestplanIsGrepablePlainText) {
+  auto layout = build_system(vfs_, small_config(), derivative_a());
+  std::string plan =
+      vfs_.read_required(layout.root + "/PAGE_MODULE/TESTPLAN.TXT");
+  EXPECT_NE(plan.find("TEST_REGISTER_000"), std::string::npos);
+  EXPECT_NE(plan.find("page-select"), std::string::npos);
+}
+
+TEST_F(EnvTest, BaselineEnvironmentHasNoAbstractionLayer) {
+  SystemConfig config;
+  config.environments = {{"PAGE_DIRECT", ModuleKind::Register, 2, false}};
+  auto layout = build_system(vfs_, config, derivative_a());
+  EXPECT_FALSE(
+      vfs_.dir_exists(layout.root + "/PAGE_DIRECT/Abstraction_Layer"));
+  EXPECT_TRUE(
+      vfs_.exists(layout.root + "/PAGE_DIRECT/TEST_REGISTER_000/test.asm"));
+}
+
+TEST_F(EnvTest, RegenerateAbstractionLayerTouchesOnlyAbstraction) {
+  auto layout = build_system(vfs_, small_config(), derivative_a());
+  const auto& env = layout.environments[0];
+  std::string test_before =
+      vfs_.read_required(layout.root + "/PAGE_MODULE/TEST_REGISTER_000/test.asm");
+  regenerate_abstraction_layer(vfs_, env, derivative_b(), {}, {});
+  std::string globals =
+      vfs_.read_required(env.abstraction_dir + "/Globals.inc");
+  EXPECT_NE(globals.find("SC88-B"), std::string::npos);
+  EXPECT_EQ(test_before,
+            vfs_.read_required(layout.root +
+                               "/PAGE_MODULE/TEST_REGISTER_000/test.asm"));
+}
+
+// -------------------------------------------------------------- violations ---
+
+class ViolationTest : public ::testing::Test {
+ protected:
+  SystemLayout build(bool advm_style) {
+    SystemConfig config;
+    config.environments = {
+        {"PAGE_MODULE", ModuleKind::Register, 5, advm_style},
+        {"NVM_MODULE", ModuleKind::Nvm, 3, advm_style},
+    };
+    return build_system(vfs_, config, derivative_a());
+  }
+  VirtualFileSystem vfs_;
+};
+
+TEST_F(ViolationTest, AdvmEnvironmentIsClean) {
+  auto layout = build(true);
+  ViolationChecker checker(vfs_);
+  auto report = checker.check_system(layout.root, derivative_a());
+  EXPECT_TRUE(report.clean()) << [&] {
+    std::string all;
+    for (const auto& v : report.violations) {
+      all += v.code + " @ " + v.file + ": " + v.detail + "\n";
+    }
+    return all;
+  }();
+}
+
+TEST_F(ViolationTest, BaselineEnvironmentIsFlaggedPerCategory) {
+  auto layout = build(false);
+  ViolationChecker checker(vfs_);
+  auto report = checker.check_system(layout.root, derivative_a());
+  EXPECT_FALSE(report.clean());
+  EXPECT_GT(report.count("advm.global-include"), 0u);
+  EXPECT_GT(report.count("advm.hardwired-magic"), 0u);
+  EXPECT_GT(report.count("advm.hardwired-field"), 0u);
+  EXPECT_GT(report.count("advm.global-call"), 0u);
+}
+
+TEST_F(ViolationTest, DerivativeSpecificEnvironmentNameFlagged) {
+  SystemConfig config;
+  config.environments = {{"SC88A_PAGE", ModuleKind::Register, 1, true}};
+  auto layout = build_system(vfs_, config, derivative_a());
+  ViolationChecker checker(vfs_);
+  auto report = checker.check_system(layout.root, derivative_a());
+  EXPECT_GT(report.count("advm.derivative-name"), 0u);
+}
+
+TEST_F(ViolationTest, HandEditedBypassIsCaught) {
+  // A developer under time pressure hardwires a magic number into an ADVM
+  // test (the Fig 2 story).
+  auto layout = build(true);
+  const std::string path =
+      layout.root + "/PAGE_MODULE/TEST_REGISTER_000/test.asm";
+  std::string src = vfs_.read_required(path);
+  src += "\n LOAD d9, [0xE0000000]   ; naughty direct register poke\n";
+  vfs_.write(path, src);
+  ViolationChecker checker(vfs_);
+  auto report = checker.check_system(layout.root, derivative_a());
+  EXPECT_GT(report.count("advm.hardwired-magic"), 0u);
+}
+
+TEST_F(ViolationTest, UnbuildableCellReported) {
+  auto layout = build(true);
+  vfs_.write(layout.root + "/PAGE_MODULE/TEST_REGISTER_001/test.asm",
+             "_main: FROBNICATE\n");
+  ViolationChecker checker(vfs_);
+  auto report = checker.check_system(layout.root, derivative_a());
+  EXPECT_GT(report.count("advm.unbuildable"), 0u);
+}
+
+// ---------------------------------------------------------- random globals ---
+
+TEST(RandomGlobals, AllSeedsSatisfyConstraints) {
+  auto constraints = default_constraints(derivative_a());
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    auto values = randomize_defines(constraints, seed);
+    EXPECT_TRUE(satisfies(values, constraints)) << "seed " << seed;
+  }
+}
+
+TEST(RandomGlobals, DeterministicPerSeed) {
+  auto constraints = default_constraints(derivative_a());
+  EXPECT_EQ(randomize_defines(constraints, 42),
+            randomize_defines(constraints, 42));
+  EXPECT_NE(randomize_defines(constraints, 42),
+            randomize_defines(constraints, 43));
+}
+
+TEST(RandomGlobals, TargetPagesNeverCollide) {
+  auto constraints = default_constraints(derivative_a());
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    auto values = randomize_defines(constraints, seed);
+    EXPECT_NE(values.at(GlobalDefineNames::kTest1TargetPage),
+              values.at(GlobalDefineNames::kTest2TargetPage))
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomGlobals, NvmOffsetsAreAligned) {
+  auto constraints = default_constraints(derivative_a());
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    auto values = randomize_defines(constraints, seed);
+    EXPECT_EQ(values.at("NVM_TEST_OFFSET") % 4, 0);
+  }
+}
+
+TEST(RandomGlobals, CoverageClosesOverPageSpace) {
+  auto constraints = default_constraints(derivative_a());
+  PageCoverage coverage(derivative_a().page_count);
+  std::uint64_t seed = 0;
+  while (!coverage.full() && seed < 2000) {
+    coverage.record(randomize_defines(constraints, ++seed));
+  }
+  EXPECT_TRUE(coverage.full())
+      << "only " << coverage.pages_hit() << "/"
+      << derivative_a().page_count << " pages hit after " << seed
+      << " seeds";
+  // Closure should take far fewer seeds than the brute-force bound.
+  EXPECT_LT(seed, 500u);
+}
+
+TEST(RandomGlobals, GeneratedGlobalsCarryRandomValues) {
+  auto constraints = default_constraints(derivative_a());
+  auto values = randomize_defines(constraints, 7);
+  GlobalsOptions options;
+  options.overrides = values;
+  std::string g = generate_globals(derivative_a(), options);
+  EXPECT_NE(
+      g.find("TEST1_TARGET_PAGE .EQU " +
+             std::to_string(values.at(GlobalDefineNames::kTest1TargetPage))),
+      std::string::npos);
+}
+
+}  // namespace

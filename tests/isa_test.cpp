@@ -1,0 +1,337 @@
+// Unit and property tests for the SC88 ISA: register parsing, opcode table
+// integrity, encode/decode round-trips, and the disassembler.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/instruction.h"
+#include "isa/opcodes.h"
+#include "isa/registers.h"
+
+namespace {
+
+using namespace advm::isa;
+
+// ----------------------------------------------------------- registers ----
+
+TEST(Registers, ParseDataAndAddress) {
+  auto d0 = parse_register("d0");
+  ASSERT_TRUE(d0.has_value());
+  EXPECT_TRUE(d0->is_data());
+  EXPECT_EQ(d0->index, 0);
+
+  auto a12 = parse_register("A12");  // paper Fig 7 spells it upper-case
+  ASSERT_TRUE(a12.has_value());
+  EXPECT_TRUE(a12->is_address());
+  EXPECT_EQ(a12->index, 12);
+}
+
+TEST(Registers, ParseRejectsOutOfRangeAndGarbage) {
+  EXPECT_FALSE(parse_register("d16").has_value());
+  EXPECT_FALSE(parse_register("a99").has_value());
+  EXPECT_FALSE(parse_register("x3").has_value());
+  EXPECT_FALSE(parse_register("d").has_value());
+  EXPECT_FALSE(parse_register("d1x").has_value());
+  EXPECT_FALSE(parse_register("").has_value());
+}
+
+TEST(Registers, EncodeDecodeRoundTrip) {
+  for (int kind = 0; kind < 2; ++kind) {
+    for (std::uint8_t i = 0; i < 16; ++i) {
+      RegSpec r = kind == 0 ? RegSpec::data(i) : RegSpec::address(i);
+      auto back = RegSpec::decode(r.encode());
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, r);
+    }
+  }
+  EXPECT_FALSE(RegSpec::decode(kNoRegister).has_value());
+  EXPECT_FALSE(RegSpec::decode(0x20).has_value());
+}
+
+TEST(Registers, SpellingMatchesAssemblerSyntax) {
+  EXPECT_EQ(RegSpec::data(14).to_string(), "d14");
+  EXPECT_EQ(RegSpec::address(10).to_string(), "a10");
+  EXPECT_EQ(RegSpec::sp(), RegSpec::address(kStackPointerIndex));
+}
+
+TEST(Registers, CoreRegParsing) {
+  EXPECT_EQ(parse_core_reg("PSW"), CoreReg::Psw);
+  EXPECT_EQ(parse_core_reg("vtbase"), CoreReg::VtBase);
+  EXPECT_FALSE(parse_core_reg("NOPE").has_value());
+}
+
+// -------------------------------------------------------------- opcodes ----
+
+TEST(Opcodes, TableHasUniqueMnemonicsAndBytes) {
+  std::set<std::string> names;
+  std::set<std::uint8_t> bytes;
+  for (const auto& info : opcode_table()) {
+    EXPECT_TRUE(names.insert(info.mnemonic).second)
+        << "duplicate mnemonic " << info.mnemonic;
+    EXPECT_TRUE(bytes.insert(static_cast<std::uint8_t>(info.op)).second)
+        << "duplicate opcode byte for " << info.mnemonic;
+  }
+}
+
+TEST(Opcodes, LookupMnemonicIsCaseInsensitive) {
+  auto m = lookup_mnemonic("insert");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->op, Opcode::Insert);
+
+  auto j = lookup_mnemonic("JNZ");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->op, Opcode::Jmp);
+  EXPECT_EQ(j->cond, Cond::Nz);
+
+  EXPECT_FALSE(lookup_mnemonic("FROB").has_value());
+}
+
+TEST(Opcodes, RetIsAliasForReturn) {
+  auto r = lookup_mnemonic("RET");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->op, Opcode::Return);
+}
+
+TEST(Opcodes, PaperVisibleVocabularyIsPresent) {
+  // The exact mnemonics used by the paper's Figs 6 and 7 must exist.
+  for (const char* m : {"INSERT", "LOAD", "STORE", "CALL", "RETURN"}) {
+    EXPECT_TRUE(lookup_mnemonic(m).has_value()) << m;
+  }
+}
+
+TEST(Opcodes, DecodeRejectsUnassignedBytes) {
+  EXPECT_FALSE(decode_opcode(0xEE).has_value());
+  EXPECT_FALSE(decode_opcode(0x0F).has_value());
+  EXPECT_EQ(decode_opcode(0x30), Opcode::Insert);
+}
+
+// ------------------------------------------------- encode/decode property --
+
+/// Round-trips every opcode with a representative operand assignment.
+class EncodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+Instruction representative(Opcode op) {
+  Instruction i;
+  i.op = op;
+  const auto& info = opcode_info(op);
+  switch (info.pattern) {
+    case OperandPattern::None:
+      break;
+    case OperandPattern::RcSrc:
+      i.rc = RegSpec::data(3);
+      i.mode = AddrMode::Immediate;
+      i.imm = 0xDEADBEEF;
+      break;
+    case OperandPattern::MemRa:
+      i.ra = RegSpec::data(7);
+      i.mode = AddrMode::Absolute;
+      i.imm = 0xF000'0010;
+      break;
+    case OperandPattern::Ra:
+      i.ra = RegSpec::data(1);
+      break;
+    case OperandPattern::Rc:
+      i.rc = RegSpec::data(2);
+      break;
+    case OperandPattern::RcRaSrc:
+      i.rc = RegSpec::data(1);
+      i.ra = RegSpec::data(2);
+      i.mode = AddrMode::Register;
+      i.rb = RegSpec::data(3);
+      break;
+    case OperandPattern::RaSrc:
+      i.ra = RegSpec::data(4);
+      i.mode = AddrMode::Immediate;
+      i.imm = 55;
+      break;
+    case OperandPattern::RcRa:
+      i.rc = RegSpec::data(5);
+      i.ra = RegSpec::data(6);
+      break;
+    case OperandPattern::RcRaSrcPosW:
+      i.rc = RegSpec::data(14);
+      i.ra = RegSpec::data(14);
+      i.mode = AddrMode::Immediate;
+      i.imm = 8;
+      i.pos = 0;
+      i.width = 5;
+      break;
+    case OperandPattern::RcRaPosW:
+      i.rc = RegSpec::data(9);
+      i.ra = RegSpec::data(10);
+      i.pos = 4;
+      i.width = 12;
+      break;
+    case OperandPattern::Target:
+      // Immediate target: mode byte stays None/cond; rb absent.
+      i.imm = 0x1000;
+      break;
+    case OperandPattern::Imm8:
+      i.pos = 3;
+      break;
+    case OperandPattern::RcCr:
+      i.rc = RegSpec::data(0);
+      i.pos = static_cast<std::uint8_t>(CoreReg::Psw);
+      break;
+    case OperandPattern::CrRa:
+      i.ra = RegSpec::data(0);
+      i.pos = static_cast<std::uint8_t>(CoreReg::VtBase);
+      break;
+  }
+  return i;
+}
+
+TEST_P(EncodeRoundTrip, EncodeThenDecodeIsIdentity) {
+  Instruction original = representative(GetParam());
+  EncodeError err;
+  auto word = encode(original, &err);
+  ASSERT_TRUE(word.has_value()) << to_string(err);
+  auto back = decode(*word, &err);
+  ASSERT_TRUE(back.has_value()) << to_string(err);
+  EXPECT_EQ(*back, original);
+}
+
+std::vector<Opcode> all_opcodes() {
+  std::vector<Opcode> ops;
+  for (const auto& info : opcode_table()) ops.push_back(info.op);
+  return ops;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::ValuesIn(all_opcodes()),
+                         [](const ::testing::TestParamInfo<Opcode>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+/// Property sweep: INSERT field geometry across the full legal (pos, width)
+/// lattice round-trips; illegal combinations are rejected.
+class InsertGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InsertGeometry, LegalGeometryRoundTripsIllegalRejected) {
+  auto [pos, width] = GetParam();
+  Instruction i;
+  i.op = Opcode::Insert;
+  i.rc = RegSpec::data(14);
+  i.ra = RegSpec::data(14);
+  i.mode = AddrMode::Immediate;
+  i.imm = 1;
+  i.pos = static_cast<std::uint8_t>(pos);
+  i.width = static_cast<std::uint8_t>(width);
+
+  const bool legal = pos <= 31 && width >= 1 && width <= 32 &&
+                     pos + width <= 32;
+  EncodeError err;
+  auto word = encode(i, &err);
+  if (legal) {
+    ASSERT_TRUE(word.has_value());
+    auto back = decode(*word, &err);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->pos, pos);
+    EXPECT_EQ(back->width, width);
+  } else {
+    EXPECT_FALSE(word.has_value());
+    EXPECT_EQ(err, EncodeError::BadFieldGeometry);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PosWidthLattice, InsertGeometry,
+                         ::testing::Combine(::testing::Values(0, 1, 5, 27, 31,
+                                                              32),
+                                            ::testing::Values(0, 1, 5, 6, 32,
+                                                              33)));
+
+// --------------------------------------------------------- decode errors --
+
+TEST(Decode, RejectsIllegalOpcodeByte) {
+  EncodedInstr w{};
+  w[0] = 0xEE;
+  EncodeError err;
+  EXPECT_FALSE(decode(w, &err).has_value());
+  EXPECT_EQ(err, EncodeError::IllegalOpcode);
+}
+
+TEST(Decode, RejectsBadRegisterByte) {
+  EncodedInstr w{};
+  w[0] = static_cast<std::uint8_t>(Opcode::Mov);
+  w[1] = 0x7F;  // not a register, not kNoRegister
+  w[4] = static_cast<std::uint8_t>(AddrMode::Immediate);
+  EncodeError err;
+  EXPECT_FALSE(decode(w, &err).has_value());
+  EXPECT_EQ(err, EncodeError::BadRegisterByte);
+}
+
+TEST(Decode, RejectsNonZeroReservedByte) {
+  Instruction i;
+  i.op = Opcode::Nop;
+  auto w = encode(i);
+  ASSERT_TRUE(w.has_value());
+  (*w)[7] = 1;
+  EncodeError err;
+  EXPECT_FALSE(decode(*w, &err).has_value());
+  EXPECT_EQ(err, EncodeError::ReservedByteNonZero);
+}
+
+TEST(Decode, RejectsBadModeByte) {
+  EncodedInstr w{};
+  w[0] = static_cast<std::uint8_t>(Opcode::Load);
+  w[1] = RegSpec::data(0).encode();
+  w[2] = kNoRegister;
+  w[3] = kNoRegister;
+  w[4] = 99;
+  EncodeError err;
+  EXPECT_FALSE(decode(w, &err).has_value());
+  EXPECT_EQ(err, EncodeError::BadMode);
+}
+
+// ---------------------------------------------------------- disassembler --
+
+TEST(Disassemble, PaperFig6InsertForm) {
+  Instruction i;
+  i.op = Opcode::Insert;
+  i.rc = RegSpec::data(14);
+  i.ra = RegSpec::data(14);
+  i.mode = AddrMode::Immediate;
+  i.imm = 8;
+  i.pos = 0;
+  i.width = 5;
+  EXPECT_EQ(disassemble(i), "INSERT d14, d14, 0x8, 0, 5");
+}
+
+TEST(Disassemble, MemoryForms) {
+  Instruction st;
+  st.op = Opcode::Store;
+  st.ra = RegSpec::data(4);
+  st.mode = AddrMode::RegIndirect;
+  st.rb = RegSpec::address(4);
+  EXPECT_EQ(disassemble(st), "STORE [a4], d4");
+
+  Instruction ld;
+  ld.op = Opcode::Load;
+  ld.rc = RegSpec::address(12);
+  ld.mode = AddrMode::Immediate;
+  ld.imm = 0x2000;
+  EXPECT_EQ(disassemble(ld), "LOAD a12, 0x2000");
+}
+
+TEST(Disassemble, ConditionalBranchSpelling) {
+  Instruction j;
+  j.op = Opcode::Jmp;
+  j.cond = Cond::Nz;
+  j.mode = AddrMode::Immediate;
+  j.imm = 0x1234;
+  EXPECT_EQ(disassemble(j), "JNZ 0x1234");
+
+  j.cond = Cond::Always;
+  EXPECT_EQ(disassemble(j), "JMP 0x1234");
+}
+
+TEST(Disassemble, CallThroughAddressRegister) {
+  Instruction c;
+  c.op = Opcode::Call;
+  c.mode = AddrMode::Register;
+  c.rb = RegSpec::address(12);
+  EXPECT_EQ(disassemble(c), "CALL a12");
+}
+
+}  // namespace

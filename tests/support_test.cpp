@@ -1,0 +1,305 @@
+// Unit tests for the support layer: text utilities, VFS, hashing, RNG,
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/diagnostics.h"
+#include "support/disk.h"
+#include "support/hash.h"
+#include "support/rng.h"
+#include "support/text.h"
+#include "support/vfs.h"
+
+namespace {
+
+using namespace advm::support;
+
+// ---------------------------------------------------------------- text ----
+
+TEST(Text, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Text, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Text, SplitLinesHandlesCrLfAndFinalLine) {
+  auto lines = split_lines("one\r\ntwo\nthree");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(Text, SplitLinesEmptyInput) {
+  EXPECT_TRUE(split_lines("").empty());
+}
+
+TEST(Text, CaseHelpers) {
+  EXPECT_EQ(to_upper("MixedCase123"), "MIXEDCASE123");
+  EXPECT_EQ(to_lower("MixedCase123"), "mixedcase123");
+  EXPECT_TRUE(equals_nocase(".INCLUDE", ".include"));
+  EXPECT_FALSE(equals_nocase("abc", "abcd"));
+  EXPECT_TRUE(starts_with_nocase(".ENDM  ; comment", ".endm"));
+  EXPECT_FALSE(starts_with_nocase("x", "xyz"));
+}
+
+TEST(Text, ParseIntegerDecimalHexBinary) {
+  EXPECT_EQ(parse_integer("42"), 42);
+  EXPECT_EQ(parse_integer("0x2A"), 42);
+  EXPECT_EQ(parse_integer("0b101010"), 42);
+  EXPECT_EQ(parse_integer("-7"), -7);
+  EXPECT_EQ(parse_integer("1_000"), 1000);
+  EXPECT_EQ(parse_integer("'A'"), 65);
+}
+
+TEST(Text, ParseIntegerRejectsMalformed) {
+  EXPECT_FALSE(parse_integer("").has_value());
+  EXPECT_FALSE(parse_integer("0x").has_value());
+  EXPECT_FALSE(parse_integer("12ab").has_value());
+  EXPECT_FALSE(parse_integer("0b102").has_value());
+  EXPECT_FALSE(parse_integer("--3").has_value());
+}
+
+TEST(Text, ReplaceAll) {
+  EXPECT_EQ(replace_all("a@b@c", "@", "__1"), "a__1b__1c");
+  EXPECT_EQ(replace_all("none", "@", "x"), "none");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Text, CountLines) {
+  EXPECT_EQ(count_lines(""), 0u);
+  EXPECT_EQ(count_lines("one"), 1u);
+  EXPECT_EQ(count_lines("one\n"), 1u);
+  EXPECT_EQ(count_lines("one\ntwo"), 2u);
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+// ----------------------------------------------------------------- vfs ----
+
+TEST(Vfs, NormalizePath) {
+  EXPECT_EQ(normalize_path("a/b/c"), "/a/b/c");
+  EXPECT_EQ(normalize_path("/a//b/"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/./b"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/x/../b"), "/a/b");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path("../.."), "/");
+}
+
+TEST(Vfs, PathHelpers) {
+  EXPECT_EQ(parent_path("/a/b/c"), "/a/b");
+  EXPECT_EQ(parent_path("/a"), "/");
+  EXPECT_EQ(base_name("/a/b/c.inc"), "c.inc");
+  EXPECT_EQ(join_path("/a/b", "c.asm"), "/a/b/c.asm");
+  EXPECT_EQ(join_path("/a/b/", "/c"), "/a/b/c");
+}
+
+TEST(Vfs, WriteReadRoundTrip) {
+  VirtualFileSystem vfs;
+  vfs.write("/env/Globals.inc", "PAGE .EQU 8\n");
+  EXPECT_TRUE(vfs.exists("/env/Globals.inc"));
+  EXPECT_EQ(vfs.read("/env/Globals.inc"), "PAGE .EQU 8\n");
+  EXPECT_FALSE(vfs.read("/env/missing").has_value());
+  EXPECT_THROW((void)vfs.read_required("/env/missing"), std::out_of_range);
+}
+
+TEST(Vfs, ListTreeIsSortedAndScoped) {
+  VirtualFileSystem vfs;
+  vfs.write("/env/b.asm", "b");
+  vfs.write("/env/a.asm", "a");
+  vfs.write("/other/c.asm", "c");
+  auto tree = vfs.list_tree("/env");
+  ASSERT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree[0], "/env/a.asm");
+  EXPECT_EQ(tree[1], "/env/b.asm");
+}
+
+TEST(Vfs, ListDirShowsImmediateChildren) {
+  VirtualFileSystem vfs;
+  vfs.write("/env/sub/x.asm", "x");
+  vfs.write("/env/sub/y.asm", "y");
+  vfs.write("/env/top.asm", "t");
+  auto entries = vfs.list_dir("/env");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], "sub/");
+  EXPECT_EQ(entries[1], "top.asm");
+}
+
+TEST(Vfs, RemoveTree) {
+  VirtualFileSystem vfs;
+  vfs.write("/env/a", "1");
+  vfs.write("/env/b/c", "2");
+  vfs.write("/keep", "3");
+  EXPECT_EQ(vfs.remove_tree("/env"), 2u);
+  EXPECT_FALSE(vfs.dir_exists("/env"));
+  EXPECT_TRUE(vfs.exists("/keep"));
+}
+
+TEST(Vfs, CopyTreePreservesContent) {
+  VirtualFileSystem vfs;
+  vfs.write("/src/f1", "alpha");
+  vfs.write("/src/d/f2", "beta");
+  vfs.copy_tree("/src", "/dst");
+  EXPECT_EQ(vfs.read("/dst/f1"), "alpha");
+  EXPECT_EQ(vfs.read("/dst/d/f2"), "beta");
+  EXPECT_EQ(vfs.read("/src/f1"), "alpha");  // source untouched
+}
+
+TEST(Vfs, ExportTreeToAnotherVfs) {
+  VirtualFileSystem a;
+  VirtualFileSystem b;
+  a.write("/env/x", "payload");
+  a.export_tree("/env", b, "/snapshot");
+  EXPECT_EQ(b.read("/snapshot/x"), "payload");
+}
+
+// ---------------------------------------------------------------- hash ----
+
+TEST(Hash, TreeHashIsOrderIndependentOfInsertion) {
+  VirtualFileSystem a;
+  VirtualFileSystem b;
+  a.write("/t/1", "one");
+  a.write("/t/2", "two");
+  b.write("/t/2", "two");
+  b.write("/t/1", "one");
+  EXPECT_EQ(hash_tree(a, "/t"), hash_tree(b, "/t"));
+}
+
+TEST(Hash, TreeHashDetectsContentChange) {
+  VirtualFileSystem vfs;
+  vfs.write("/t/file", "v1");
+  auto before = hash_tree(vfs, "/t");
+  vfs.write("/t/file", "v2");
+  EXPECT_NE(before, hash_tree(vfs, "/t"));
+}
+
+TEST(Hash, TreeHashIsPrefixRelative) {
+  VirtualFileSystem vfs;
+  vfs.write("/a/x", "same");
+  vfs.write("/b/x", "same");
+  EXPECT_EQ(hash_tree(vfs, "/a"), hash_tree(vfs, "/b"));
+}
+
+TEST(Hash, ToStringIs16HexDigits) {
+  EXPECT_EQ(hash_to_string(0), "0000000000000000");
+  EXPECT_EQ(hash_to_string(0xdeadbeefULL), "00000000deadbeef");
+}
+
+// ----------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeStaysInBounds) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(3, 17);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(Rng, RangeCoversAllValuesEventually) {
+  SplitMix64 rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.range(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+// -------------------------------------------------------------- diags -----
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine de;
+  de.note("n.code", "a note");
+  de.warning("w.code", "a warning");
+  de.error("e.code", "an error");
+  EXPECT_EQ(de.error_count(), 1u);
+  EXPECT_EQ(de.warning_count(), 1u);
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_TRUE(de.has_code("w.code"));
+  EXPECT_EQ(de.count_code("e.code"), 1u);
+  EXPECT_FALSE(de.has_code("missing"));
+}
+
+TEST(Diagnostics, RenderingIncludesLocationAndCode) {
+  DiagnosticEngine de;
+  de.error("asm.test", "boom", {"file.asm", 12, 3});
+  EXPECT_EQ(de.all()[0].to_string(), "file.asm:12:3: error [asm.test]: boom");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine de;
+  de.error("e", "x");
+  de.clear();
+  EXPECT_FALSE(de.has_errors());
+  EXPECT_TRUE(de.all().empty());
+}
+
+// ---------------------------------------------------------------- disk ----
+
+class DiskTest : public ::testing::Test {
+ protected:
+  DiskTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("advm_disk_test_" + std::to_string(::getpid()));
+  }
+  ~DiskTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskTest, ExportImportRoundTripPreservesTree) {
+  VirtualFileSystem vfs;
+  vfs.write("/env/Abstraction_Layer/Globals.inc", "PAGE .EQU 8\n");
+  vfs.write("/env/TEST_1/test.asm", "_main: HALT\n");
+  vfs.write("/env/TESTPLAN.TXT", "plan");
+
+  EXPECT_EQ(export_to_disk(vfs, "/env", dir_.string()), 3u);
+
+  VirtualFileSystem back;
+  EXPECT_EQ(import_from_disk(back, dir_.string(), "/env"), 3u);
+  EXPECT_EQ(hash_tree(vfs, "/env"), hash_tree(back, "/env"));
+  EXPECT_EQ(back.read("/env/TEST_1/test.asm"), "_main: HALT\n");
+}
+
+TEST_F(DiskTest, ImportMissingDirectoryThrows) {
+  VirtualFileSystem vfs;
+  EXPECT_THROW(
+      import_from_disk(vfs, (dir_ / "nonexistent").string(), "/x"),
+      std::runtime_error);
+}
+
+TEST_F(DiskTest, ExportOverwritesStaleFiles) {
+  VirtualFileSystem vfs;
+  vfs.write("/env/file.txt", "v1");
+  export_to_disk(vfs, "/env", dir_.string());
+  vfs.write("/env/file.txt", "v2-longer-content");
+  export_to_disk(vfs, "/env", dir_.string());
+  VirtualFileSystem back;
+  import_from_disk(back, dir_.string(), "/env");
+  EXPECT_EQ(back.read("/env/file.txt"), "v2-longer-content");
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// advm — command-line driver for the ADVM toolchain.
+//
+// The workflow a verification team would actually run, against environments
+// that live on disk (paper §3 keeps them under revision control):
+//
+//   advm init  <dir> [--derivative SC88-A] [--tests N]   create a system env
+//   advm run   <dir> [--derivative D] [--platform P]     build + regress
+//   advm port  <dir> --to SC88-C                         retarget in place
+//   advm check <dir> [--derivative D]                    violation report
+//   advm random <dir> --seed K [--derivative D]          random Globals.inc
+//
+// Environments are imported from disk into the in-memory VFS, transformed,
+// and written back — so `port` literally edits only the abstraction layer
+// files in your working copy.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "advm/environment.h"
+#include "advm/porting.h"
+#include "advm/random_globals.h"
+#include "advm/regression.h"
+#include "advm/violations.h"
+#include "soc/derivative.h"
+#include "support/disk.h"
+#include "support/vfs.h"
+
+namespace {
+
+using namespace advm;
+using namespace advm::core;
+
+constexpr const char* kVfsRoot = "/SYS";
+
+struct Args {
+  std::string command;
+  std::string dir;
+  std::map<std::string, std::string> options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  int positional = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      std::string value = i + 1 < argc ? argv[i + 1] : "";
+      if (!value.empty() && value.rfind("--", 0) != 0) {
+        args.options[key] = value;
+        ++i;
+      } else {
+        args.options[key] = "1";
+      }
+    } else if (positional++ == 0) {
+      args.dir = arg;
+    }
+  }
+  return args;
+}
+
+const soc::DerivativeSpec* derivative_from(const Args& args,
+                                           const char* key = "derivative") {
+  auto it = args.options.find(key);
+  const std::string name = it == args.options.end() ? "SC88-A" : it->second;
+  const soc::DerivativeSpec* spec = soc::find_derivative(name);
+  if (spec == nullptr) {
+    std::cerr << "unknown derivative '" << name << "'; known:";
+    for (const auto* d : soc::all_derivatives()) std::cerr << " " << d->name;
+    std::cerr << "\n";
+  }
+  return spec;
+}
+
+sim::PlatformKind platform_from(const Args& args) {
+  auto it = args.options.find("platform");
+  if (it == args.options.end()) return sim::PlatformKind::GoldenModel;
+  for (sim::PlatformKind kind : sim::kAllPlatforms) {
+    if (sim::to_string(kind) == it->second) return kind;
+  }
+  std::cerr << "unknown platform '" << it->second
+            << "', using golden-model; known:";
+  for (sim::PlatformKind kind : sim::kAllPlatforms) {
+    std::cerr << " " << sim::to_string(kind);
+  }
+  std::cerr << "\n";
+  return sim::PlatformKind::GoldenModel;
+}
+
+int cmd_init(const Args& args) {
+  const soc::DerivativeSpec* spec = derivative_from(args);
+  if (!spec) return 2;
+  const std::size_t tests =
+      args.options.count("tests")
+          ? std::strtoul(args.options.at("tests").c_str(), nullptr, 10)
+          : 5;
+
+  support::VirtualFileSystem vfs;
+  SystemConfig config;
+  config.environments = {
+      {"PAGE_MODULE", ModuleKind::Register, tests, true},
+      {"UART_MODULE", ModuleKind::Uart, tests, true},
+      {"NVM_MODULE", ModuleKind::Nvm, tests, true},
+      {"TIMER_MODULE", ModuleKind::Timer, tests, true},
+      {"MEM_MODULE", ModuleKind::Memory, tests, true},
+  };
+  (void)build_system(vfs, config, *spec);
+  // build_system writes under config.root; re-home it below kVfsRoot.
+  const std::size_t written = support::export_to_disk(
+      vfs, "/ADVM_System_Verification_Environment", args.dir);
+  std::cout << "created " << args.dir << " for " << spec->name << ": "
+            << written << " files, " << 5 * tests << " tests\n";
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const soc::DerivativeSpec* spec = derivative_from(args);
+  if (!spec) return 2;
+  support::VirtualFileSystem vfs;
+  support::import_from_disk(vfs, args.dir, kVfsRoot);
+  RegressionRunner runner(vfs);
+  auto report = runner.run_system(kVfsRoot, *spec, platform_from(args));
+  std::cout << format_report(report);
+  return report.all_passed() ? 0 : 1;
+}
+
+int cmd_port(const Args& args) {
+  const soc::DerivativeSpec* target = derivative_from(args, "to");
+  if (!target) return 2;
+  support::VirtualFileSystem vfs;
+  support::import_from_disk(vfs, args.dir, kVfsRoot);
+
+  // Reconstruct the layout from the on-disk tree.
+  SystemLayout layout;
+  layout.root = kVfsRoot;
+  layout.global_dir = std::string(kVfsRoot) + "/" + kGlobalLibrariesDir;
+  for (const std::string& entry : vfs.list_dir(kVfsRoot)) {
+    if (entry.empty() || entry.back() != '/') continue;
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kGlobalLibrariesDir) continue;
+    EnvironmentLayout env;
+    env.name = name;
+    env.dir = std::string(kVfsRoot) + "/" + name;
+    env.abstraction_dir = env.dir + "/" + kAbstractionLayerDir;
+    env.advm_style = vfs.dir_exists(env.abstraction_dir);
+    layout.environments.push_back(std::move(env));
+  }
+
+  PortingEngine porter(vfs);
+  auto repair = porter.port(layout, *target, {}, {});
+  support::export_to_disk(vfs, kVfsRoot, args.dir);
+
+  std::cout << "ported " << args.dir << " to " << target->name << "\n"
+            << "  global layer: " << repair.global_layer.files_touched()
+            << " files\n"
+            << "  abstraction layer: "
+            << repair.abstraction_layer.files_touched() << " files, "
+            << repair.abstraction_layer.lines().total() << " lines\n"
+            << "  test layer: " << repair.test_layer.files_touched()
+            << " files (ADVM environments: expected 0)\n";
+  return 0;
+}
+
+int cmd_check(const Args& args) {
+  const soc::DerivativeSpec* spec = derivative_from(args);
+  if (!spec) return 2;
+  support::VirtualFileSystem vfs;
+  support::import_from_disk(vfs, args.dir, kVfsRoot);
+  ViolationChecker checker(vfs);
+  auto report = checker.check_system(kVfsRoot, *spec);
+  if (report.clean()) {
+    std::cout << "clean: no abstraction violations\n";
+    return 0;
+  }
+  for (const auto& v : report.violations) {
+    std::cout << v.file;
+    if (v.loc.valid()) std::cout << ":" << v.loc.line;
+    std::cout << ": [" << v.code << "] " << v.detail << "\n";
+  }
+  std::cout << report.violations.size() << " violation(s)\n";
+  return 1;
+}
+
+int cmd_random(const Args& args) {
+  const soc::DerivativeSpec* spec = derivative_from(args);
+  if (!spec) return 2;
+  const std::uint64_t seed =
+      args.options.count("seed")
+          ? std::strtoull(args.options.at("seed").c_str(), nullptr, 10)
+          : 1;
+
+  support::VirtualFileSystem vfs;
+  support::import_from_disk(vfs, args.dir, kVfsRoot);
+
+  auto values = randomize_defines(default_constraints(*spec), seed);
+  GlobalsOptions options;
+  options.overrides = values;
+  std::size_t regenerated = 0;
+  for (const std::string& entry : vfs.list_dir(kVfsRoot)) {
+    if (entry.empty() || entry.back() != '/') continue;
+    const std::string abstraction = std::string(kVfsRoot) + "/" +
+                                    entry.substr(0, entry.size() - 1) + "/" +
+                                    kAbstractionLayerDir;
+    if (!vfs.dir_exists(abstraction)) continue;
+    vfs.write(abstraction + "/" + kGlobalsFile,
+              generate_globals(*spec, options));
+    ++regenerated;
+  }
+  support::export_to_disk(vfs, kVfsRoot, args.dir);
+  std::cout << "seed " << seed << ": regenerated " << regenerated
+            << " Globals.inc instance(s); TEST1_TARGET_PAGE="
+            << values.at(GlobalDefineNames::kTest1TargetPage)
+            << " TEST2_TARGET_PAGE="
+            << values.at(GlobalDefineNames::kTest2TargetPage) << "\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "advm — assembler-driven verification methodology toolchain\n"
+         "usage:\n"
+         "  advm init  <dir> [--derivative SC88-A] [--tests N]\n"
+         "  advm run   <dir> [--derivative D] [--platform P]\n"
+         "  advm port  <dir> --to <derivative>\n"
+         "  advm check <dir> [--derivative D]\n"
+         "  advm random <dir> --seed K [--derivative D]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  if (args.dir.empty()) return usage();
+  try {
+    if (args.command == "init") return cmd_init(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "port") return cmd_port(args);
+    if (args.command == "check") return cmd_check(args);
+    if (args.command == "random") return cmd_random(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}
