@@ -81,6 +81,7 @@ int main() {
                   caps.x_checking ? "on" : "off");
   }
   table.print();
+  bench::emit_json("e4_platforms", "platforms", table);
 
   std::cout << "\nmodeled platform rates (paper-era orders of magnitude):\n";
   bench::Table rates({"platform", "modeled instr/s"});
@@ -90,6 +91,7 @@ int main() {
     rates.add_row(std::string(sim::to_string(kind)), os.str());
   }
   rates.print();
+  bench::emit_json("e4_platforms", "modeled-rates", rates);
 
   std::cout << "\npaper claim: the same test code crosses every simulation/"
                "emulation domain.\nmeasured: identical verdicts and "

@@ -74,6 +74,7 @@ int main() {
     }
   }
   table.print();
+  bench::emit_json("e6_porting", "ports", table);
 
   // The stale-arm control: what happens to an unrepaired direct suite when
   // the world moves underneath it.
@@ -92,6 +93,7 @@ int main() {
                   report.build_failures());
   }
   stale.print();
+  bench::emit_json("e6_porting", "stale-control", stale);
 
   std::cout << "\npaper claim: porting = regenerating the abstraction layer; "
                "every test\ninherits it. measured: ADVM touches the two "

@@ -1,6 +1,11 @@
 #include "advm/regression.h"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "advm/base_functions.h"
 #include "advm/environment.h"
@@ -163,64 +168,175 @@ TestRunRecord run_one_test(const support::VirtualFileSystem& vfs,
   return record;
 }
 
+/// An environment ready to execute: directory, discovered test cells (in
+/// VFS order, which fixes the report order), and the shared build context.
+struct EnvPlan {
+  std::string dir;
+  std::vector<std::string> tests;
+  EnvBuildContext ctx;
+};
+
+/// Test-cell discovery for one environment, in deterministic VFS order.
+std::vector<std::string> discover_tests(const support::VirtualFileSystem& vfs,
+                                        std::string_view env_dir) {
+  std::vector<std::string> tests;
+  for (const std::string& entry : vfs.list_dir(env_dir)) {
+    if (entry.empty() || entry.back() != '/') continue;  // files
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kAbstractionLayerDir) continue;
+    const std::string cell_dir = join_path(env_dir, name);
+    if (!vfs.exists(join_path(cell_dir, kTestSourceFile))) continue;
+    tests.push_back(name);
+  }
+  return tests;
+}
+
+/// Environment discovery under a system root, in deterministic VFS order.
+std::vector<std::string> discover_environments(
+    const support::VirtualFileSystem& vfs, std::string_view system_root) {
+  std::vector<std::string> envs;
+  for (const std::string& entry : vfs.list_dir(system_root)) {
+    if (entry.empty() || entry.back() != '/') continue;
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kGlobalLibrariesDir) continue;
+    const std::string env_dir = join_path(system_root, name);
+    if (!vfs.exists(join_path(env_dir, kTestplanFile))) continue;
+    envs.push_back(env_dir);
+  }
+  return envs;
+}
+
+/// Discovers test cells and assembles shared objects for every environment.
+/// The per-environment builds are independent, so they run on the pool too.
+std::vector<EnvPlan> plan_environments(const support::VirtualFileSystem& vfs,
+                                       const std::vector<std::string>& env_dirs,
+                                       std::string_view global_dir,
+                                       std::size_t jobs) {
+  std::vector<EnvPlan> plans(env_dirs.size());
+  parallel_for(env_dirs.size(), jobs, [&](std::size_t i) {
+    plans[i].dir = env_dirs[i];
+    plans[i].tests = discover_tests(vfs, env_dirs[i]);
+    plans[i].ctx = prepare_environment(vfs, env_dirs[i], global_dir);
+  });
+  return plans;
+}
+
+TestRunRecord run_planned_test(const support::VirtualFileSystem& vfs,
+                               const EnvPlan& plan, const std::string& test_id,
+                               const soc::DerivativeSpec& spec,
+                               sim::PlatformKind platform,
+                               std::uint64_t max_instructions) {
+  if (!plan.ctx.ok) {
+    // Environment-wide build problem: every cell reports it.
+    TestRunRecord record;
+    record.environment = support::base_name(plan.dir);
+    record.test_id = test_id;
+    record.detail = plan.ctx.error;
+    return record;
+  }
+  return run_one_test(vfs, plan.ctx, plan.dir, test_id, spec, platform,
+                      max_instructions);
+}
+
+/// Executes the (cell × environment × test) cube over the worker pool.
+/// Every task writes one pre-allocated record slot, so aggregation is in
+/// submission order by construction — pool size never reorders a report.
+std::vector<RegressionReport> run_planned_matrix(
+    const support::VirtualFileSystem& vfs, const std::vector<EnvPlan>& plans,
+    const std::vector<MatrixCell>& cells, std::size_t jobs,
+    std::uint64_t max_instructions) {
+  struct Task {
+    std::size_t cell = 0;
+    std::size_t env = 0;
+    std::size_t test = 0;
+    std::size_t slot = 0;  ///< record index within the cell's report
+  };
+
+  std::vector<RegressionReport> reports(cells.size());
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    reports[c].derivative = cells[c].spec->name;
+    reports[c].platform = cells[c].platform;
+    std::size_t slot = 0;
+    for (std::size_t e = 0; e < plans.size(); ++e) {
+      for (std::size_t t = 0; t < plans[e].tests.size(); ++t) {
+        tasks.push_back({c, e, t, slot++});
+      }
+    }
+    reports[c].records.resize(slot);
+  }
+
+  parallel_for(tasks.size(), jobs, [&](std::size_t i) {
+    const Task& task = tasks[i];
+    const EnvPlan& plan = plans[task.env];
+    reports[task.cell].records[task.slot] =
+        run_planned_test(vfs, plan, plan.tests[task.test], *cells[task.cell].spec,
+                         cells[task.cell].platform, max_instructions);
+  });
+  return reports;
+}
+
 }  // namespace
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  jobs = std::min(jobs, count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i; (i = cursor.fetch_add(1)) < count;) {
+        try {
+          task(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!failure) failure = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (failure) std::rethrow_exception(failure);
+}
 
 RegressionReport RegressionRunner::run_environment(
     std::string_view env_dir, std::string_view global_dir,
     const soc::DerivativeSpec& spec, sim::PlatformKind platform,
     std::uint64_t max_instructions) {
-  RegressionReport report;
-  report.derivative = spec.name;
-  report.platform = platform;
-
-  EnvBuildContext ctx = prepare_environment(vfs_, env_dir, global_dir);
-
-  for (const std::string& entry : vfs_.list_dir(env_dir)) {
-    if (entry.empty() || entry.back() != '/') continue;  // files
-    const std::string name = entry.substr(0, entry.size() - 1);
-    if (name == kAbstractionLayerDir) continue;
-    const std::string cell_dir = join_path(env_dir, name);
-    if (!vfs_.exists(join_path(cell_dir, kTestSourceFile))) continue;
-
-    if (!ctx.ok) {
-      // Environment-wide build problem: every cell reports it.
-      TestRunRecord record;
-      record.environment = support::base_name(env_dir);
-      record.test_id = name;
-      record.detail = ctx.error;
-      report.records.push_back(std::move(record));
-      continue;
-    }
-    report.records.push_back(run_one_test(vfs_, ctx, env_dir, name, spec,
-                                          platform, max_instructions));
-  }
-  return report;
+  const std::vector<std::string> env_dirs{std::string(env_dir)};
+  auto plans = plan_environments(vfs_, env_dirs, global_dir, jobs_);
+  auto reports = run_planned_matrix(vfs_, plans, {{&spec, platform}}, jobs_,
+                                    max_instructions);
+  return std::move(reports.front());
 }
 
 RegressionReport RegressionRunner::run_system(
     std::string_view system_root, const soc::DerivativeSpec& spec,
     sim::PlatformKind platform, std::uint64_t max_instructions) {
-  RegressionReport report;
-  report.derivative = spec.name;
-  report.platform = platform;
+  auto reports =
+      run_matrix(system_root, {{&spec, platform}}, max_instructions);
+  return std::move(reports.front());
+}
 
-  const std::string global_dir =
-      join_path(system_root, kGlobalLibrariesDir);
-
-  for (const std::string& entry : vfs_.list_dir(system_root)) {
-    if (entry.empty() || entry.back() != '/') continue;
-    const std::string name = entry.substr(0, entry.size() - 1);
-    if (name == kGlobalLibrariesDir) continue;
-    const std::string env_dir = join_path(system_root, name);
-    if (!vfs_.exists(join_path(env_dir, kTestplanFile))) continue;
-
-    RegressionReport env_report = run_environment(
-        env_dir, global_dir, spec, platform, max_instructions);
-    for (auto& record : env_report.records) {
-      report.records.push_back(std::move(record));
-    }
-  }
-  return report;
+std::vector<RegressionReport> RegressionRunner::run_matrix(
+    std::string_view system_root, const std::vector<MatrixCell>& cells,
+    std::uint64_t max_instructions) {
+  const std::string global_dir = join_path(system_root, kGlobalLibrariesDir);
+  auto plans = plan_environments(
+      vfs_, discover_environments(vfs_, system_root), global_dir, jobs_);
+  return run_planned_matrix(vfs_, plans, cells, jobs_, max_instructions);
 }
 
 std::string format_report(const RegressionReport& report) {

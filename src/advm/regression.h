@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -55,10 +56,21 @@ struct RegressionReport {
   [[nodiscard]] std::uint64_t outcome_digest() const;
 };
 
+/// One (derivative, platform) pair of a regression matrix.
+struct MatrixCell {
+  const soc::DerivativeSpec* spec = nullptr;
+  sim::PlatformKind platform = sim::PlatformKind::GoldenModel;
+};
+
 class RegressionRunner {
  public:
-  explicit RegressionRunner(const support::VirtualFileSystem& vfs)
-      : vfs_(vfs) {}
+  /// `jobs` sizes the worker pool used to execute test cells: 1 (default)
+  /// runs serially on the calling thread, 0 means "one per hardware
+  /// thread". Whatever the pool size, records land in discovery order, so
+  /// reports are byte-identical to a serial run.
+  explicit RegressionRunner(const support::VirtualFileSystem& vfs,
+                            std::size_t jobs = 1)
+      : vfs_(vfs), jobs_(jobs) {}
 
   /// Runs every environment under `system_root`.
   [[nodiscard]] RegressionReport run_system(
@@ -72,9 +84,27 @@ class RegressionRunner {
       const soc::DerivativeSpec& spec, sim::PlatformKind platform,
       std::uint64_t max_instructions = 2'000'000);
 
+  /// Runs the full derivative × platform matrix over one system tree.
+  /// Environment builds are shared across cells (they are target-neutral by
+  /// construction — that is the ADVM premise), and every test cell of every
+  /// matrix entry is fanned out over the same worker pool. Reports come
+  /// back in `cells` order, each internally in discovery order.
+  [[nodiscard]] std::vector<RegressionReport> run_matrix(
+      std::string_view system_root, const std::vector<MatrixCell>& cells,
+      std::uint64_t max_instructions = 2'000'000);
+
  private:
   const support::VirtualFileSystem& vfs_;
+  std::size_t jobs_ = 1;
 };
+
+/// Runs `count` independent tasks on `jobs` worker threads (0 → one per
+/// hardware thread; ≤1 → inline on the caller). Tasks are claimed from an
+/// atomic cursor, so any task graph whose outputs are indexed by task id is
+/// deterministic regardless of pool size. Exceptions thrown by a task are
+/// rethrown on the caller after all workers drain.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& task);
 
 /// Renders a human-readable summary table of a regression report.
 [[nodiscard]] std::string format_report(const RegressionReport& report);

@@ -109,6 +109,19 @@ void scan_source(const std::string& path, const std::string& source,
   }
 }
 
+/// Builds a file-level violation (no source location). Field-by-field
+/// assignment instead of a braced temporary: the `{}` SourceLoc member in a
+/// pushed-back aggregate trips GCC 12's -Wmaybe-uninitialized false
+/// positive under -O3, and the tree builds -Werror.
+Violation file_violation(std::string code, std::string file,
+                         std::string detail) {
+  Violation v;
+  v.code = std::move(code);
+  v.file = std::move(file);
+  v.detail = std::move(detail);
+  return v;
+}
+
 /// Link-level check: does the test reference symbols defined in the global
 /// layer? Requires a successful build of the full cell.
 void check_linkage(const support::VirtualFileSystem& vfs,
@@ -130,9 +143,9 @@ void check_linkage(const support::VirtualFileSystem& vfs,
 
   auto test_obj = asm_driver.assemble_file(test_path);
   if (!test_obj) {
-    report.violations.push_back(
-        {"advm.unbuildable", test_path, {},
-         "cell does not assemble: " + diags.to_string()});
+    report.violations.push_back(file_violation(
+        "advm.unbuildable", test_path,
+        "cell does not assemble: " + diags.to_string()));
     return;
   }
   objects.push_back(std::move(test_obj->object));
@@ -146,9 +159,9 @@ void check_linkage(const support::VirtualFileSystem& vfs,
     if (!vfs.exists(path)) continue;
     auto obj = asm_driver.assemble_file(path);
     if (!obj) {
-      report.violations.push_back(
-          {"advm.unbuildable", path, {},
-           "environment library does not assemble: " + diags.to_string()});
+      report.violations.push_back(file_violation(
+          "advm.unbuildable", path,
+          "environment library does not assemble: " + diags.to_string()));
       return;
     }
     objects.push_back(std::move(obj->object));
@@ -159,8 +172,9 @@ void check_linkage(const support::VirtualFileSystem& vfs,
   link_options.data_base = spec.data_base();
   auto image = assembler::link(objects, link_options, diags);
   if (!image) {
-    report.violations.push_back({"advm.unbuildable", test_path, {},
-                                 "cell does not link: " + diags.to_string()});
+    report.violations.push_back(file_violation(
+        "advm.unbuildable", test_path,
+        "cell does not link: " + diags.to_string()));
     return;
   }
 
@@ -168,11 +182,11 @@ void check_linkage(const support::VirtualFileSystem& vfs,
     if (!is_global_layer_file(symbol.defined_in)) continue;
     for (const std::string& referrer : symbol.referenced_by) {
       if (referrer == test_path) {
-        report.violations.push_back(
-            {"advm.global-call", test_path, {},
-             "test calls global-layer symbol '" + name + "' (defined in " +
-                 support::base_name(symbol.defined_in) +
-                 ") without a Base_ wrapper"});
+        report.violations.push_back(file_violation(
+            "advm.global-call", test_path,
+            "test calls global-layer symbol '" + name + "' (defined in " +
+                support::base_name(symbol.defined_in) +
+                ") without a Base_ wrapper"));
       }
     }
   }
@@ -187,10 +201,10 @@ void check_environment_name(std::string_view env_dir,
     // Both "SC88-A" and the family name "SC88" taint an environment name.
     if (upper.find(marker) != std::string::npos ||
         upper.find("SC88") != std::string::npos) {
-      report.violations.push_back(
-          {"advm.derivative-name", std::string(env_dir), {},
-           "environment name '" + name +
-               "' is derivative specific (paper §2 forbids this)"});
+      report.violations.push_back(file_violation(
+          "advm.derivative-name", std::string(env_dir),
+          "environment name '" + name +
+              "' is derivative specific (paper §2 forbids this)"));
       return;
     }
   }

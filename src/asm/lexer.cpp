@@ -1,6 +1,7 @@
 #include "asm/lexer.h"
 
 #include <cctype>
+#include <cstdint>
 
 #include "support/text.h"
 
@@ -106,6 +107,61 @@ std::vector<Token> lex_line(std::string_view text, const std::string& file,
       ++i;  // closing quote
       out.push_back(std::move(tok));
       continue;
+    }
+
+    if (c == '#') {
+      // Z80-style hex literal (#FF, #C000). Only a run that is entirely hex
+      // digits lexes as a number; anything else leaves '#' as a punctuator.
+      std::size_t j = i + 1;
+      bool all_hex = true;
+      while (j < text.size() && support::is_symbol_char(text[j])) {
+        all_hex = all_hex && std::isxdigit(static_cast<unsigned char>(text[j]));
+        ++j;
+      }
+      if (all_hex && j > i + 1) {
+        auto parsed = support::parse_integer(
+            "0x" + std::string(text.substr(i + 1, j - i - 1)));
+        tok.kind = TokenKind::Number;
+        tok.text = std::string(text.substr(i, j - i));
+        tok.value = *parsed;
+        i = j;
+        out.push_back(std::move(tok));
+        continue;
+      }
+    }
+
+    if (c == '%') {
+      // '%' is binary literal (%1010) in operand position, modulo after a
+      // value. "After a value" = the previous token is a number, symbol, or
+      // a closing bracket — the classic two-role disambiguation.
+      const bool after_value =
+          !out.empty() && (out.back().kind == TokenKind::Number ||
+                           out.back().kind == TokenKind::Identifier ||
+                           out.back().is_punct(")") || out.back().is_punct("]"));
+      std::size_t j = i + 1;
+      bool all_binary = true;
+      while (j < text.size() && support::is_symbol_char(text[j])) {
+        all_binary = all_binary && (text[j] == '0' || text[j] == '1');
+        ++j;
+      }
+      if (!after_value && all_binary && j > i + 1) {
+        if (j - i - 1 > 64) {
+          diags.error("asm.bad-number",
+                      "binary literal wider than 64 bits", tok.loc);
+          i = j;
+          continue;
+        }
+        std::uint64_t value = 0;  // unsigned: bit 63 set must not overflow
+        for (std::size_t k = i + 1; k < j; ++k) {
+          value = (value << 1) | static_cast<std::uint64_t>(text[k] - '0');
+        }
+        tok.kind = TokenKind::Number;
+        tok.text = std::string(text.substr(i, j - i));
+        tok.value = static_cast<std::int64_t>(value);
+        i = j;
+        out.push_back(std::move(tok));
+        continue;
+      }
     }
 
     // Two-character punctuators first (maximal munch).

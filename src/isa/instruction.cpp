@@ -144,6 +144,15 @@ std::string reg_or(const std::optional<RegSpec>& r) {
   return r ? r->to_string() : "?";
 }
 
+/// Append-based concatenation. `"lit" + std::string&&` would be shorter, but
+/// that operator+ overload trips GCC 12's -Wrestrict false positive
+/// (PR105651) when inlined under optimisation, and the tree builds -Werror.
+std::string cat(std::initializer_list<std::string_view> parts) {
+  std::string out;
+  for (std::string_view part : parts) out += part;
+  return out;
+}
+
 /// Renders the flexible source operand (imm / reg / memory forms).
 std::string src_operand(const Instruction& i) {
   switch (i.mode) {
@@ -152,11 +161,11 @@ std::string src_operand(const Instruction& i) {
     case AddrMode::Register:
       return reg_or(i.rb);
     case AddrMode::Absolute:
-      return "[" + hex(i.imm) + "]";
+      return cat({"[", hex(i.imm), "]"});
     case AddrMode::RegIndirect:
-      return "[" + reg_or(i.rb) + "]";
+      return cat({"[", reg_or(i.rb), "]"});
     case AddrMode::RegIndirectOff:
-      return "[" + reg_or(i.rb) + "+" + hex(i.imm) + "]";
+      return cat({"[", reg_or(i.rb), "+", hex(i.imm), "]"});
     case AddrMode::None:
       return "?";
   }
@@ -167,66 +176,62 @@ std::string src_operand(const Instruction& i) {
 
 std::string disassemble(const Instruction& i) {
   const OpcodeInfo& info = opcode_info(i.op);
-  std::string out;
-
-  if (i.op == Opcode::Jmp && i.cond != Cond::Always) {
-    out = "J";
-    out += to_string(i.cond);
-  } else {
-    out = info.mnemonic;
-  }
+  std::string out = (i.op == Opcode::Jmp && i.cond != Cond::Always)
+                        ? cat({"J", to_string(i.cond)})
+                        : std::string(info.mnemonic);
 
   switch (info.pattern) {
     case OperandPattern::None:
       break;
     case OperandPattern::RcSrc:
-      out += " " + reg_or(i.rc) + ", " + src_operand(i);
+      out += cat({" ", reg_or(i.rc), ", ", src_operand(i)});
       break;
     case OperandPattern::MemRa:
-      out += " " + src_operand(i) + ", " + reg_or(i.ra);
+      out += cat({" ", src_operand(i), ", ", reg_or(i.ra)});
       break;
     case OperandPattern::Ra:
-      out += " " + reg_or(i.ra);
+      out += cat({" ", reg_or(i.ra)});
       break;
     case OperandPattern::Rc:
-      out += " " + reg_or(i.rc);
+      out += cat({" ", reg_or(i.rc)});
       break;
     case OperandPattern::RcRaSrc:
-      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra) + ", " + src_operand(i);
+      out += cat({" ", reg_or(i.rc), ", ", reg_or(i.ra), ", ",
+                  src_operand(i)});
       break;
     case OperandPattern::RaSrc:
-      out += " " + reg_or(i.ra) + ", " + src_operand(i);
+      out += cat({" ", reg_or(i.ra), ", ", src_operand(i)});
       break;
     case OperandPattern::RcRa:
-      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra);
+      out += cat({" ", reg_or(i.rc), ", ", reg_or(i.ra)});
       break;
     case OperandPattern::RcRaSrcPosW:
-      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra) + ", " + src_operand(i) +
-             ", " + std::to_string(i.pos) + ", " + std::to_string(i.width);
+      out += cat({" ", reg_or(i.rc), ", ", reg_or(i.ra), ", ", src_operand(i),
+                  ", ", std::to_string(i.pos), ", ", std::to_string(i.width)});
       break;
     case OperandPattern::RcRaPosW:
-      out += " " + reg_or(i.rc) + ", " + reg_or(i.ra) + ", " +
-             std::to_string(i.pos) + ", " + std::to_string(i.width);
+      out += cat({" ", reg_or(i.rc), ", ", reg_or(i.ra), ", ",
+                  std::to_string(i.pos), ", ", std::to_string(i.width)});
       break;
     case OperandPattern::Target:
       // Indirect targets are signalled by rb presence (the mode byte of the
       // Jmp family carries the condition instead).
       if (i.rb) {
-        out += " " + reg_or(i.rb);
+        out += cat({" ", reg_or(i.rb)});
       } else {
-        out += " " + hex(i.imm);
+        out += cat({" ", hex(i.imm)});
       }
       break;
     case OperandPattern::Imm8:
-      out += " " + std::to_string(i.pos);
+      out += cat({" ", std::to_string(i.pos)});
       break;
     case OperandPattern::RcCr:
-      out += " " + reg_or(i.rc) + ", " +
-             to_string(static_cast<CoreReg>(i.pos));
+      out += cat({" ", reg_or(i.rc), ", ",
+                  to_string(static_cast<CoreReg>(i.pos))});
       break;
     case OperandPattern::CrRa:
-      out += std::string(" ") + to_string(static_cast<CoreReg>(i.pos)) + ", " +
-             reg_or(i.ra);
+      out += cat({" ", to_string(static_cast<CoreReg>(i.pos)), ", ",
+                  reg_or(i.ra)});
       break;
   }
   return out;

@@ -34,7 +34,11 @@ struct RegSpec {
 
   /// "d4" / "a12" — assembler rendering.
   [[nodiscard]] std::string to_string() const {
-    return (is_data() ? "d" : "a") + std::to_string(index);
+    // Built with append rather than `const char* + string&&`: that overload
+    // trips GCC 12's -Wrestrict false positive (PR105651) under -Werror.
+    std::string out(1, is_data() ? 'd' : 'a');
+    out += std::to_string(index);
+    return out;
   }
 
   /// Single-byte encoding used inside instruction words:

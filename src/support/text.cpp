@@ -100,8 +100,27 @@ std::optional<std::int64_t> parse_integer(std::string_view s) {
     return negative ? -v : v;
   }
 
+  // Suffix-style hex (0FFh, 38h): classic assembler form, which must start
+  // with a decimal digit so it can never be mistaken for a symbol. Checked
+  // before the prefix forms — 0BEh is hex 0xBE, not a binary literal with
+  // stray digits (the classic reading, and the only consistent one).
+  const auto is_hex_body = [](std::string_view body) {
+    bool any_digit = false;
+    for (char c : body) {
+      if (c == '_') continue;
+      if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+      any_digit = true;
+    }
+    return any_digit;
+  };
+
   int base = 10;
-  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+  if (s.size() > 1 && (s.back() == 'h' || s.back() == 'H') &&
+      s.front() >= '0' && s.front() <= '9' &&
+      is_hex_body(s.substr(0, s.size() - 1))) {
+    base = 16;
+    s.remove_suffix(1);
+  } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
     base = 16;
     s.remove_prefix(2);
   } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {

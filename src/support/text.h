@@ -30,7 +30,8 @@ namespace advm::support {
 [[nodiscard]] bool equals_nocase(std::string_view a, std::string_view b);
 
 /// Parses an integer literal in assembler syntax: decimal, 0x... hex,
-/// 0b... binary, or 'c' character. Returns nullopt on malformed input.
+/// digit-led ...h suffix hex (0FFh), 0b... binary, or 'c' character.
+/// Returns nullopt on malformed input.
 [[nodiscard]] std::optional<std::int64_t> parse_integer(std::string_view s);
 
 /// True for [A-Za-z_.$], the characters that may start an assembler symbol.

@@ -84,6 +84,108 @@ TEST(Lexer, ReportsStrayCharacter) {
   EXPECT_TRUE(diags.has_code("asm.stray-character"));
 }
 
+TEST(Lexer, HexLiteralForms) {
+  // All three classic spellings of the same value (SNIPPETS exemplar).
+  DiagnosticEngine diags;
+  auto toks = lex_line("#FF 0xFF 0FFh 38h #C000 0h", "t", 1, diags);
+  ASSERT_FALSE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].value, 0xFF);
+  EXPECT_EQ(toks[1].value, 0xFF);
+  EXPECT_EQ(toks[2].value, 0xFF);
+  EXPECT_EQ(toks[3].value, 0x38);
+  EXPECT_EQ(toks[4].value, 0xC000);
+  EXPECT_EQ(toks[5].value, 0);
+  EXPECT_EQ(toks[0].text, "#FF");
+  EXPECT_EQ(toks[2].text, "0FFh");
+
+  // Digits starting with 0B/0X must not be misread as 0b/0x prefix forms.
+  DiagnosticEngine suffix_diags;
+  auto suffix = lex_line("0BEh 0B1h 0Bh", "t", 1, suffix_diags);
+  ASSERT_FALSE(suffix_diags.has_errors());
+  EXPECT_EQ(suffix[0].value, 0xBE);
+  EXPECT_EQ(suffix[1].value, 0xB1);
+  EXPECT_EQ(suffix[2].value, 0x0B);  // 0B + h suffix is hex, not binary
+}
+
+TEST(Lexer, HashWithoutHexRunStaysPunct) {
+  DiagnosticEngine diags;
+  auto toks = lex_line("#SYMBOL # #FFx", "t", 1, diags);
+  ASSERT_FALSE(diags.has_errors());
+  // '#' + identifier, bare '#', and '#' + non-hex symbol run.
+  EXPECT_TRUE(toks[0].is_punct("#"));
+  EXPECT_EQ(toks[1].text, "SYMBOL");
+  EXPECT_TRUE(toks[2].is_punct("#"));
+  EXPECT_TRUE(toks[3].is_punct("#"));
+  EXPECT_EQ(toks[4].text, "FFx");
+}
+
+TEST(Lexer, BinaryPercentLiterals) {
+  DiagnosticEngine diags;
+  // Comma-separated as in a .DB operand list — after a value, '%' would be
+  // the modulo operator instead (see PercentAfterValueIsModulo).
+  auto toks = lex_line("%10110011, %11111111, %00000000", "t", 1, diags);
+  ASSERT_FALSE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].value, 0xB3);
+  EXPECT_EQ(toks[2].value, 0xFF);
+  EXPECT_EQ(toks[4].value, 0);
+  EXPECT_EQ(toks[0].text, "%10110011");
+
+  // Exactly 64 bits is the widest representable literal; 65 is an error,
+  // not silent wraparound.
+  DiagnosticEngine wide_diags;
+  auto wide = lex_line("%" + std::string(64, '1'), "t", 1, wide_diags);
+  ASSERT_FALSE(wide_diags.has_errors());
+  EXPECT_EQ(wide[0].value, -1);  // all 64 bits set
+
+  DiagnosticEngine too_wide;
+  (void)lex_line("%" + std::string(65, '1'), "t", 1, too_wide);
+  EXPECT_TRUE(too_wide.has_code("asm.bad-number"));
+}
+
+TEST(Lexer, PercentAfterValueIsModulo) {
+  DiagnosticEngine diags;
+  auto toks = lex_line("10 %101 X%101 (%101)", "t", 1, diags);
+  ASSERT_FALSE(diags.has_errors());
+  // After the number 10 and after the symbol X, '%' must stay an operator
+  // even though a binary-digit run follows; after '(' it is a literal.
+  EXPECT_EQ(toks[0].value, 10);
+  EXPECT_TRUE(toks[1].is_punct("%"));
+  EXPECT_EQ(toks[2].value, 101);
+  EXPECT_EQ(toks[3].text, "X");
+  EXPECT_TRUE(toks[4].is_punct("%"));
+  EXPECT_EQ(toks[5].value, 101);
+  EXPECT_TRUE(toks[6].is_punct("("));
+  EXPECT_EQ(toks[7].value, 5);
+  EXPECT_TRUE(toks[8].is_punct(")"));
+}
+
+TEST(Lexer, CharLiteralEdgeCases) {
+  DiagnosticEngine diags;
+  auto ok = lex_line("'A' ' ' '0'", "t", 1, diags);
+  ASSERT_FALSE(diags.has_errors());
+  EXPECT_EQ(ok[0].value, 65);
+  EXPECT_EQ(ok[1].value, 32);
+  EXPECT_EQ(ok[2].value, 48);
+
+  DiagnosticEngine bad;
+  (void)lex_line("'AB'", "t", 1, bad);
+  EXPECT_TRUE(bad.has_code("asm.bad-char-literal"));
+
+  DiagnosticEngine dangling;
+  (void)lex_line("MOVE d0, '", "t", 1, dangling);
+  EXPECT_TRUE(dangling.has_code("asm.bad-char-literal"));
+}
+
+TEST(Lexer, MalformedNumbersAreDiagnosed) {
+  for (const char* text : {"0xZZ", "0b102", "9q", "0x"}) {
+    DiagnosticEngine diags;
+    (void)lex_line(text, "t", 1, diags);
+    EXPECT_TRUE(diags.has_code("asm.bad-number")) << text;
+  }
+}
+
 // ----------------------------------------------------------------- expr ----
 
 class ExprTest : public ::testing::Test {
@@ -152,6 +254,35 @@ TEST_F(ExprTest, UndefinedSymbolWithoutForwardRefsIsError) {
 
 TEST_F(ExprTest, DivisionByZeroConstant) {
   EXPECT_FALSE(eval("4 / 0").has_value());
+}
+
+TEST_F(ExprTest, ModuloByZeroConstant) {
+  EXPECT_FALSE(eval("4 % 0").has_value());
+}
+
+TEST_F(ExprTest, AllHexFormsEvaluateEqually) {
+  EXPECT_EQ(eval("#FF"), ExprValue::absolute(0xFF));
+  EXPECT_EQ(eval("0FFh"), ExprValue::absolute(0xFF));
+  EXPECT_EQ(eval("#FF == 0xFF"), ExprValue::absolute(1));
+  EXPECT_EQ(eval("0FFh == 0xFF"), ExprValue::absolute(1));
+  EXPECT_EQ(eval("#C000 + 38h"), ExprValue::absolute(0xC038));
+}
+
+TEST_F(ExprTest, BinaryLiteralsAndModuloCompose) {
+  EXPECT_EQ(eval("%1010"), ExprValue::absolute(10));
+  EXPECT_EQ(eval("%10110011 & #F0"), ExprValue::absolute(0xB0));
+  // Same '%' character, both roles in one expression.
+  EXPECT_EQ(eval("%1010 % 3"), ExprValue::absolute(1));
+  EXPECT_EQ(eval("(%101)"), ExprValue::absolute(5));
+}
+
+TEST_F(ExprTest, MalformedExpressionsAreRejected) {
+  EXPECT_FALSE(eval("1 +").has_value());
+  EXPECT_FALSE(eval("(1 + 2").has_value());
+  EXPECT_FALSE(eval("* 3").has_value());
+  EXPECT_FALSE(eval("1 + + +").has_value());
+  EXPECT_FALSE(eval("DEFINED(").has_value());
+  EXPECT_TRUE(diags_.has_errors());
 }
 
 // ------------------------------------------------------------- assembler ---

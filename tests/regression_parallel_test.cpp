@@ -1,0 +1,158 @@
+// Determinism and coverage tests for the parallel regression executor.
+//
+// The contract under test: a RegressionRunner with any pool size produces a
+// report byte-identical to the serial run — same record order, same
+// verdicts, same state digests — because records land in pre-allocated
+// slots indexed by discovery order, never by completion order. ADVM's
+// revision-controlled regression loop (paper §3) is only trustworthy if a
+// faster run can never change the answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "advm/environment.h"
+#include "advm/regression.h"
+#include "soc/derivative.h"
+#include "support/vfs.h"
+
+namespace {
+
+using namespace advm;
+using namespace advm::core;
+
+SystemLayout build_test_system(support::VirtualFileSystem& vfs) {
+  SystemConfig config;
+  config.environments = {
+      {"PAGE_MODULE", ModuleKind::Register, 4, true},
+      {"UART_MODULE", ModuleKind::Uart, 3, true},
+      {"NVM_MODULE", ModuleKind::Nvm, 3, true},
+      {"TIMER_MODULE", ModuleKind::Timer, 2, true},
+      {"MEM_MODULE", ModuleKind::Memory, 2, true},
+  };
+  return build_system(vfs, config, soc::derivative_a());
+}
+
+// ------------------------------------------------------------ parallel_for --
+
+TEST(ParallelFor, RunsEveryTaskExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                           std::size_t{8}, std::size_t{64}}) {
+    std::vector<std::atomic<int>> hits(37);
+    parallel_for(hits.size(), jobs,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelFor, ZeroTasksIsANoOp) {
+  parallel_for(0, 8, [](std::size_t) { FAIL() << "task ran"; });
+}
+
+TEST(ParallelFor, PropagatesTaskExceptions) {
+  EXPECT_THROW(parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- serial/parallel parity --
+
+TEST(ParallelRegression, ByteIdenticalReportAcrossAllDerivatives) {
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+
+  for (const soc::DerivativeSpec* spec : soc::all_derivatives()) {
+    RegressionRunner serial(vfs, 1);
+    RegressionRunner parallel(vfs, 8);
+    auto serial_report = serial.run_system(layout.root, *spec,
+                                           sim::PlatformKind::GoldenModel);
+    auto parallel_report = parallel.run_system(layout.root, *spec,
+                                               sim::PlatformKind::GoldenModel);
+
+    EXPECT_FALSE(serial_report.records.empty());
+    EXPECT_EQ(format_report(serial_report), format_report(parallel_report))
+        << spec->name;
+    EXPECT_EQ(serial_report.outcome_digest(), parallel_report.outcome_digest())
+        << spec->name;
+  }
+}
+
+TEST(ParallelRegression, OversizedPoolStillDeterministic) {
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+
+  RegressionRunner serial(vfs, 1);
+  RegressionRunner flooded(vfs, 128);  // far more workers than test cells
+  auto a = serial.run_system(layout.root, soc::derivative_b(),
+                             sim::PlatformKind::RtlSim);
+  auto b = flooded.run_system(layout.root, soc::derivative_b(),
+                              sim::PlatformKind::RtlSim);
+  EXPECT_EQ(format_report(a), format_report(b));
+}
+
+TEST(ParallelRegression, EnvironmentRunnerMatchesSerial) {
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+  const std::string global_dir = layout.root + "/" + kGlobalLibrariesDir;
+  const std::string env_dir = layout.root + "/PAGE_MODULE";
+
+  RegressionRunner serial(vfs, 1);
+  RegressionRunner parallel(vfs, 8);
+  auto a = serial.run_environment(env_dir, global_dir, soc::derivative_a(),
+                                  sim::PlatformKind::GoldenModel);
+  auto b = parallel.run_environment(env_dir, global_dir, soc::derivative_a(),
+                                    sim::PlatformKind::GoldenModel);
+  EXPECT_FALSE(a.records.empty());
+  EXPECT_EQ(format_report(a), format_report(b));
+}
+
+// ------------------------------------------------------------ matrix runs --
+
+TEST(ParallelRegression, MatrixMatchesIndividualRuns) {
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+
+  std::vector<MatrixCell> cells;
+  for (const soc::DerivativeSpec* spec : soc::all_derivatives()) {
+    cells.push_back({spec, sim::PlatformKind::GoldenModel});
+    cells.push_back({spec, sim::PlatformKind::Accelerator});
+  }
+
+  RegressionRunner runner(vfs, 8);
+  auto matrix = runner.run_matrix(layout.root, cells);
+  ASSERT_EQ(matrix.size(), cells.size());
+
+  RegressionRunner serial(vfs, 1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto solo = serial.run_system(layout.root, *cells[i].spec,
+                                  cells[i].platform);
+    EXPECT_EQ(format_report(matrix[i]), format_report(solo))
+        << cells[i].spec->name << " cell " << i;
+    EXPECT_EQ(matrix[i].outcome_digest(), solo.outcome_digest());
+  }
+}
+
+TEST(ParallelRegression, FreshEnvironmentPassesOnItsOwnDerivative) {
+  // Each derivative gets an environment generated for it; the parallel
+  // matrix run over (its own derivative × golden model) must be all green.
+  for (const soc::DerivativeSpec* spec : soc::all_derivatives()) {
+    support::VirtualFileSystem vfs;
+    SystemConfig config;
+    config.environments = {
+        {"PAGE_MODULE", ModuleKind::Register, 3, true},
+        {"UART_MODULE", ModuleKind::Uart, 2, true},
+    };
+    auto layout = build_system(vfs, config, *spec);
+
+    RegressionRunner runner(vfs, 0);  // one worker per hardware thread
+    auto reports = runner.run_matrix(
+        layout.root, {{spec, sim::PlatformKind::GoldenModel}});
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].all_passed())
+        << spec->name << "\n" << format_report(reports[0]);
+  }
+}
+
+}  // namespace

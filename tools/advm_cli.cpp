@@ -4,7 +4,8 @@
 // that live on disk (paper §3 keeps them under revision control):
 //
 //   advm init  <dir> [--derivative SC88-A] [--tests N]   create a system env
-//   advm run   <dir> [--derivative D] [--platform P]     build + regress
+//   advm run   <dir> [--derivative D] [--platform P] [--jobs N]
+//                                                        build + regress
 //   advm port  <dir> --to SC88-C                         retarget in place
 //   advm check <dir> [--derivative D]                    violation report
 //   advm random <dir> --seed K [--derivative D]          random Globals.inc
@@ -15,6 +16,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,10 +52,12 @@ Args parse_args(int argc, char** argv) {
       std::string key = arg.substr(2);
       std::string value = i + 1 < argc ? argv[i + 1] : "";
       if (!value.empty() && value.rfind("--", 0) != 0) {
-        args.options[key] = value;
+        args.options.insert_or_assign(key, std::move(value));
         ++i;
       } else {
-        args.options[key] = "1";
+        // insert_or_assign with a sized string: `options[key] = "1"` hits
+        // GCC 12's -Wrestrict false positive (PR105651) under -O3 -Werror.
+        args.options.insert_or_assign(key, std::string(1, '1'));
       }
     } else if (positional++ == 0) {
       args.dir = arg;
@@ -73,6 +77,23 @@ const soc::DerivativeSpec* derivative_from(const Args& args,
     std::cerr << "\n";
   }
   return spec;
+}
+
+/// Parses --jobs strictly: digits only, 0 = one worker per hardware
+/// thread. nullopt (after a diagnostic) on anything else — a typo must not
+/// silently fan out across every core.
+std::optional<std::size_t> jobs_from(const Args& args) {
+  auto it = args.options.find("jobs");
+  if (it == args.options.end()) return 1;
+  const std::string& value = it->second;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    std::cerr << "invalid --jobs value '" << value
+              << "' (expected a number; 0 = all hardware threads)\n";
+    return std::nullopt;
+  }
+  return parsed;
 }
 
 sim::PlatformKind platform_from(const Args& args) {
@@ -119,9 +140,11 @@ int cmd_init(const Args& args) {
 int cmd_run(const Args& args) {
   const soc::DerivativeSpec* spec = derivative_from(args);
   if (!spec) return 2;
+  const std::optional<std::size_t> jobs = jobs_from(args);
+  if (!jobs) return 2;
   support::VirtualFileSystem vfs;
   support::import_from_disk(vfs, args.dir, kVfsRoot);
-  RegressionRunner runner(vfs);
+  RegressionRunner runner(vfs, *jobs);
   auto report = runner.run_system(kVfsRoot, *spec, platform_from(args));
   std::cout << format_report(report);
   return report.all_passed() ? 0 : 1;
@@ -223,7 +246,7 @@ int usage() {
       << "advm — assembler-driven verification methodology toolchain\n"
          "usage:\n"
          "  advm init  <dir> [--derivative SC88-A] [--tests N]\n"
-         "  advm run   <dir> [--derivative D] [--platform P]\n"
+         "  advm run   <dir> [--derivative D] [--platform P] [--jobs N]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
          "  advm random <dir> --seed K [--derivative D]\n";

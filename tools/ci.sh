@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate for the ADVM tree.
+#
+#   1. tier-1: the exact ROADMAP verify command (configure, build, ctest).
+#   2. hygiene: a -Werror configure preset must compile warning-clean.
+#   3. perf:   build the bench harnesses and record BENCH_*.json so the
+#              perf trajectory of every revision is on disk (skippable with
+#              ADVM_CI_SKIP_BENCH=1 for quick gates).
+#
+# Run from anywhere: the script cds to the repo root first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1 verify"
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+cd ..
+
+echo "==> -Werror hygiene build"
+cmake --preset werror
+cmake --build build-werror -j
+
+if [[ "${ADVM_CI_SKIP_BENCH:-0}" != "1" ]]; then
+  echo "==> bench harnesses (BENCH_*.json)"
+  cmake --build build -t benches -j
+  mkdir -p build/bench-json
+  export ADVM_BENCH_JSON_DIR="$PWD/build/bench-json"
+  # Table-based experiment harnesses; e9 (google-benchmark) reports its own
+  # JSON natively when wanted and is too slow for a default CI lap.
+  for bench in ablation e1_structure e2_spec_change e3_wrapper e4_platforms \
+               e5_devtime e6_porting e7_random e8_labels; do
+    "./build/bench/bench_${bench}" > "build/bench-json/bench_${bench}.log"
+  done
+  echo "bench records: $(ls "$ADVM_BENCH_JSON_DIR"/BENCH_*.json | wc -l) files in build/bench-json/"
+fi
+
+echo "==> CI green"
