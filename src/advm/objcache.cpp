@@ -1,0 +1,145 @@
+#include "advm/objcache.h"
+
+#include <utility>
+
+#include "support/diagnostics.h"
+#include "support/hash.h"
+
+namespace advm::core {
+
+using assembler::Assembler;
+using assembler::AssemblerOptions;
+using assembler::IncludeEdge;
+using assembler::ObjectFile;
+
+std::uint64_t options_fingerprint(const AssemblerOptions& options) {
+  support::Fnv1a h;
+  h.update(std::uint64_t{options.include_dirs.size()});
+  for (const std::string& dir : options.include_dirs) h.update(dir);
+  h.update(std::uint64_t{options.predefines.size()});
+  for (const auto& [name, value] : options.predefines) {
+    h.update(name);
+    h.update(static_cast<std::uint64_t>(value));
+  }
+  h.update(std::uint64_t{options.emit_listing ? 1u : 0u});
+  h.update(std::uint64_t{options.max_include_depth});
+  h.update(std::uint64_t{options.max_macro_depth});
+  return h.digest();
+}
+
+namespace {
+
+/// Digest over the current content of every include an assembly resolved.
+/// A regenerated Globals.inc (porting, `advm random`) changes this, which
+/// invalidates the entry; a vanished include changes it too.
+std::uint64_t deps_digest_of(const support::VirtualFileSystem& vfs,
+                             const std::vector<IncludeEdge>* includes) {
+  support::Fnv1a h;
+  if (includes == nullptr) return h.digest();
+  for (const IncludeEdge& edge : *includes) {
+    h.update(edge.to_file);
+    if (auto content = vfs.read(edge.to_file)) {
+      h.update(*content);
+    } else {
+      h.update(std::uint64_t{0xdeadULL});  // absent ≠ empty
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+CachedObject ObjectCache::assemble(const support::VirtualFileSystem& vfs,
+                                   std::string_view path,
+                                   const AssemblerOptions& options) {
+  const std::string norm = support::normalize_path(path);
+  CachedObject out;
+
+  const auto source = vfs.read(norm);
+  if (!source) {
+    // Uncacheable (there is no content to key on); reproduce the
+    // assembler's missing-file diagnostic verbatim.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    support::DiagnosticEngine diags;
+    Assembler assembler(vfs, diags, options);
+    (void)assembler.assemble_file(norm);
+    out.error = diags.to_string();
+    out.includes = std::make_shared<const std::vector<IncludeEdge>>();
+    return out;
+  }
+
+  const std::uint64_t source_digest = support::hash_bytes(*source);
+  const std::uint64_t options_digest = options_fingerprint(options);
+  support::Fnv1a key;
+  key.update(norm);
+  key.update(*source);
+  key.update(options_digest);
+
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[key.digest()];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+
+  // Entry-level lock: one thread builds, concurrent same-key requests wait
+  // and then hit — the counters come out the same for any pool size.
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const bool same_inputs = entry->valid && entry->path == norm &&
+                           entry->source_digest == source_digest &&
+                           entry->options_digest == options_digest;
+  if (same_inputs && deps_digest_of(vfs, entry->includes.get()) ==
+                         entry->deps_digest) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    out.object = entry->object;
+    out.error = entry->error;
+    out.includes = entry->includes;
+    out.hit = true;
+    return out;
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (entry->valid) {  // stale: an include changed underneath the entry
+    bytes_.fetch_sub(entry->object_bytes, std::memory_order_relaxed);
+  }
+
+  support::DiagnosticEngine diags;
+  Assembler assembler(vfs, diags, options);
+  auto result = assembler.assemble_file(norm);
+  if (result) {
+    entry->object =
+        std::make_shared<const ObjectFile>(std::move(result->object));
+    entry->error.clear();
+    entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
+        std::move(result->includes));
+    entry->object_bytes = entry->object->total_bytes();
+  } else {
+    entry->object = nullptr;
+    entry->error = diags.to_string();
+    entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
+        assembler.last_includes());
+    entry->object_bytes = 0;
+  }
+  entry->path = norm;
+  entry->source_digest = source_digest;
+  entry->options_digest = options_digest;
+  entry->deps_digest = deps_digest_of(vfs, entry->includes.get());
+  entry->valid = true;
+  bytes_.fetch_add(entry->object_bytes, std::memory_order_relaxed);
+
+  out.object = entry->object;
+  out.error = entry->error;
+  out.includes = entry->includes;
+  return out;
+}
+
+ObjectCacheStats ObjectCache::stats() const {
+  ObjectCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace advm::core

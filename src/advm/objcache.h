@@ -1,0 +1,110 @@
+// Content-addressed object cache — the assemble-once half of the matrix
+// pipeline.
+//
+// The ADVM premise (paper Fig 2, §2) is that test-layer sources are
+// target-neutral: the same test.asm assembles to the same object no matter
+// which derivative or platform the link targets. The regression runner
+// therefore needs each translation unit assembled exactly once per process,
+// not once per matrix cell. This cache keys an assembled ObjectFile by an
+// FNV-1a digest over (source path, source text, AssemblerOptions) and
+// revalidates entries against the content of every include the assembly
+// resolved, so `advm random` / porting-style regeneration of Globals.inc is
+// picked up while untouched sources are served without re-lexing.
+//
+// The path participates in the key because ObjectFile::name (the layer
+// identity the violation checker relies on) is the source path: two files
+// with identical text must still yield objects carrying their own names.
+//
+// Concurrency: requests for different keys assemble in parallel; concurrent
+// requests for the same key serialise on the entry, so exactly one of them
+// builds and the rest observe a hit. That once-per-key discipline is what
+// keeps the hit/miss counters deterministic for any worker-pool size — a
+// property the regression report format tests rely on.
+//
+// Known limit (shared with ccache's direct mode): revalidation re-hashes the
+// includes recorded at build time, so creating a *new* file that shadows an
+// include earlier in the search path is not detected. In-process workflows
+// regenerate files in place, which is detected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "support/vfs.h"
+
+namespace advm::core {
+
+/// Counters exposed on RegressionReport and printed by format_report.
+/// `hits`/`misses` count cache requests; `bytes` is the emitted-byte
+/// footprint of every object currently held.
+struct ObjectCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Outcome of a cached assembly: a shared immutable object on success, the
+/// diagnostic text of the failed build otherwise. `includes` lists every
+/// resolved include either way (shared with the cache entry, never copied
+/// per hit) — build-failure records use it to name the offending file.
+struct CachedObject {
+  std::shared_ptr<const assembler::ObjectFile> object;  ///< null on failure
+  std::string error;
+  std::shared_ptr<const std::vector<assembler::IncludeEdge>> includes;
+  bool hit = false;
+
+  [[nodiscard]] bool ok() const { return object != nullptr; }
+};
+
+/// FNV-1a fingerprint of everything in AssemblerOptions that can change an
+/// assembly's output (include path order, predefines, limits).
+[[nodiscard]] std::uint64_t options_fingerprint(
+    const assembler::AssemblerOptions& options);
+
+class ObjectCache {
+ public:
+  ObjectCache() = default;
+  ObjectCache(const ObjectCache&) = delete;
+  ObjectCache& operator=(const ObjectCache&) = delete;
+
+  /// Returns the object for (path, current source text, options), assembling
+  /// it at most once until an input changes. Failed assemblies are cached
+  /// too (their diagnostic text is as deterministic as the object would be).
+  [[nodiscard]] CachedObject assemble(const support::VirtualFileSystem& vfs,
+                                      std::string_view path,
+                                      const assembler::AssemblerOptions& options);
+
+  [[nodiscard]] ObjectCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    bool valid = false;
+    // Key material re-verified on every hit: the map key is a bare 64-bit
+    // FNV digest, and a verification tool must not serve the wrong object
+    // on a digest collision. Path + an independent source digest make an
+    // undetected collision require three simultaneous matches.
+    std::string path;
+    std::uint64_t source_digest = 0;
+    std::uint64_t options_digest = 0;
+    std::shared_ptr<const assembler::ObjectFile> object;
+    std::string error;
+    std::shared_ptr<const std::vector<assembler::IncludeEdge>> includes;
+    std::uint64_t deps_digest = 0;
+    std::uint64_t object_bytes = 0;
+  };
+
+  mutable std::mutex mutex_;  ///< guards `entries_` (not entry payloads)
+  std::map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace advm::core

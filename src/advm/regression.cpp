@@ -1,7 +1,9 @@
 #include "advm/regression.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -18,7 +20,6 @@
 
 namespace advm::core {
 
-using assembler::Assembler;
 using assembler::AssemblerOptions;
 using assembler::ObjectFile;
 using support::join_path;
@@ -68,9 +69,25 @@ std::uint64_t RegressionReport::outcome_digest() const {
 
 namespace {
 
-/// Everything shared by the tests of one environment build.
+/// Appends the resolved-include trail of a failed assembly so BUILD-FAIL
+/// records name the file that introduced the failure, not just the
+/// top-level translation unit.
+void append_include_trail(
+    std::string& error,
+    const std::shared_ptr<const std::vector<assembler::IncludeEdge>>&
+        includes) {
+  if (!includes || includes->empty()) return;
+  error += " [include trail:";
+  for (const auto& edge : *includes) {
+    error += " " + edge.from_file + " -> " + edge.to_file + ";";
+  }
+  error.back() = ']';
+}
+
+/// Everything shared by the tests of one environment build. Shared objects
+/// are held by pointer into the cache — linking a test never copies them.
 struct EnvBuildContext {
-  std::vector<ObjectFile> shared_objects;  // base functions, traps, ES
+  std::vector<std::shared_ptr<const ObjectFile>> shared_objects;
   AssemblerOptions asm_options;
   bool ok = false;
   std::string error;
@@ -78,7 +95,8 @@ struct EnvBuildContext {
 
 EnvBuildContext prepare_environment(const support::VirtualFileSystem& vfs,
                                     std::string_view env_dir,
-                                    std::string_view global_dir) {
+                                    std::string_view global_dir,
+                                    ObjectCache& cache) {
   EnvBuildContext ctx;
   const std::string abstraction_dir =
       join_path(env_dir, kAbstractionLayerDir);
@@ -88,17 +106,15 @@ EnvBuildContext prepare_environment(const support::VirtualFileSystem& vfs,
   }
   ctx.asm_options.include_dirs.push_back(std::string(global_dir));
 
-  support::DiagnosticEngine diags;
-  Assembler assembler(vfs, diags, ctx.asm_options);
-
   auto add_shared = [&](const std::string& path) {
     if (!vfs.exists(path)) return true;  // optional component
-    auto result = assembler.assemble_file(path);
-    if (!result) {
-      ctx.error = "shared object '" + path + "': " + diags.to_string();
+    CachedObject built = cache.assemble(vfs, path, ctx.asm_options);
+    if (!built.ok()) {
+      ctx.error = "shared object '" + path + "': " + built.error;
+      append_include_trail(ctx.error, built.includes);
       return false;
     }
-    ctx.shared_objects.push_back(std::move(result->object));
+    ctx.shared_objects.push_back(std::move(built.object));
     return true;
   };
 
@@ -114,8 +130,11 @@ EnvBuildContext prepare_environment(const support::VirtualFileSystem& vfs,
   return ctx;
 }
 
-TestRunRecord run_one_test(const support::VirtualFileSystem& vfs,
-                           const EnvBuildContext& ctx,
+/// Link+run phase for one (cell, test): links the cached test object
+/// against the environment's shared objects — all by pointer, zero
+/// ObjectFile copies — and executes the image.
+TestRunRecord run_one_test(const EnvBuildContext& ctx,
+                           const CachedObject& test_obj,
                            std::string_view env_dir, const std::string& test_id,
                            const soc::DerivativeSpec& spec,
                            sim::PlatformKind platform,
@@ -124,22 +143,20 @@ TestRunRecord run_one_test(const support::VirtualFileSystem& vfs,
   record.environment = support::base_name(env_dir);
   record.test_id = test_id;
 
-  support::DiagnosticEngine diags;
-  Assembler assembler(vfs, diags, ctx.asm_options);
-  const std::string test_path =
-      join_path(join_path(env_dir, test_id), kTestSourceFile);
-  auto test_obj = assembler.assemble_file(test_path);
-  if (!test_obj) {
-    record.detail = diags.to_string();
+  if (!test_obj.ok()) {
+    record.detail = test_obj.error;
+    append_include_trail(record.detail, test_obj.includes);
     return record;
   }
 
-  std::vector<ObjectFile> objects;
-  objects.push_back(std::move(test_obj->object));
-  for (const ObjectFile& shared : ctx.shared_objects) {
-    objects.push_back(shared);
+  std::vector<const ObjectFile*> objects;
+  objects.reserve(1 + ctx.shared_objects.size());
+  objects.push_back(test_obj.object.get());
+  for (const auto& shared : ctx.shared_objects) {
+    objects.push_back(shared.get());
   }
 
+  support::DiagnosticEngine diags;
   assembler::LinkOptions link_options;
   link_options.code_base = spec.code_base();
   link_options.data_base = spec.data_base();
@@ -169,10 +186,12 @@ TestRunRecord run_one_test(const support::VirtualFileSystem& vfs,
 }
 
 /// An environment ready to execute: directory, discovered test cells (in
-/// VFS order, which fixes the report order), and the shared build context.
+/// VFS order, which fixes the report order), the shared build context, and
+/// — after the assembly phase — one cached object per test cell.
 struct EnvPlan {
   std::string dir;
   std::vector<std::string> tests;
+  std::vector<CachedObject> test_objects;  ///< parallel to `tests`
   EnvBuildContext ctx;
 };
 
@@ -206,23 +225,50 @@ std::vector<std::string> discover_environments(
   return envs;
 }
 
-/// Discovers test cells and assembles shared objects for every environment.
-/// The per-environment builds are independent, so they run on the pool too.
+/// Assembly phase 1: discovers test cells and assembles shared objects for
+/// every environment. The per-environment builds are independent, so they
+/// run on the pool too.
 std::vector<EnvPlan> plan_environments(const support::VirtualFileSystem& vfs,
                                        const std::vector<std::string>& env_dirs,
                                        std::string_view global_dir,
-                                       std::size_t jobs) {
+                                       std::size_t jobs, ObjectCache& cache) {
   std::vector<EnvPlan> plans(env_dirs.size());
   parallel_for(env_dirs.size(), jobs, [&](std::size_t i) {
     plans[i].dir = env_dirs[i];
     plans[i].tests = discover_tests(vfs, env_dirs[i]);
-    plans[i].ctx = prepare_environment(vfs, env_dirs[i], global_dir);
+    plans[i].ctx = prepare_environment(vfs, env_dirs[i], global_dir, cache);
   });
   return plans;
 }
 
-TestRunRecord run_planned_test(const support::VirtualFileSystem& vfs,
-                               const EnvPlan& plan, const std::string& test_id,
+/// Assembly phase 2: every test.asm becomes an ObjectFile exactly once,
+/// fanned out over the pool — this cost is independent of how many matrix
+/// cells will link against it.
+void assemble_tests(const support::VirtualFileSystem& vfs,
+                    std::vector<EnvPlan>& plans, std::size_t jobs,
+                    ObjectCache& cache) {
+  struct Unit {
+    std::size_t env = 0;
+    std::size_t test = 0;
+  };
+  std::vector<Unit> units;
+  for (std::size_t e = 0; e < plans.size(); ++e) {
+    plans[e].test_objects.resize(plans[e].tests.size());
+    if (!plans[e].ctx.ok) continue;  // env-wide failure covers every cell
+    for (std::size_t t = 0; t < plans[e].tests.size(); ++t) {
+      units.push_back({e, t});
+    }
+  }
+  parallel_for(units.size(), jobs, [&](std::size_t i) {
+    EnvPlan& plan = plans[units[i].env];
+    const std::string test_path = join_path(
+        join_path(plan.dir, plan.tests[units[i].test]), kTestSourceFile);
+    plan.test_objects[units[i].test] =
+        cache.assemble(vfs, test_path, plan.ctx.asm_options);
+  });
+}
+
+TestRunRecord run_planned_test(const EnvPlan& plan, std::size_t test_index,
                                const soc::DerivativeSpec& spec,
                                sim::PlatformKind platform,
                                std::uint64_t max_instructions) {
@@ -230,21 +276,22 @@ TestRunRecord run_planned_test(const support::VirtualFileSystem& vfs,
     // Environment-wide build problem: every cell reports it.
     TestRunRecord record;
     record.environment = support::base_name(plan.dir);
-    record.test_id = test_id;
+    record.test_id = plan.tests[test_index];
     record.detail = plan.ctx.error;
     return record;
   }
-  return run_one_test(vfs, plan.ctx, plan.dir, test_id, spec, platform,
+  return run_one_test(plan.ctx, plan.test_objects[test_index], plan.dir,
+                      plan.tests[test_index], spec, platform,
                       max_instructions);
 }
 
-/// Executes the (cell × environment × test) cube over the worker pool.
-/// Every task writes one pre-allocated record slot, so aggregation is in
-/// submission order by construction — pool size never reorders a report.
+/// Link+run phase: executes the (cell × environment × test) cube over the
+/// worker pool against the phase-A object cube. Every task writes one
+/// pre-allocated record slot, so aggregation is in submission order by
+/// construction — pool size never reorders a report.
 std::vector<RegressionReport> run_planned_matrix(
-    const support::VirtualFileSystem& vfs, const std::vector<EnvPlan>& plans,
-    const std::vector<MatrixCell>& cells, std::size_t jobs,
-    std::uint64_t max_instructions) {
+    const std::vector<EnvPlan>& plans, const std::vector<MatrixCell>& cells,
+    std::size_t jobs, std::uint64_t max_instructions) {
   struct Task {
     std::size_t cell = 0;
     std::size_t env = 0;
@@ -268,9 +315,8 @@ std::vector<RegressionReport> run_planned_matrix(
 
   parallel_for(tasks.size(), jobs, [&](std::size_t i) {
     const Task& task = tasks[i];
-    const EnvPlan& plan = plans[task.env];
     reports[task.cell].records[task.slot] =
-        run_planned_test(vfs, plan, plan.tests[task.test], *cells[task.cell].spec,
+        run_planned_test(plans[task.env], task.test, *cells[task.cell].spec,
                          cells[task.cell].platform, max_instructions);
   });
   return reports;
@@ -290,6 +336,12 @@ void parallel_for(std::size_t count, std::size_t jobs,
     return;
   }
 
+  // Workers claim K tasks per fetch_add instead of one: at 10k+ matrix
+  // cells the single shared cursor otherwise becomes a contended cache
+  // line. K scales with count/jobs (≈8 claims per worker) and is capped so
+  // the tail of an uneven workload still balances.
+  const std::size_t chunk =
+      std::clamp<std::size_t>(count / (jobs * 8), 1, 64);
   std::atomic<std::size_t> cursor{0};
   std::exception_ptr failure;
   std::mutex failure_mutex;
@@ -297,12 +349,15 @@ void parallel_for(std::size_t count, std::size_t jobs,
   workers.reserve(jobs);
   for (std::size_t w = 0; w < jobs; ++w) {
     workers.emplace_back([&] {
-      for (std::size_t i; (i = cursor.fetch_add(1)) < count;) {
-        try {
-          task(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (!failure) failure = std::current_exception();
+      for (std::size_t base; (base = cursor.fetch_add(chunk)) < count;) {
+        const std::size_t end = std::min(count, base + chunk);
+        for (std::size_t i = base; i < end; ++i) {
+          try {
+            task(i);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure) failure = std::current_exception();
+          }
         }
       }
     });
@@ -311,14 +366,38 @@ void parallel_for(std::size_t count, std::size_t jobs,
   if (failure) std::rethrow_exception(failure);
 }
 
+namespace {
+
+/// Two-phase execution shared by every public entry point: assemble each
+/// translation unit once (phases A1/A2), then link+run the cube (phase B).
+/// Cache counters observed across the run land on every cell's report.
+std::vector<RegressionReport> run_two_phase(
+    const support::VirtualFileSystem& vfs,
+    const std::vector<std::string>& env_dirs, std::string_view global_dir,
+    const std::vector<MatrixCell>& cells, std::size_t jobs, ObjectCache& cache,
+    std::uint64_t max_instructions) {
+  const ObjectCacheStats before = cache.stats();
+  auto plans = plan_environments(vfs, env_dirs, global_dir, jobs, cache);
+  assemble_tests(vfs, plans, jobs, cache);
+  auto reports = run_planned_matrix(plans, cells, jobs, max_instructions);
+  const ObjectCacheStats after = cache.stats();
+  for (RegressionReport& report : reports) {
+    report.cache.hits = after.hits - before.hits;
+    report.cache.misses = after.misses - before.misses;
+    report.cache.bytes = after.bytes;
+  }
+  return reports;
+}
+
+}  // namespace
+
 RegressionReport RegressionRunner::run_environment(
     std::string_view env_dir, std::string_view global_dir,
     const soc::DerivativeSpec& spec, sim::PlatformKind platform,
     std::uint64_t max_instructions) {
-  const std::vector<std::string> env_dirs{std::string(env_dir)};
-  auto plans = plan_environments(vfs_, env_dirs, global_dir, jobs_);
-  auto reports = run_planned_matrix(vfs_, plans, {{&spec, platform}}, jobs_,
-                                    max_instructions);
+  auto reports =
+      run_two_phase(vfs_, {std::string(env_dir)}, global_dir,
+                    {{&spec, platform}}, jobs_, *cache_, max_instructions);
   return std::move(reports.front());
 }
 
@@ -334,9 +413,8 @@ std::vector<RegressionReport> RegressionRunner::run_matrix(
     std::string_view system_root, const std::vector<MatrixCell>& cells,
     std::uint64_t max_instructions) {
   const std::string global_dir = join_path(system_root, kGlobalLibrariesDir);
-  auto plans = plan_environments(
-      vfs_, discover_environments(vfs_, system_root), global_dir, jobs_);
-  return run_planned_matrix(vfs_, plans, cells, jobs_, max_instructions);
+  return run_two_phase(vfs_, discover_environments(vfs_, system_root),
+                       global_dir, cells, jobs_, *cache_, max_instructions);
 }
 
 std::string format_report(const RegressionReport& report) {
@@ -359,6 +437,9 @@ std::string format_report(const RegressionReport& report) {
     os << ", " << report.build_failures() << " build failures";
   }
   os << "\n";
+  os << "  object cache: " << report.cache.hits << " hits, "
+     << report.cache.misses << " misses, " << report.cache.bytes
+     << " object bytes\n";
   return os.str();
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "advm/objcache.h"
 #include "sim/machine.h"
 #include "sim/platform.h"
 #include "soc/derivative.h"
@@ -43,6 +44,11 @@ struct RegressionReport {
   std::string derivative;
   sim::PlatformKind platform = sim::PlatformKind::GoldenModel;
   std::vector<TestRunRecord> records;
+  /// Object-cache activity for the run that produced this report:
+  /// hits/misses are the run's own requests, bytes the cache footprint
+  /// afterwards. Every cell of a matrix run shares one assembly phase, so
+  /// every cell's report carries the same (run-wide) numbers.
+  ObjectCacheStats cache;
 
   [[nodiscard]] std::size_t passed() const;
   [[nodiscard]] std::size_t failed() const;
@@ -68,9 +74,17 @@ class RegressionRunner {
   /// runs serially on the calling thread, 0 means "one per hardware
   /// thread". Whatever the pool size, records land in discovery order, so
   /// reports are byte-identical to a serial run.
+  ///
+  /// Every run goes through two phases: an assembly phase that builds each
+  /// translation unit exactly once into `cache` (the runner's own cache by
+  /// default — pass one in to share objects across runners, e.g. between a
+  /// regression and a violation check in one process), and a link+run phase
+  /// that executes the (cell × test) cube against the cached objects
+  /// without copying any of them.
   explicit RegressionRunner(const support::VirtualFileSystem& vfs,
-                            std::size_t jobs = 1)
-      : vfs_(vfs), jobs_(jobs) {}
+                            std::size_t jobs = 1,
+                            ObjectCache* cache = nullptr)
+      : vfs_(vfs), jobs_(jobs), cache_(cache ? cache : &owned_cache_) {}
 
   /// Runs every environment under `system_root`.
   [[nodiscard]] RegressionReport run_system(
@@ -96,6 +110,8 @@ class RegressionRunner {
  private:
   const support::VirtualFileSystem& vfs_;
   std::size_t jobs_ = 1;
+  ObjectCache owned_cache_;
+  ObjectCache* cache_ = nullptr;
 };
 
 /// Runs `count` independent tasks on `jobs` worker threads (0 → one per

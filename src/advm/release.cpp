@@ -60,13 +60,30 @@ bool ReleaseManager::verify(const ReleaseLabel& label) const {
 }
 
 bool ReleaseManager::verify(const SystemRelease& release) const {
+  // Sub-label tree hashing is the expensive part and each sub-label is
+  // independent, so it fans out over the worker pool; the composed hash is
+  // then folded serially in label order (its definition is order-sensitive).
+  std::vector<std::uint64_t> hashes(release.sub_labels.size());
+  parallel_for(release.sub_labels.size(), jobs_, [&](std::size_t i) {
+    hashes[i] = support::hash_tree(vfs_, release.sub_labels[i].snapshot_dir);
+  });
+
   support::Fnv1a composed;
-  for (const ReleaseLabel& label : release.sub_labels) {
-    if (!verify(label)) return false;
+  for (std::size_t i = 0; i < release.sub_labels.size(); ++i) {
+    const ReleaseLabel& label = release.sub_labels[i];
+    if (hashes[i] != label.content_hash) return false;
     composed.update(label.name);
     composed.update(label.content_hash);
   }
   return composed.digest() == release.composed_hash;
+}
+
+RegressionReport ReleaseManager::run_frozen(const SystemRelease& release,
+                                            const soc::DerivativeSpec& spec,
+                                            sim::PlatformKind platform,
+                                            std::uint64_t max_instructions) {
+  RegressionRunner runner(vfs_, jobs_, &cache_);
+  return runner.run_system(release.root, spec, platform, max_instructions);
 }
 
 std::uint64_t ReleaseManager::live_hash(const ReleaseLabel& label) const {

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "advm/environment.h"
+#include "advm/objcache.h"
+#include "advm/regression.h"
 #include "support/vfs.h"
 
 namespace advm::core {
@@ -41,9 +43,12 @@ struct SystemRelease {
 
 class ReleaseManager {
  public:
+  /// `jobs` sizes the worker pool that sub-label verification and frozen
+  /// regressions fan out over (1 = serial, 0 = one per hardware thread).
   explicit ReleaseManager(support::VirtualFileSystem& vfs,
-                          std::string release_root = "/releases")
-      : vfs_(vfs), release_root_(std::move(release_root)) {}
+                          std::string release_root = "/releases",
+                          std::size_t jobs = 1)
+      : vfs_(vfs), release_root_(std::move(release_root)), jobs_(jobs) {}
 
   /// Snapshots one directory under a label.
   ReleaseLabel create_label(const std::string& name,
@@ -64,9 +69,20 @@ class ReleaseManager {
   /// as trunk development continues.
   [[nodiscard]] std::uint64_t live_hash(const ReleaseLabel& label) const;
 
+  /// Runs the frozen snapshot's full regression on the worker pool. The
+  /// manager keeps one object cache across calls, so repeated verifies of
+  /// the same (immutable) snapshot reuse every object instead of
+  /// re-lexing — the report's cache counters show pure hits from the
+  /// second verify on.
+  [[nodiscard]] RegressionReport run_frozen(
+      const SystemRelease& release, const soc::DerivativeSpec& spec,
+      sim::PlatformKind platform, std::uint64_t max_instructions = 2'000'000);
+
  private:
   support::VirtualFileSystem& vfs_;
   std::string release_root_;
+  std::size_t jobs_ = 1;
+  ObjectCache cache_;  ///< shared across frozen regressions of this manager
 };
 
 }  // namespace advm::core

@@ -123,11 +123,13 @@ Violation file_violation(std::string code, std::string file,
 }
 
 /// Link-level check: does the test reference symbols defined in the global
-/// layer? Requires a successful build of the full cell.
+/// layer? Requires a successful build of the full cell. All objects come
+/// from the cache, so the shared environment libraries assemble once per
+/// check run — not once per test cell — and link by pointer.
 void check_linkage(const support::VirtualFileSystem& vfs,
                    std::string_view env_dir, std::string_view global_dir,
                    const std::string& test_path,
-                   const soc::DerivativeSpec& spec,
+                   const soc::DerivativeSpec& spec, ObjectCache& cache,
                    ViolationReport& report) {
   support::DiagnosticEngine diags;
   assembler::AssemblerOptions options;
@@ -138,17 +140,17 @@ void check_linkage(const support::VirtualFileSystem& vfs,
   }
   options.include_dirs.push_back(std::string(global_dir));
 
-  assembler::Assembler asm_driver(vfs, diags, options);
-  std::vector<assembler::ObjectFile> objects;
+  std::vector<std::shared_ptr<const assembler::ObjectFile>> held;
+  std::vector<const assembler::ObjectFile*> objects;
 
-  auto test_obj = asm_driver.assemble_file(test_path);
-  if (!test_obj) {
+  CachedObject test_obj = cache.assemble(vfs, test_path, options);
+  if (!test_obj.ok()) {
     report.violations.push_back(file_violation(
         "advm.unbuildable", test_path,
-        "cell does not assemble: " + diags.to_string()));
+        "cell does not assemble: " + test_obj.error));
     return;
   }
-  objects.push_back(std::move(test_obj->object));
+  objects.push_back(test_obj.object.get());
 
   for (const char* shared :
        {kBaseFunctionsFile, kTrapLibraryFile, soc::kEmbeddedSoftwareFile,
@@ -157,14 +159,15 @@ void check_linkage(const support::VirtualFileSystem& vfs,
                            ? join_path(abstraction_dir, shared)
                            : join_path(global_dir, shared);
     if (!vfs.exists(path)) continue;
-    auto obj = asm_driver.assemble_file(path);
-    if (!obj) {
+    CachedObject obj = cache.assemble(vfs, path, options);
+    if (!obj.ok()) {
       report.violations.push_back(file_violation(
           "advm.unbuildable", path,
-          "environment library does not assemble: " + diags.to_string()));
+          "environment library does not assemble: " + obj.error));
       return;
     }
-    objects.push_back(std::move(obj->object));
+    objects.push_back(obj.object.get());
+    held.push_back(std::move(obj.object));
   }
 
   assembler::LinkOptions link_options;
@@ -228,7 +231,8 @@ ViolationReport ViolationChecker::check_environment(
     if (!source) continue;
 
     scan_source(test_path, *source, report);
-    check_linkage(vfs_, env_dir, global_dir, test_path, spec, report);
+    check_linkage(vfs_, env_dir, global_dir, test_path, spec, *cache_,
+                  report);
   }
   return report;
 }

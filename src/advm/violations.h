@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "advm/objcache.h"
 #include "sim/platform.h"
 #include "soc/derivative.h"
 #include "support/source_loc.h"
@@ -50,8 +51,15 @@ struct ViolationReport {
 
 class ViolationChecker {
  public:
-  explicit ViolationChecker(const support::VirtualFileSystem& vfs)
-      : vfs_(vfs) {}
+  /// Linkage checks assemble the cell plus the environment's shared
+  /// libraries; those objects come from `cache` (the checker's own by
+  /// default), so an environment's base-function/trap/ES objects assemble
+  /// once per check run, not once per test cell. Pass the cache a
+  /// RegressionRunner uses to share objects between a regression and a
+  /// violation check in one process.
+  explicit ViolationChecker(const support::VirtualFileSystem& vfs,
+                            ObjectCache* cache = nullptr)
+      : vfs_(vfs), cache_(cache ? cache : &owned_cache_) {}
 
   /// Checks every test cell of one module environment. `global_dir` names
   /// the global-library directory (for include/link classification);
@@ -66,6 +74,8 @@ class ViolationChecker {
 
  private:
   const support::VirtualFileSystem& vfs_;
+  ObjectCache owned_cache_;
+  ObjectCache* cache_ = nullptr;
 };
 
 }  // namespace advm::core

@@ -56,6 +56,10 @@ class Assembler::Impl {
     return run(std::string(name), std::string(source));
   }
 
+  [[nodiscard]] const std::vector<IncludeEdge>& last_includes() const {
+    return includes_;
+  }
+
  private:
   // --------------------------------------------------------------- driver --
   std::optional<AssembleResult> run(const std::string& name,
@@ -1218,6 +1222,10 @@ std::optional<AssembleResult> Assembler::assemble_file(std::string_view path) {
 std::optional<AssembleResult> Assembler::assemble_source(
     std::string_view name, std::string_view source) {
   return impl_->assemble_source(name, source);
+}
+
+const std::vector<IncludeEdge>& Assembler::last_includes() const {
+  return impl_->last_includes();
 }
 
 }  // namespace advm::assembler

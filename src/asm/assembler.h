@@ -87,6 +87,11 @@ class Assembler {
   [[nodiscard]] std::optional<AssembleResult> assemble_source(
       std::string_view name, std::string_view source);
 
+  /// Include edges gathered by the most recent *failed* assemble_* call
+  /// (on success they move into the AssembleResult and this is empty).
+  /// Lets callers name the include that introduced a build failure.
+  [[nodiscard]] const std::vector<IncludeEdge>& last_includes() const;
+
  private:
   class Impl;
   std::unique_ptr<Impl> impl_;

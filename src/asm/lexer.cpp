@@ -121,6 +121,12 @@ std::vector<Token> lex_line(std::string_view text, const std::string& file,
       if (all_hex && j > i + 1) {
         auto parsed = support::parse_integer(
             "0x" + std::string(text.substr(i + 1, j - i - 1)));
+        if (!parsed) {  // wider than 64 bits
+          diags.error("asm.bad-number", "hex literal wider than 64 bits",
+                      tok.loc);
+          i = j;
+          continue;
+        }
         tok.kind = TokenKind::Number;
         tok.text = std::string(text.substr(i, j - i));
         tok.value = *parsed;

@@ -25,7 +25,7 @@ std::size_t Image::total_bytes() const {
   return n;
 }
 
-std::optional<Image> link(std::span<const ObjectFile> objects,
+std::optional<Image> link(std::span<const ObjectFile* const> objects,
                           const LinkOptions& options,
                           support::DiagnosticEngine& diags) {
   // --- Phase 1: place sections. -------------------------------------------
@@ -33,11 +33,11 @@ std::optional<Image> link(std::span<const ObjectFile> objects,
   std::uint32_t code_cursor = options.code_base;
   std::uint32_t data_cursor = options.data_base;
 
-  for (const ObjectFile& obj : objects) {
-    for (const ObjSection& sec : obj.sections) {
+  for (const ObjectFile* obj : objects) {
+    for (const ObjSection& sec : obj->sections) {
       if (sec.bytes.empty() && !sec.is_absolute()) continue;
       PlacedSection p;
-      p.object = &obj;
+      p.object = obj;
       p.section = &sec;
       if (sec.is_absolute()) {
         p.base = *sec.org;
@@ -83,9 +83,9 @@ std::optional<Image> link(std::span<const ObjectFile> objects,
 
   Image image;
   bool ok = true;
-  for (const ObjectFile& obj : objects) {
-    for (const ObjSymbol& sym : obj.symbols) {
-      auto base = section_base(&obj, sym.section);
+  for (const ObjectFile* obj : objects) {
+    for (const ObjSymbol& sym : obj->symbols) {
+      auto base = section_base(obj, sym.section);
       if (!base) {
         // Symbol in an empty relocatable section: place at that region's
         // start. Happens for pure-EQU files that still define a label.
@@ -95,14 +95,14 @@ std::optional<Image> link(std::span<const ObjectFile> objects,
       if (!inserted) {
         diags.error("link.duplicate-symbol",
                     "symbol '" + sym.name + "' defined in both '" +
-                        it->second.defined_in + "' and '" + obj.name + "'",
+                        it->second.defined_in + "' and '" + obj->name + "'",
                     sym.loc);
         ok = false;
         continue;
       }
       it->second.name = sym.name;
       it->second.address = *base + sym.offset;
-      it->second.defined_in = obj.name;
+      it->second.defined_in = obj->name;
     }
   }
   if (!ok) return std::nullopt;
@@ -125,23 +125,23 @@ std::optional<Image> link(std::span<const ObjectFile> objects,
     return nullptr;
   };
 
-  for (const ObjectFile& obj : objects) {
-    for (const Relocation& rel : obj.relocations) {
+  for (const ObjectFile* obj : objects) {
+    for (const Relocation& rel : obj->relocations) {
       auto it = image.symbols.find(rel.symbol);
       if (it == image.symbols.end()) {
         diags.error("link.undefined-symbol",
                     "undefined symbol '" + rel.symbol + "' referenced from '" +
-                        obj.name + "'",
+                        obj->name + "'",
                     rel.loc);
         ok = false;
         continue;
       }
-      it->second.referenced_by.push_back(obj.name);
+      it->second.referenced_by.push_back(obj->name);
 
-      Segment* seg = segment_for(&obj, rel.section);
+      Segment* seg = segment_for(obj, rel.section);
       if (!seg || rel.offset + rel.size > seg->bytes.size()) {
         diags.error("link.bad-relocation",
-                    "relocation outside section bounds in '" + obj.name + "'",
+                    "relocation outside section bounds in '" + obj->name + "'",
                     rel.loc);
         ok = false;
         continue;
@@ -178,6 +178,15 @@ std::optional<Image> link(std::span<const ObjectFile> objects,
             [](const Segment& a, const Segment& b) { return a.base < b.base; });
 
   return image;
+}
+
+std::optional<Image> link(std::span<const ObjectFile> objects,
+                          const LinkOptions& options,
+                          support::DiagnosticEngine& diags) {
+  std::vector<const ObjectFile*> pointers;
+  pointers.reserve(objects.size());
+  for (const ObjectFile& obj : objects) pointers.push_back(&obj);
+  return link(pointers, options, diags);
 }
 
 }  // namespace advm::assembler

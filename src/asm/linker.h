@@ -61,6 +61,16 @@ struct Image {
 /// Links the given objects. Returns nullopt and reports diagnostics on
 /// duplicate symbols, unresolved references, overlapping placements or a
 /// missing entry symbol.
+///
+/// The pointer form is the primary one: callers that link the same shared
+/// objects into many images (the regression matrix links every cached test
+/// object against the same base-function/trap/ES objects) pass pointers and
+/// never copy an ObjectFile. Pointers must stay valid for the call only.
+[[nodiscard]] std::optional<Image> link(
+    std::span<const ObjectFile* const> objects, const LinkOptions& options,
+    support::DiagnosticEngine& diags);
+
+/// Convenience overload for callers that hold objects by value.
 [[nodiscard]] std::optional<Image> link(std::span<const ObjectFile> objects,
                                         const LinkOptions& options,
                                         support::DiagnosticEngine& diags);

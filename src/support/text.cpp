@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 
 namespace advm::support {
 
@@ -129,23 +130,34 @@ std::optional<std::int64_t> parse_integer(std::string_view s) {
   }
   if (s.empty()) return std::nullopt;
 
-  std::int64_t value = 0;
+  // Accumulate unsigned with an overflow guard: literals wider than 64
+  // bits are malformed, not UB. The final conversion to int64 is modular
+  // (well-defined since C++20), so 0xFFFFFFFFFFFFFFFF still reads as -1 —
+  // the classic assembler all-ones idiom.
+  std::uint64_t value = 0;
   for (char c : s) {
     if (c == '_') continue;  // digit separator, assembler convenience
-    int digit;
+    unsigned digit;
     if (c >= '0' && c <= '9') {
-      digit = c - '0';
+      digit = static_cast<unsigned>(c - '0');
     } else if (c >= 'a' && c <= 'f') {
-      digit = c - 'a' + 10;
+      digit = static_cast<unsigned>(c - 'a') + 10;
     } else if (c >= 'A' && c <= 'F') {
-      digit = c - 'A' + 10;
+      digit = static_cast<unsigned>(c - 'A') + 10;
     } else {
       return std::nullopt;
     }
-    if (digit >= base) return std::nullopt;
-    value = value * base + digit;
+    if (digit >= static_cast<unsigned>(base)) return std::nullopt;
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) /
+                    static_cast<unsigned>(base)) {
+      return std::nullopt;  // wider than 64 bits
+    }
+    value = value * static_cast<unsigned>(base) + digit;
   }
-  return negative ? -value : value;
+  // Negate in unsigned space (modular) so "-9223372036854775808" lands on
+  // INT64_MIN without signed-negation UB.
+  return static_cast<std::int64_t>(negative ? std::uint64_t{0} - value
+                                            : value);
 }
 
 bool is_symbol_start(char c) {

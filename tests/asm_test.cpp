@@ -142,6 +142,17 @@ TEST(Lexer, BinaryPercentLiterals) {
   DiagnosticEngine too_wide;
   (void)lex_line("%" + std::string(65, '1'), "t", 1, too_wide);
   EXPECT_TRUE(too_wide.has_code("asm.bad-number"));
+
+  // Same boundary for the '#' hex form: 16 hex digits is all-ones, 17 is
+  // a diagnostic, never an unchecked parse.
+  DiagnosticEngine hex_diags;
+  auto hex = lex_line("#" + std::string(16, 'F'), "t", 1, hex_diags);
+  ASSERT_FALSE(hex_diags.has_errors());
+  EXPECT_EQ(hex[0].value, -1);
+
+  DiagnosticEngine hex_wide;
+  (void)lex_line("#" + std::string(17, 'F'), "t", 1, hex_wide);
+  EXPECT_TRUE(hex_wide.has_code("asm.bad-number"));
 }
 
 TEST(Lexer, PercentAfterValueIsModulo) {

@@ -123,6 +123,43 @@ TEST_F(CliE2E, ParallelRunIsByteIdenticalToSerial) {
   }
 }
 
+TEST_F(CliE2E, MatrixRollupIsGreenAndDigestStableAcrossPlatforms) {
+  auto init = run_cli("init \"" + env_dir_ + "\" --tests 2");
+  ASSERT_EQ(init.exit_code, 0) << init.err;
+
+  auto matrix = run_cli("matrix \"" + env_dir_ +
+                        "\" --derivatives SC88-A"
+                        " --platforms golden-model,accelerator --jobs 4");
+  EXPECT_EQ(matrix.exit_code, 0) << matrix.out << matrix.err;
+  EXPECT_NE(matrix.out.find("matrix roll-up (1 derivatives x 2 platforms)"),
+            std::string::npos)
+      << matrix.out;
+
+  // Both cells ran the byte-identical binaries, so the roll-up rows must
+  // end in the same outcome digest (paper §1: one suite, many platforms).
+  std::vector<std::string> digests;
+  bool in_rollup = false;
+  for (std::string_view line :
+       advm::support::split_lines(matrix.out)) {
+    if (line.find("matrix roll-up") != std::string_view::npos) {
+      in_rollup = true;
+      continue;
+    }
+    if (!in_rollup || line.find("SC88-A") == std::string_view::npos) continue;
+    const auto pos = line.find_last_of(' ');
+    ASSERT_NE(pos, std::string_view::npos);
+    digests.emplace_back(line.substr(pos + 1));
+  }
+  ASSERT_EQ(digests.size(), 2u) << matrix.out;
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0].size(), 16u);  // 64-bit digest as hex
+
+  // An unknown platform must fail loudly, not fall back silently.
+  auto bad = run_cli("matrix \"" + env_dir_ + "\" --platforms warp-drive");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("unknown platform"), std::string::npos);
+}
+
 TEST_F(CliE2E, RunOnWrongDerivativeFailsLoudly) {
   // An SC88-A environment regressed against SC88-D must not silently pass:
   // the paper's Fig 2 lesson is that unported environments break visibly.
@@ -144,6 +181,12 @@ TEST_F(CliE2E, UsageAndBadArgumentsExitNonZero) {
   auto bad_jobs = run_cli("run \"" + env_dir_ + "\" --jobs banana");
   EXPECT_EQ(bad_jobs.exit_code, 2);
   EXPECT_NE(bad_jobs.err.find("invalid --jobs"), std::string::npos);
+
+  // Signed values must not slip through strtoul's wraparound into
+  // maximum fan-out.
+  auto negative_jobs = run_cli("run \"" + env_dir_ + "\" --jobs -1");
+  EXPECT_EQ(negative_jobs.exit_code, 2);
+  EXPECT_NE(negative_jobs.err.find("invalid --jobs"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Unit tests for the content-addressed object cache: the assemble-once
+// guarantee (hit on identical source/options), the invalidation rules
+// (changed source, changed include, changed predefine → miss), failure
+// caching, and counter determinism under concurrent same-key requests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "advm/objcache.h"
+#include "advm/regression.h"
+#include "support/vfs.h"
+
+namespace {
+
+using namespace advm;
+using namespace advm::core;
+using assembler::AssemblerOptions;
+
+constexpr const char* kMain = "/src/main.asm";
+constexpr const char* kInc = "/src/defs.inc";
+
+support::VirtualFileSystem tiny_program() {
+  support::VirtualFileSystem vfs;
+  vfs.write(kInc, "MAGIC .EQU 42\n");
+  vfs.write(kMain,
+            " .INCLUDE defs.inc\n"
+            "_main:\n"
+            " MOV d0, MAGIC\n"
+            " HALT\n");
+  return vfs;
+}
+
+TEST(ObjectCache, SecondIdenticalRequestHitsAndSharesTheObject) {
+  auto vfs = tiny_program();
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  auto first = cache.assemble(vfs, kMain, options);
+  auto second = cache.assemble(vfs, kMain, options);
+
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(first.hit);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.object.get(), second.object.get());  // shared, not copied
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes, first.object->total_bytes());
+}
+
+TEST(ObjectCache, SourceEditMisses) {
+  auto vfs = tiny_program();
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  auto first = cache.assemble(vfs, kMain, options);
+  vfs.write(kMain, std::string(*vfs.read(kMain)) + " NOP\n");
+  auto second = cache.assemble(vfs, kMain, options);
+
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.hit);
+  EXPECT_NE(first.object->total_bytes(), second.object->total_bytes());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ObjectCache, IncludedFileEditMisses) {
+  auto vfs = tiny_program();
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  (void)cache.assemble(vfs, kMain, options);
+  vfs.write(kInc, "MAGIC .EQU 43\n");  // same main source, new include text
+  auto rebuilt = cache.assemble(vfs, kMain, options);
+
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt.hit);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  // The stale entry was replaced, not leaked: footprint is one object.
+  EXPECT_EQ(stats.bytes, rebuilt.object->total_bytes());
+}
+
+TEST(ObjectCache, PredefineChangeMisses) {
+  auto vfs = tiny_program();
+  ObjectCache cache;
+
+  AssemblerOptions a;
+  a.predefines["PLATFORM"] = 1;
+  AssemblerOptions b;
+  b.predefines["PLATFORM"] = 2;
+
+  (void)cache.assemble(vfs, kMain, a);
+  auto other = cache.assemble(vfs, kMain, b);
+
+  EXPECT_FALSE(other.hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // And the original option set still hits its own entry.
+  EXPECT_TRUE(cache.assemble(vfs, kMain, a).hit);
+}
+
+TEST(ObjectCache, FailedAssemblyIsCachedWithItsDiagnostics) {
+  auto vfs = tiny_program();
+  vfs.write(kInc, " .ERROR \"broken include\"\n");
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  auto first = cache.assemble(vfs, kMain, options);
+  auto second = cache.assemble(vfs, kMain, options);
+
+  EXPECT_FALSE(first.ok());
+  EXPECT_FALSE(second.ok());
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.error, second.error);
+  EXPECT_NE(first.error.find("broken include"), std::string::npos);
+  // The resolved include list survives failure — callers use it to name
+  // the offending file in BUILD-FAIL records.
+  ASSERT_TRUE(first.includes != nullptr);
+  ASSERT_FALSE(first.includes->empty());
+  EXPECT_EQ(first.includes->front().to_file, kInc);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(ObjectCache, MissingFileIsReportedButNeverCached) {
+  support::VirtualFileSystem vfs;
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  auto result = cache.assemble(vfs, "/nope.asm", options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ObjectCache, ConcurrentSameKeyRequestsBuildOnce) {
+  // Whatever the pool size, exactly one request per key may miss — the
+  // determinism of the regression report's counters depends on it.
+  auto vfs = tiny_program();
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  std::atomic<int> failures{0};
+  parallel_for(32, 8, [&](std::size_t) {
+    auto result = cache.assemble(vfs, kMain, options);
+    if (!result.ok()) failures.fetch_add(1);
+  });
+
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 31u);
+}
+
+}  // namespace

@@ -111,6 +111,11 @@ TEST(ParallelRegression, EnvironmentRunnerMatchesSerial) {
 // ------------------------------------------------------------ matrix runs --
 
 TEST(ParallelRegression, MatrixMatchesIndividualRuns) {
+  // The cached parallel matrix must be indistinguishable from a cold serial
+  // run of every cell, on all four derivatives — the determinism contract
+  // of the assemble-once pipeline. Each solo run gets a fresh runner (and
+  // thus a cold cache) so its report reflects the same assembly work the
+  // matrix run performed once.
   support::VirtualFileSystem vfs;
   auto layout = build_test_system(vfs);
 
@@ -124,13 +129,82 @@ TEST(ParallelRegression, MatrixMatchesIndividualRuns) {
   auto matrix = runner.run_matrix(layout.root, cells);
   ASSERT_EQ(matrix.size(), cells.size());
 
-  RegressionRunner serial(vfs, 1);
   for (std::size_t i = 0; i < cells.size(); ++i) {
+    RegressionRunner serial(vfs, 1);
     auto solo = serial.run_system(layout.root, *cells[i].spec,
                                   cells[i].platform);
     EXPECT_EQ(format_report(matrix[i]), format_report(solo))
         << cells[i].spec->name << " cell " << i;
     EXPECT_EQ(matrix[i].outcome_digest(), solo.outcome_digest());
+  }
+}
+
+TEST(ParallelRegression, WarmRerunIsPureHitsAndDigestStable) {
+  // Re-running on the same runner serves every object from the cache —
+  // hit/miss counters swap — while the outcome digest must not move.
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+
+  RegressionRunner runner(vfs, 4);
+  auto cold = runner.run_system(layout.root, soc::derivative_a(),
+                                sim::PlatformKind::GoldenModel);
+  auto warm = runner.run_system(layout.root, soc::derivative_a(),
+                                sim::PlatformKind::GoldenModel);
+
+  EXPECT_EQ(cold.outcome_digest(), warm.outcome_digest());
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_GT(cold.cache.misses, 0u);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_EQ(warm.cache.hits, cold.cache.misses);
+  EXPECT_EQ(warm.cache.bytes, cold.cache.bytes);
+}
+
+TEST(ParallelRegression, AbstractionEditInvalidatesWarmCache) {
+  // Porting-style churn regenerates files in place; the warm cache must
+  // notice and re-assemble the affected translation units.
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+
+  RegressionRunner runner(vfs, 4);
+  auto before = runner.run_system(layout.root, soc::derivative_a(),
+                                  sim::PlatformKind::GoldenModel);
+
+  const std::string globals =
+      layout.root + "/PAGE_MODULE/" + kAbstractionLayerDir + "/Globals.inc";
+  vfs.write(globals, vfs.read_required(globals) + "\nEXTRA_DEF .EQU 7\n");
+
+  auto after = runner.run_system(layout.root, soc::derivative_a(),
+                                 sim::PlatformKind::GoldenModel);
+  // PAGE_MODULE units see a changed include → misses; the rest still hit.
+  EXPECT_GT(after.cache.misses, 0u);
+  EXPECT_GT(after.cache.hits, 0u);
+  EXPECT_EQ(after.passed(), before.passed());
+}
+
+TEST(ParallelRegression, SharedObjectBuildFailureNamesOffendingInclude) {
+  // When a shared object fails to assemble because of a file it included,
+  // the BUILD-FAIL detail must carry the include trail naming that file.
+  support::VirtualFileSystem vfs;
+  auto layout = build_test_system(vfs);
+
+  const std::string abstraction =
+      layout.root + "/PAGE_MODULE/" + kAbstractionLayerDir;
+  vfs.write(abstraction + "/Broken.inc", " .ERROR \"deliberately broken\"\n");
+  vfs.write(abstraction + "/base_functions.asm",
+            " .INCLUDE Globals.inc\n .INCLUDE Broken.inc\n");
+
+  RegressionRunner runner(vfs, 2);
+  auto report = runner.run_environment(
+      layout.root + "/PAGE_MODULE", layout.root + "/" + kGlobalLibrariesDir,
+      soc::derivative_a(), sim::PlatformKind::GoldenModel);
+
+  ASSERT_FALSE(report.records.empty());
+  for (const auto& record : report.records) {
+    EXPECT_FALSE(record.build_ok);
+    EXPECT_NE(record.detail.find("include trail"), std::string::npos)
+        << record.detail;
+    EXPECT_NE(record.detail.find("Broken.inc"), std::string::npos)
+        << record.detail;
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "support/diagnostics.h"
 #include "support/disk.h"
@@ -72,6 +73,19 @@ TEST(Text, ParseIntegerRejectsMalformed) {
   EXPECT_FALSE(parse_integer("12ab").has_value());
   EXPECT_FALSE(parse_integer("0b102").has_value());
   EXPECT_FALSE(parse_integer("--3").has_value());
+}
+
+TEST(Text, ParseIntegerSixtyFourBitBoundary) {
+  // Exactly 64 bits is the widest representable literal (all-ones reads as
+  // -1, the classic assembler idiom); wider is malformed, not UB.
+  EXPECT_EQ(parse_integer("0xFFFFFFFFFFFFFFFF"), -1);
+  EXPECT_EQ(parse_integer("0FFFFFFFFFFFFFFFFh"), -1);
+  EXPECT_EQ(parse_integer("18446744073709551615"), -1);  // 2^64 - 1
+  EXPECT_EQ(parse_integer("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(parse_integer("0x10000000000000000").has_value());
+  EXPECT_FALSE(parse_integer("11112222333344445h").has_value());
+  EXPECT_FALSE(parse_integer("18446744073709551616").has_value());  // 2^64
 }
 
 TEST(Text, ReplaceAll) {

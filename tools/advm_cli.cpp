@@ -6,6 +6,10 @@
 //   advm init  <dir> [--derivative SC88-A] [--tests N]   create a system env
 //   advm run   <dir> [--derivative D] [--platform P] [--jobs N]
 //                                                        build + regress
+//   advm matrix <dir> --derivatives A,B,C --platforms P,Q [--jobs N]
+//                                                        derivative × platform
+//                                                        cube, one report per
+//                                                        cell + roll-up
 //   advm port  <dir> --to SC88-C                         retarget in place
 //   advm check <dir> [--derivative D]                    violation report
 //   advm random <dir> --seed K [--derivative D]          random Globals.inc
@@ -14,6 +18,7 @@
 // and written back — so `port` literally edits only the abstraction layer
 // files in your working copy.
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -27,6 +32,8 @@
 #include "advm/violations.h"
 #include "soc/derivative.h"
 #include "support/disk.h"
+#include "support/hash.h"
+#include "support/text.h"
 #include "support/vfs.h"
 
 namespace {
@@ -86,9 +93,15 @@ std::optional<std::size_t> jobs_from(const Args& args) {
   auto it = args.options.find("jobs");
   if (it == args.options.end()) return 1;
   const std::string& value = it->second;
-  char* end = nullptr;
-  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-  if (value.empty() || end != value.c_str() + value.size()) {
+  // Digits only, checked by hand: strtoul silently accepts "-1" (wrapping
+  // to ULONG_MAX — i.e. maximum fan-out, the exact accident to prevent).
+  const bool all_digits =
+      !value.empty() &&
+      value.find_first_not_of("0123456789") == std::string::npos;
+  const unsigned long parsed =
+      all_digits ? std::strtoul(value.c_str(), nullptr, 10) : 0;
+  // The cap also catches strtoul's silent ERANGE saturation to ULONG_MAX.
+  if (!all_digits || parsed > 1'000'000) {
     std::cerr << "invalid --jobs value '" << value
               << "' (expected a number; 0 = all hardware threads)\n";
     return std::nullopt;
@@ -148,6 +161,110 @@ int cmd_run(const Args& args) {
   auto report = runner.run_system(kVfsRoot, *spec, platform_from(args));
   std::cout << format_report(report);
   return report.all_passed() ? 0 : 1;
+}
+
+/// Parses `--derivatives A,B,C` (default: SC88-A). Empty list after a
+/// diagnostic on any unknown name.
+std::vector<const soc::DerivativeSpec*> derivatives_from(const Args& args) {
+  auto it = args.options.find("derivatives");
+  const std::string list = it == args.options.end() ? "SC88-A" : it->second;
+  std::vector<const soc::DerivativeSpec*> specs;
+  for (std::string_view name : support::split(list, ',')) {
+    const soc::DerivativeSpec* spec =
+        soc::find_derivative(std::string(name));
+    if (spec == nullptr) {
+      std::cerr << "unknown derivative '" << name << "'; known:";
+      for (const auto* d : soc::all_derivatives()) std::cerr << " " << d->name;
+      std::cerr << "\n";
+      return {};
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Parses `--platforms golden-model,rtl-sim` (default: golden-model).
+/// Empty list after a diagnostic on any unknown name.
+std::vector<sim::PlatformKind> platforms_from(const Args& args) {
+  auto it = args.options.find("platforms");
+  const std::string list =
+      it == args.options.end() ? "golden-model" : it->second;
+  std::vector<sim::PlatformKind> platforms;
+  for (std::string_view name : support::split(list, ',')) {
+    bool found = false;
+    for (sim::PlatformKind kind : sim::kAllPlatforms) {
+      if (sim::to_string(kind) == name) {
+        platforms.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown platform '" << name << "'; known:";
+      for (sim::PlatformKind kind : sim::kAllPlatforms) {
+        std::cerr << " " << sim::to_string(kind);
+      }
+      std::cerr << "\n";
+      return {};
+    }
+  }
+  return platforms;
+}
+
+int cmd_matrix(const Args& args) {
+  const std::vector<const soc::DerivativeSpec*> derivatives =
+      derivatives_from(args);
+  if (derivatives.empty()) return 2;
+  const std::vector<sim::PlatformKind> platforms = platforms_from(args);
+  if (platforms.empty()) return 2;
+  const std::optional<std::size_t> jobs = jobs_from(args);
+  if (!jobs) return 2;
+
+  support::VirtualFileSystem vfs;
+  support::import_from_disk(vfs, args.dir, kVfsRoot);
+
+  std::vector<MatrixCell> cells;
+  for (const soc::DerivativeSpec* spec : derivatives) {
+    for (sim::PlatformKind platform : platforms) {
+      cells.push_back({spec, platform});
+    }
+  }
+
+  // One runner for the whole cube: every test assembles once, every cell
+  // links against the cached objects.
+  RegressionRunner runner(vfs, *jobs);
+  auto reports = runner.run_matrix(kVfsRoot, cells);
+
+  for (const auto& report : reports) {
+    std::cout << format_report(report) << "\n";
+  }
+
+  std::size_t col = 10;  // widths: longest derivative / platform name
+  for (const auto* spec : derivatives) col = std::max(col, spec->name.size());
+  std::size_t pcol = 8;
+  for (sim::PlatformKind p : platforms) {
+    pcol = std::max(pcol, std::string(sim::to_string(p)).size());
+  }
+
+  bool all_green = true;
+  std::cout << "matrix roll-up (" << derivatives.size() << " derivatives x "
+            << platforms.size() << " platforms):\n";
+  std::cout << "  " << std::left << std::setw(static_cast<int>(col) + 2)
+            << "derivative" << std::setw(static_cast<int>(pcol) + 2)
+            << "platform" << std::setw(10) << "passed" << std::setw(12)
+            << "build-fail" << "outcome digest\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& report = reports[i];
+    all_green = all_green && report.all_passed();
+    std::cout << "  " << std::left << std::setw(static_cast<int>(col) + 2)
+              << report.derivative << std::setw(static_cast<int>(pcol) + 2)
+              << sim::to_string(report.platform) << std::setw(10)
+              << (std::to_string(report.passed()) + "/" +
+                  std::to_string(report.records.size()))
+              << std::setw(12) << report.build_failures()
+              << support::hash_to_string(report.outcome_digest()) << "\n";
+  }
+  return all_green ? 0 : 1;
 }
 
 int cmd_port(const Args& args) {
@@ -247,6 +364,8 @@ int usage() {
          "usage:\n"
          "  advm init  <dir> [--derivative SC88-A] [--tests N]\n"
          "  advm run   <dir> [--derivative D] [--platform P] [--jobs N]\n"
+         "  advm matrix <dir> [--derivatives A,B,C] [--platforms P,Q]"
+         " [--jobs N]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
          "  advm random <dir> --seed K [--derivative D]\n";
@@ -261,6 +380,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "init") return cmd_init(args);
     if (args.command == "run") return cmd_run(args);
+    if (args.command == "matrix") return cmd_matrix(args);
     if (args.command == "port") return cmd_port(args);
     if (args.command == "check") return cmd_check(args);
     if (args.command == "random") return cmd_random(args);

@@ -27,10 +27,17 @@ if [[ "${ADVM_CI_SKIP_BENCH:-0}" != "1" ]]; then
   # Table-based experiment harnesses; e9 (google-benchmark) reports its own
   # JSON natively when wanted and is too slow for a default CI lap.
   for bench in ablation e1_structure e2_spec_change e3_wrapper e4_platforms \
-               e5_devtime e6_porting e7_random e8_labels; do
+               e5_devtime e6_porting e7_random e8_labels e10_matrix; do
     "./build/bench/bench_${bench}" > "build/bench-json/bench_${bench}.log"
   done
   echo "bench records: $(ls "$ADVM_BENCH_JSON_DIR"/BENCH_*.json | wc -l) files in build/bench-json/"
+
+  echo "==> perf trend gate (fails on >${ADVM_TREND_MAX_DROP:-15}% throughput drop)"
+  # History lives outside bench-json so wiping the record dir does not
+  # lose the baseline; consecutive CI laps diff against each other.
+  python3 tools/bench_trend.py build/bench-json \
+    --history build/bench-trend-history.jsonl \
+    --max-drop "${ADVM_TREND_MAX_DROP:-15}"
 fi
 
 echo "==> CI green"
