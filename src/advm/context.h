@@ -1,0 +1,36 @@
+// Shared execution context — the resources a Session owns once per
+// process and every subsystem borrows.
+//
+// Before the Session API each subsystem wired its own (VFS, jobs, cache)
+// copies; running a regression and a violation check in one process meant
+// two object caches and two pools unless the caller plumbed pointers by
+// hand. A SessionContext bundles the four shared resources so subsystems
+// can be constructed from one context and share by construction:
+//
+//   * the VirtualFileSystem the environments live in,
+//   * the content-addressed ObjectCache (assemble-once across verbs),
+//   * the BoardPool (reuse soc::Board instances across link+run tasks),
+//   * the worker-pool size policy.
+//
+// The context is a non-owning view; advm::Session owns the referenced
+// objects. Subsystems keep their historical piecewise constructors as
+// compatibility shims for tests and benches that wire things manually.
+#pragma once
+
+#include <cstddef>
+
+#include "advm/boardpool.h"
+#include "advm/objcache.h"
+#include "support/vfs.h"
+
+namespace advm::core {
+
+struct SessionContext {
+  support::VirtualFileSystem& vfs;
+  ObjectCache& cache;
+  BoardPool& boards;
+  /// Worker-pool size: 1 = serial, 0 = one per hardware thread.
+  std::size_t jobs = 1;
+};
+
+}  // namespace advm::core

@@ -1,6 +1,8 @@
 #include "advm/objcache.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "support/diagnostics.h"
 #include "support/hash.h"
@@ -47,6 +49,18 @@ std::uint64_t deps_digest_of(const support::VirtualFileSystem& vfs,
   return h.digest();
 }
 
+/// True while every include path that was probed-and-missing at build time
+/// is still missing. A hit on such a path means a newly created file now
+/// shadows the entry's recorded resolution.
+bool probed_misses_still_missing(const support::VirtualFileSystem& vfs,
+                                 const std::vector<std::string>* probed) {
+  if (probed == nullptr) return true;
+  for (const std::string& path : *probed) {
+    if (vfs.exists(path)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 CachedObject ObjectCache::assemble(const support::VirtualFileSystem& vfs,
@@ -83,55 +97,108 @@ CachedObject ObjectCache::assemble(const support::VirtualFileSystem& vfs,
     entry = slot;
   }
 
-  // Entry-level lock: one thread builds, concurrent same-key requests wait
-  // and then hit — the counters come out the same for any pool size.
-  const std::lock_guard<std::mutex> lock(entry->mutex);
-  const bool same_inputs = entry->valid && entry->path == norm &&
-                           entry->source_digest == source_digest &&
-                           entry->options_digest == options_digest;
-  if (same_inputs && deps_digest_of(vfs, entry->includes.get()) ==
-                         entry->deps_digest) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+  bool added_bytes = false;
+  {
+    // Entry-level lock: one thread builds, concurrent same-key requests
+    // wait and then hit — the counters come out the same for any pool size.
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool same_inputs = entry->valid && entry->path == norm &&
+                             entry->source_digest == source_digest &&
+                             entry->options_digest == options_digest;
+    if (same_inputs &&
+        deps_digest_of(vfs, entry->includes.get()) == entry->deps_digest &&
+        probed_misses_still_missing(vfs, entry->probed_misses.get())) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      out.object = entry->object;
+      out.error = entry->error;
+      out.includes = entry->includes;
+      out.hit = true;
+      return out;
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (entry->valid) {  // stale: an include changed underneath the entry
+      bytes_.fetch_sub(entry->object_bytes, std::memory_order_relaxed);
+    }
+
+    support::DiagnosticEngine diags;
+    Assembler assembler(vfs, diags, options);
+    auto result = assembler.assemble_file(norm);
+    if (result) {
+      entry->object =
+          std::make_shared<const ObjectFile>(std::move(result->object));
+      entry->error.clear();
+      entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
+          std::move(result->includes));
+      entry->probed_misses = std::make_shared<const std::vector<std::string>>(
+          std::move(result->probed_misses));
+      entry->object_bytes = entry->object->total_bytes();
+    } else {
+      entry->object = nullptr;
+      entry->error = diags.to_string();
+      entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
+          assembler.last_includes());
+      entry->probed_misses = std::make_shared<const std::vector<std::string>>(
+          assembler.last_probed_misses());
+      entry->object_bytes = 0;
+    }
+    entry->path = norm;
+    entry->source_digest = source_digest;
+    entry->options_digest = options_digest;
+    entry->deps_digest = deps_digest_of(vfs, entry->includes.get());
+    entry->valid = true;
+    bytes_.fetch_add(entry->object_bytes, std::memory_order_relaxed);
+    added_bytes = entry->object_bytes != 0;
+
     out.object = entry->object;
     out.error = entry->error;
     out.includes = entry->includes;
-    out.hit = true;
-    return out;
   }
 
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (entry->valid) {  // stale: an include changed underneath the entry
-    bytes_.fetch_sub(entry->object_bytes, std::memory_order_relaxed);
+  if (added_bytes && max_bytes_ != 0 &&
+      bytes_.load(std::memory_order_relaxed) > max_bytes_) {
+    evict_over_budget();
   }
-
-  support::DiagnosticEngine diags;
-  Assembler assembler(vfs, diags, options);
-  auto result = assembler.assemble_file(norm);
-  if (result) {
-    entry->object =
-        std::make_shared<const ObjectFile>(std::move(result->object));
-    entry->error.clear();
-    entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
-        std::move(result->includes));
-    entry->object_bytes = entry->object->total_bytes();
-  } else {
-    entry->object = nullptr;
-    entry->error = diags.to_string();
-    entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
-        assembler.last_includes());
-    entry->object_bytes = 0;
-  }
-  entry->path = norm;
-  entry->source_digest = source_digest;
-  entry->options_digest = options_digest;
-  entry->deps_digest = deps_digest_of(vfs, entry->includes.get());
-  entry->valid = true;
-  bytes_.fetch_add(entry->object_bytes, std::memory_order_relaxed);
-
-  out.object = entry->object;
-  out.error = entry->error;
-  out.includes = entry->includes;
   return out;
+}
+
+void ObjectCache::evict_over_budget() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes_.load(std::memory_order_relaxed) <= max_bytes_) return;
+
+  // One scan per burst: collect every evictable entry, oldest-first, then
+  // drop in LRU order until the footprint fits. Evictable = nobody else
+  // references it: every accessor copies the shared_ptr under mutex_
+  // before touching an entry, so use_count()==1 while we hold mutex_
+  // proves the entry is idle — its byte accounting cannot race with an
+  // in-flight build, and no new borrow can appear until we release.
+  struct Candidate {
+    std::uint64_t last_used;
+    std::uint64_t key;
+  };
+  std::vector<Candidate> candidates;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    Entry& e = *it->second;
+    if (it->second.use_count() != 1) continue;  // borrowed: not evictable
+    // use_count()==1 under mutex_ means the lock is free; taking it
+    // (never blocking) publishes the last builder's writes to us.
+    if (!e.mutex.try_lock()) continue;
+    const std::lock_guard<std::mutex> entry_lock(e.mutex, std::adopt_lock);
+    if (!e.valid || e.object_bytes == 0) continue;
+    candidates.push_back({e.last_used, it->first});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_used < b.last_used;
+            });
+  for (const Candidate& victim : candidates) {
+    if (bytes_.load(std::memory_order_relaxed) <= max_bytes_) break;
+    auto it = entries_.find(victim.key);
+    bytes_.fetch_sub(it->second->object_bytes, std::memory_order_relaxed);
+    entries_.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 ObjectCacheStats ObjectCache::stats() const {
@@ -139,6 +206,7 @@ ObjectCacheStats ObjectCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -21,10 +21,18 @@
 // keeps the hit/miss counters deterministic for any worker-pool size — a
 // property the regression report format tests rely on.
 //
-// Known limit (shared with ccache's direct mode): revalidation re-hashes the
-// includes recorded at build time, so creating a *new* file that shadows an
-// include earlier in the search path is not detected. In-process workflows
-// regenerate files in place, which is detected.
+// Shadowing: revalidation re-hashes the includes recorded at build time AND
+// re-probes every include path that was *probed and missing* during the
+// build (the sibling directory and search-path candidates ahead of the one
+// that resolved). Creating a new file that shadows an include earlier in
+// the search path therefore invalidates the entry — the hole ccache's
+// direct mode leaves open is closed here.
+//
+// Budget: an optional byte budget (`max_bytes`, 0 = unbounded) caps the
+// emitted-byte footprint. When a build pushes the cache over budget the
+// least-recently-used entries are evicted until it fits; eviction counts
+// are surfaced in ObjectCacheStats. Entries currently being built or read
+// are never evicted.
 #pragma once
 
 #include <atomic>
@@ -47,6 +55,7 @@ struct ObjectCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t evictions = 0;  ///< entries dropped by the byte budget
 };
 
 /// Outcome of a cached assembly: a shared immutable object on success, the
@@ -69,9 +78,14 @@ struct CachedObject {
 
 class ObjectCache {
  public:
-  ObjectCache() = default;
+  /// `max_bytes` caps the emitted-byte footprint (LRU eviction); 0 keeps
+  /// the cache unbounded, the historical behaviour.
+  explicit ObjectCache(std::uint64_t max_bytes = 0)
+      : max_bytes_(max_bytes) {}
   ObjectCache(const ObjectCache&) = delete;
   ObjectCache& operator=(const ObjectCache&) = delete;
+
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
 
   /// Returns the object for (path, current source text, options), assembling
   /// it at most once until an input changes. Failed assemblies are cached
@@ -96,15 +110,27 @@ class ObjectCache {
     std::shared_ptr<const assembler::ObjectFile> object;
     std::string error;
     std::shared_ptr<const std::vector<assembler::IncludeEdge>> includes;
+    /// Include candidates probed and missing at build time; the entry is
+    /// stale the moment any of them exists (search-path shadowing).
+    std::shared_ptr<const std::vector<std::string>> probed_misses;
     std::uint64_t deps_digest = 0;
     std::uint64_t object_bytes = 0;
+    std::uint64_t last_used = 0;  ///< LRU tick (monotonic request counter)
   };
+
+  /// Evicts least-recently-used entries until the footprint fits
+  /// `max_bytes_`. Called with no locks held; entries whose lock cannot be
+  /// taken without blocking (in-flight builds/reads) are skipped.
+  void evict_over_budget();
 
   mutable std::mutex mutex_;  ///< guards `entries_` (not entry payloads)
   std::map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+  std::uint64_t max_bytes_ = 0;
+  std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace advm::core

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "advm/context.h"
 #include "advm/environment.h"
 #include "soc/derivative.h"
 #include "support/diff.h"
@@ -80,6 +81,9 @@ struct RepairReport {
 class PortingEngine {
  public:
   explicit PortingEngine(support::VirtualFileSystem& vfs) : vfs_(vfs) {}
+
+  /// Session wiring: ports the tree the session's other verbs operate on.
+  explicit PortingEngine(const SessionContext& ctx) : vfs_(ctx.vfs) {}
 
   [[nodiscard]] RepairReport port(const SystemLayout& layout,
                                   const soc::DerivativeSpec& new_spec,

@@ -138,7 +138,7 @@ TestRunRecord run_one_test(const EnvBuildContext& ctx,
                            std::string_view env_dir, const std::string& test_id,
                            const soc::DerivativeSpec& spec,
                            sim::PlatformKind platform,
-                           std::uint64_t max_instructions) {
+                           std::uint64_t max_instructions, BoardPool& boards) {
   TestRunRecord record;
   record.environment = support::base_name(env_dir);
   record.test_id = test_id;
@@ -166,7 +166,8 @@ TestRunRecord run_one_test(const EnvBuildContext& ctx,
     return record;
   }
 
-  soc::Board board(spec, platform);
+  BoardPool::Lease lease = boards.acquire(spec, platform);
+  soc::Board& board = lease.board();
   std::string load_error;
   if (!board.load(*image, &load_error)) {
     record.detail = load_error;
@@ -271,7 +272,8 @@ void assemble_tests(const support::VirtualFileSystem& vfs,
 TestRunRecord run_planned_test(const EnvPlan& plan, std::size_t test_index,
                                const soc::DerivativeSpec& spec,
                                sim::PlatformKind platform,
-                               std::uint64_t max_instructions) {
+                               std::uint64_t max_instructions,
+                               BoardPool& boards) {
   if (!plan.ctx.ok) {
     // Environment-wide build problem: every cell reports it.
     TestRunRecord record;
@@ -281,8 +283,8 @@ TestRunRecord run_planned_test(const EnvPlan& plan, std::size_t test_index,
     return record;
   }
   return run_one_test(plan.ctx, plan.test_objects[test_index], plan.dir,
-                      plan.tests[test_index], spec, platform,
-                      max_instructions);
+                      plan.tests[test_index], spec, platform, max_instructions,
+                      boards);
 }
 
 /// Link+run phase: executes the (cell × environment × test) cube over the
@@ -291,7 +293,7 @@ TestRunRecord run_planned_test(const EnvPlan& plan, std::size_t test_index,
 /// construction — pool size never reorders a report.
 std::vector<RegressionReport> run_planned_matrix(
     const std::vector<EnvPlan>& plans, const std::vector<MatrixCell>& cells,
-    std::size_t jobs, std::uint64_t max_instructions) {
+    std::size_t jobs, std::uint64_t max_instructions, BoardPool& boards) {
   struct Task {
     std::size_t cell = 0;
     std::size_t env = 0;
@@ -317,7 +319,7 @@ std::vector<RegressionReport> run_planned_matrix(
     const Task& task = tasks[i];
     reports[task.cell].records[task.slot] =
         run_planned_test(plans[task.env], task.test, *cells[task.cell].spec,
-                         cells[task.cell].platform, max_instructions);
+                         cells[task.cell].platform, max_instructions, boards);
   });
   return reports;
 }
@@ -375,15 +377,17 @@ std::vector<RegressionReport> run_two_phase(
     const support::VirtualFileSystem& vfs,
     const std::vector<std::string>& env_dirs, std::string_view global_dir,
     const std::vector<MatrixCell>& cells, std::size_t jobs, ObjectCache& cache,
-    std::uint64_t max_instructions) {
+    std::uint64_t max_instructions, BoardPool& boards) {
   const ObjectCacheStats before = cache.stats();
   auto plans = plan_environments(vfs, env_dirs, global_dir, jobs, cache);
   assemble_tests(vfs, plans, jobs, cache);
-  auto reports = run_planned_matrix(plans, cells, jobs, max_instructions);
+  auto reports =
+      run_planned_matrix(plans, cells, jobs, max_instructions, boards);
   const ObjectCacheStats after = cache.stats();
   for (RegressionReport& report : reports) {
     report.cache.hits = after.hits - before.hits;
     report.cache.misses = after.misses - before.misses;
+    report.cache.evictions = after.evictions - before.evictions;
     report.cache.bytes = after.bytes;
   }
   return reports;
@@ -395,9 +399,9 @@ RegressionReport RegressionRunner::run_environment(
     std::string_view env_dir, std::string_view global_dir,
     const soc::DerivativeSpec& spec, sim::PlatformKind platform,
     std::uint64_t max_instructions) {
-  auto reports =
-      run_two_phase(vfs_, {std::string(env_dir)}, global_dir,
-                    {{&spec, platform}}, jobs_, *cache_, max_instructions);
+  auto reports = run_two_phase(vfs_, {std::string(env_dir)}, global_dir,
+                               {{&spec, platform}}, jobs_, *cache_,
+                               max_instructions, *boards_);
   return std::move(reports.front());
 }
 
@@ -414,7 +418,8 @@ std::vector<RegressionReport> RegressionRunner::run_matrix(
     std::uint64_t max_instructions) {
   const std::string global_dir = join_path(system_root, kGlobalLibrariesDir);
   return run_two_phase(vfs_, discover_environments(vfs_, system_root),
-                       global_dir, cells, jobs_, *cache_, max_instructions);
+                       global_dir, cells, jobs_, *cache_, max_instructions,
+                       *boards_);
 }
 
 std::string format_report(const RegressionReport& report) {
@@ -439,7 +444,11 @@ std::string format_report(const RegressionReport& report) {
   os << "\n";
   os << "  object cache: " << report.cache.hits << " hits, "
      << report.cache.misses << " misses, " << report.cache.bytes
-     << " object bytes\n";
+     << " object bytes";
+  if (report.cache.evictions != 0) {
+    os << ", " << report.cache.evictions << " evictions";
+  }
+  os << "\n";
   return os.str();
 }
 

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "advm/boardpool.h"
+#include "advm/context.h"
 #include "advm/objcache.h"
 #include "sim/machine.h"
 #include "sim/platform.h"
@@ -80,11 +82,21 @@ class RegressionRunner {
   /// default — pass one in to share objects across runners, e.g. between a
   /// regression and a violation check in one process), and a link+run phase
   /// that executes the (cell × test) cube against the cached objects
-  /// without copying any of them.
+  /// without copying any of them. Boards for the link+run phase are leased
+  /// from `boards` (the runner's own pool by default), so repeated runs
+  /// reuse reset soc::Board instances instead of reconstructing them.
   explicit RegressionRunner(const support::VirtualFileSystem& vfs,
-                            std::size_t jobs = 1,
-                            ObjectCache* cache = nullptr)
-      : vfs_(vfs), jobs_(jobs), cache_(cache ? cache : &owned_cache_) {}
+                            std::size_t jobs = 1, ObjectCache* cache = nullptr,
+                            BoardPool* boards = nullptr)
+      : vfs_(vfs),
+        jobs_(jobs),
+        cache_(cache ? cache : &owned_cache_),
+        boards_(boards ? boards : &owned_boards_) {}
+
+  /// Session wiring: every resource (VFS, cache, board pool, jobs policy)
+  /// comes from the shared context.
+  explicit RegressionRunner(const SessionContext& ctx)
+      : RegressionRunner(ctx.vfs, ctx.jobs, &ctx.cache, &ctx.boards) {}
 
   /// Runs every environment under `system_root`.
   [[nodiscard]] RegressionReport run_system(
@@ -112,6 +124,8 @@ class RegressionRunner {
   std::size_t jobs_ = 1;
   ObjectCache owned_cache_;
   ObjectCache* cache_ = nullptr;
+  BoardPool owned_boards_;
+  BoardPool* boards_ = nullptr;
 };
 
 /// Runs `count` independent tasks on `jobs` worker threads (0 → one per

@@ -82,7 +82,7 @@ RegressionReport ReleaseManager::run_frozen(const SystemRelease& release,
                                             const soc::DerivativeSpec& spec,
                                             sim::PlatformKind platform,
                                             std::uint64_t max_instructions) {
-  RegressionRunner runner(vfs_, jobs_, &cache_);
+  RegressionRunner runner(vfs_, jobs_, cache_, boards_);
   return runner.run_system(release.root, spec, platform, max_instructions);
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "advm/context.h"
 #include "advm/environment.h"
 #include "advm/objcache.h"
 #include "advm/regression.h"
@@ -45,10 +46,25 @@ class ReleaseManager {
  public:
   /// `jobs` sizes the worker pool that sub-label verification and frozen
   /// regressions fan out over (1 = serial, 0 = one per hardware thread).
+  /// Pass `cache`/`boards` to share one object cache and board pool with
+  /// other subsystems in the process; by default the manager owns its own
+  /// (shared across this manager's frozen regressions either way).
   explicit ReleaseManager(support::VirtualFileSystem& vfs,
                           std::string release_root = "/releases",
-                          std::size_t jobs = 1)
-      : vfs_(vfs), release_root_(std::move(release_root)), jobs_(jobs) {}
+                          std::size_t jobs = 1, ObjectCache* cache = nullptr,
+                          BoardPool* boards = nullptr)
+      : vfs_(vfs),
+        release_root_(std::move(release_root)),
+        jobs_(jobs),
+        cache_(cache ? cache : &owned_cache_),
+        boards_(boards ? boards : &owned_boards_) {}
+
+  /// Session wiring: shares the context's VFS, cache, board pool and jobs
+  /// policy.
+  explicit ReleaseManager(const SessionContext& ctx,
+                          std::string release_root = "/releases")
+      : ReleaseManager(ctx.vfs, std::move(release_root), ctx.jobs, &ctx.cache,
+                       &ctx.boards) {}
 
   /// Snapshots one directory under a label.
   ReleaseLabel create_label(const std::string& name,
@@ -82,7 +98,10 @@ class ReleaseManager {
   support::VirtualFileSystem& vfs_;
   std::string release_root_;
   std::size_t jobs_ = 1;
-  ObjectCache cache_;  ///< shared across frozen regressions of this manager
+  ObjectCache owned_cache_;  ///< shared across this manager's regressions
+  ObjectCache* cache_ = nullptr;
+  BoardPool owned_boards_;
+  BoardPool* boards_ = nullptr;
 };
 
 }  // namespace advm::core

@@ -1,0 +1,45 @@
+// Structured reports — every Session result as stable, machine-readable
+// JSON, alongside the existing human-readable renderings.
+//
+// The JSON surface is a contract: key order is fixed (insertion order as
+// written here), digests are 16-digit lowercase hex, and every top-level
+// document carries {"ok": bool, "verb": "<verb>"} so a consumer can
+// dispatch without knowing which request produced it. Validation failures
+// serialize as {"ok": false, "verb": ..., "error": {code, message}} — the
+// same Status the typed API returns. tools/ci.sh parses a matrix document
+// on every lap, and tests/golden/*.json pin the exact bytes for `run` and
+// `matrix`.
+//
+// This is the machine half of the paper's reporting story (and what a
+// multi-agent / CI consumer reads); `format_report` in regression.h and
+// `format_matrix_rollup` below remain the human half.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "advm/session.h"
+
+namespace advm::core {
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+// Top-level documents, one per verb.
+[[nodiscard]] std::string to_json(const BuildResult& result);
+[[nodiscard]] std::string to_json(const RunResult& result);
+[[nodiscard]] std::string to_json(const MatrixResult& result);
+[[nodiscard]] std::string to_json(const PortResult& result);
+[[nodiscard]] std::string to_json(const CheckResult& result);
+[[nodiscard]] std::string to_json(const ReleaseResult& result);
+[[nodiscard]] std::string to_json(const RandomResult& result);
+
+/// One regression report as a JSON object (embedded by run/matrix/release
+/// documents; exposed for callers composing their own documents).
+[[nodiscard]] std::string report_to_json(const RegressionReport& report);
+
+/// The human-readable derivative × platform roll-up table (one row per
+/// cell: passed, build failures, outcome digest).
+[[nodiscard]] std::string format_matrix_rollup(const MatrixResult& result);
+
+}  // namespace advm::core

@@ -1,0 +1,226 @@
+// advm::Session — the one abstraction layer over the toolchain itself.
+//
+// The paper's point is that a single abstraction layer serves every
+// derivative and every change scenario; the toolchain deserves the same
+// treatment. A Session owns the resources every operation needs — the
+// VirtualFileSystem the environments live in, the derivative registry, the
+// shared content-addressed ObjectCache, the soc::Board pool and the
+// worker-pool policy — and exposes one typed request/result pair per verb:
+//
+//   BuildRequest   → BuildResult     generate a system environment (init)
+//   RunRequest     → RunResult       regression on one (derivative, platform)
+//   MatrixRequest  → MatrixResult    derivative × platform cube + roll-up
+//   PortRequest    → PortResult      retarget the tree in place
+//   CheckRequest   → CheckResult     abstraction-violation report
+//   ReleaseRequest → ReleaseResult   frozen snapshot + verify + regression
+//   RandomRequest  → RandomResult    randomized Globals.inc regeneration
+//
+// Callers construct a request struct and call `session.run(request)`;
+// validation (unknown derivative/platform, bad root) comes back as a typed
+// Status instead of subsystem wiring errors. Every operation in one process
+// shares one cache and one board pool *by construction* — a shard worker at
+// corpus scale is just a Session fed a MatrixRequest slice.
+//
+// Every result serializes to stable JSON through src/advm/report.h, which
+// is what `advm --format json` prints for machine consumers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "advm/boardpool.h"
+#include "advm/context.h"
+#include "advm/environment.h"
+#include "advm/objcache.h"
+#include "advm/porting.h"
+#include "advm/regression.h"
+#include "advm/release.h"
+#include "advm/violations.h"
+#include "support/vfs.h"
+
+namespace advm::core {
+
+/// Outcome of request validation/execution. `code` is a stable
+/// machine-readable identifier ("advm.unknown-derivative", ...); empty
+/// means success. `message` is the human-readable diagnostic.
+struct Status {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code.empty(); }
+  [[nodiscard]] static Status error(std::string code, std::string message) {
+    Status s;
+    s.code = std::move(code);
+    s.message = std::move(message);
+    return s;
+  }
+};
+
+// --------------------------------------------------------------- requests --
+
+/// `init`: generate a complete system verification environment in the
+/// session VFS. An empty `environments` list builds the canonical
+/// five-module system with `tests_per_module` tests each.
+struct BuildRequest {
+  std::string root = "/SYS";
+  std::string derivative = "SC88-A";
+  std::size_t tests_per_module = 5;
+  std::vector<EnvironmentConfig> environments;
+  GlobalsOptions globals;
+  BaseFunctionsOptions base_functions;
+};
+
+struct BuildResult {
+  Status status;
+  std::string derivative;  ///< resolved spec name
+  SystemLayout layout;
+  std::size_t files = 0;  ///< files in the generated tree
+  std::size_t tests = 0;  ///< test cells across all environments
+};
+
+/// `run`: full regression of the tree under `root` on one
+/// (derivative, platform) pair.
+struct RunRequest {
+  std::string root = "/SYS";
+  std::string derivative = "SC88-A";
+  std::string platform = "golden-model";
+  std::uint64_t max_instructions = 2'000'000;
+};
+
+struct RunResult {
+  Status status;
+  RegressionReport report;
+};
+
+/// `matrix`: the derivative × platform cube over one tree — every test
+/// assembles once, every cell links against the shared cache.
+struct MatrixRequest {
+  std::string root = "/SYS";
+  std::vector<std::string> derivatives = {"SC88-A"};
+  std::vector<std::string> platforms = {"golden-model"};
+  std::uint64_t max_instructions = 2'000'000;
+};
+
+struct MatrixResult {
+  Status status;
+  std::vector<RegressionReport> cells;  ///< derivative-major order
+
+  [[nodiscard]] bool all_passed() const;
+};
+
+/// `port`: retarget the tree in place to another derivative (abstraction
+/// layer regenerates; ADVM test layers stay untouched).
+struct PortRequest {
+  std::string root = "/SYS";
+  std::string to;
+  GlobalsOptions globals;
+  BaseFunctionsOptions base_functions;
+};
+
+struct PortResult {
+  Status status;
+  std::string target;
+  RepairReport repair;
+};
+
+/// `check`: abstraction-violation report for the tree under `root`.
+struct CheckRequest {
+  std::string root = "/SYS";
+  std::string derivative = "SC88-A";
+};
+
+struct CheckResult {
+  Status status;
+  ViolationReport report;
+};
+
+/// `release`: freeze the tree as a content-hashed snapshot (the paper's
+/// §3 label), verify it, and optionally regress the frozen copy.
+struct ReleaseRequest {
+  std::string root = "/SYS";
+  std::string name = "R1";
+  std::string derivative = "SC88-A";
+  std::string platform = "golden-model";
+  bool regress = true;  ///< run the frozen regression after snapshotting
+  std::uint64_t max_instructions = 2'000'000;
+};
+
+struct ReleaseResult {
+  Status status;
+  SystemRelease release;
+  bool verified = false;
+  std::optional<RegressionReport> frozen;
+};
+
+/// `random`: regenerate every ADVM environment's Globals.inc from a
+/// seeded constraint randomization (corner-case focus, paper §4).
+struct RandomRequest {
+  std::string root = "/SYS";
+  std::string derivative = "SC88-A";
+  std::uint64_t seed = 1;
+};
+
+struct RandomResult {
+  Status status;
+  std::uint64_t seed = 0;  ///< the seed the assignment was drawn from
+  std::size_t regenerated = 0;  ///< Globals.inc instances rewritten
+  std::map<std::string, std::int64_t> values;  ///< randomized defines
+};
+
+// ---------------------------------------------------------------- session --
+
+struct SessionConfig {
+  /// Worker-pool size for every operation: 1 = serial, 0 = one worker per
+  /// hardware thread.
+  std::size_t jobs = 1;
+  /// Object-cache byte budget (LRU eviction); 0 = unbounded.
+  std::uint64_t cache_max_bytes = 0;
+  /// VFS directory release snapshots land under.
+  std::string release_root = "/releases";
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config = {})
+      : config_(std::move(config)), cache_(config_.cache_max_bytes) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+  [[nodiscard]] support::VirtualFileSystem& vfs() { return vfs_; }
+  [[nodiscard]] const support::VirtualFileSystem& vfs() const { return vfs_; }
+  [[nodiscard]] ObjectCache& cache() { return cache_; }
+  [[nodiscard]] BoardPool& boards() { return boards_; }
+
+  /// Non-owning view of the shared resources, for constructing subsystems
+  /// directly when a flow outgrows the request verbs.
+  [[nodiscard]] SessionContext context() {
+    return SessionContext{vfs_, cache_, boards_, config_.jobs};
+  }
+
+  [[nodiscard]] BuildResult run(const BuildRequest& request);
+  [[nodiscard]] RunResult run(const RunRequest& request);
+  [[nodiscard]] MatrixResult run(const MatrixRequest& request);
+  [[nodiscard]] PortResult run(const PortRequest& request);
+  [[nodiscard]] CheckResult run(const CheckRequest& request);
+  [[nodiscard]] ReleaseResult run(const ReleaseRequest& request);
+  [[nodiscard]] RandomResult run(const RandomRequest& request);
+
+ private:
+  SessionConfig config_;
+  support::VirtualFileSystem vfs_;
+  ObjectCache cache_;
+  BoardPool boards_;
+};
+
+/// Reconstructs a SystemLayout from a tree in the VFS (directory-driven,
+/// like regression discovery): every subdirectory of `root` except the
+/// global libraries is an environment; an Abstraction_Layer/ marks ADVM
+/// style. Exposed for callers that assemble their own flows.
+[[nodiscard]] SystemLayout layout_from_tree(
+    const support::VirtualFileSystem& vfs, std::string_view root);
+
+}  // namespace advm::core

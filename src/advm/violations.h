@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "advm/context.h"
 #include "advm/objcache.h"
 #include "sim/platform.h"
 #include "soc/derivative.h"
@@ -60,6 +61,11 @@ class ViolationChecker {
   explicit ViolationChecker(const support::VirtualFileSystem& vfs,
                             ObjectCache* cache = nullptr)
       : vfs_(vfs), cache_(cache ? cache : &owned_cache_) {}
+
+  /// Session wiring: shares the context's VFS and object cache, so a check
+  /// after a regression on one session re-assembles nothing.
+  explicit ViolationChecker(const SessionContext& ctx)
+      : ViolationChecker(ctx.vfs, &ctx.cache) {}
 
   /// Checks every test cell of one module environment. `global_dir` names
   /// the global-library directory (for include/link classification);

@@ -60,6 +60,10 @@ class Assembler::Impl {
     return includes_;
   }
 
+  [[nodiscard]] const std::vector<std::string>& last_probed_misses() const {
+    return probed_misses_;
+  }
+
  private:
   // --------------------------------------------------------------- driver --
   std::optional<AssembleResult> run(const std::string& name,
@@ -82,6 +86,7 @@ class Assembler::Impl {
     AssembleResult result;
     result.object = std::move(object_);
     result.includes = std::move(includes_);
+    result.probed_misses = std::move(probed_misses_);
     result.listing = std::move(listing_);
     return result;
   }
@@ -92,6 +97,7 @@ class Assembler::Impl {
     object_.sections.push_back(ObjSection{"code", std::nullopt, {}});
     current_section_ = 0;
     includes_.clear();
+    probed_misses_.clear();
     listing_.clear();
     equates_.clear();
     defines_.clear();
@@ -568,20 +574,31 @@ class Assembler::Impl {
     include_stack_.pop_back();
   }
 
-  std::optional<std::string> resolve_include(
-      const std::string& name, const std::string& current_file) const {
+  std::optional<std::string> resolve_include(const std::string& name,
+                                             const std::string& current_file) {
+    // Every candidate probed *before* the one that resolves is recorded:
+    // if such a path comes into existence later it would shadow today's
+    // resolution, so cached objects must revalidate against the set (the
+    // ccache direct-mode hole the object cache otherwise shares).
+    auto probe = [&](std::string candidate) -> std::optional<std::string> {
+      if (vfs_.exists(candidate)) return candidate;
+      probed_misses_.push_back(std::move(candidate));
+      return std::nullopt;
+    };
     // 1. Relative to the including file's directory.
-    std::string sibling =
-        support::join_path(support::parent_path(current_file), name);
-    if (vfs_.exists(sibling)) return sibling;
+    if (auto hit =
+            probe(support::join_path(support::parent_path(current_file),
+                                     name))) {
+      return hit;
+    }
     // 2. Include search path.
     for (const auto& dir : options_.include_dirs) {
-      std::string candidate = support::join_path(dir, name);
-      if (vfs_.exists(candidate)) return candidate;
+      if (auto hit = probe(support::join_path(dir, name))) return hit;
     }
-    // 3. As given (absolute path).
-    std::string norm = support::normalize_path(name);
-    if (vfs_.exists(norm)) return norm;
+    // 3. As given (absolute path). A miss here is recorded too: when the
+    // include is not found anywhere, the cached BUILD-FAIL must be
+    // invalidated the moment the file appears at any candidate path.
+    if (auto hit = probe(support::normalize_path(name))) return hit;
     return std::nullopt;
   }
 
@@ -1195,6 +1212,7 @@ class Assembler::Impl {
 
   ObjectFile object_;
   std::vector<IncludeEdge> includes_;
+  std::vector<std::string> probed_misses_;
   std::string listing_;
   std::map<std::string, std::int64_t, std::less<>> equates_;
   std::map<std::string, std::vector<Token>, std::less<>> defines_;
@@ -1226,6 +1244,10 @@ std::optional<AssembleResult> Assembler::assemble_source(
 
 const std::vector<IncludeEdge>& Assembler::last_includes() const {
   return impl_->last_includes();
+}
+
+const std::vector<std::string>& Assembler::last_probed_misses() const {
+  return impl_->last_probed_misses();
 }
 
 }  // namespace advm::assembler

@@ -63,6 +63,11 @@ struct IncludeEdge {
 struct AssembleResult {
   ObjectFile object;
   std::vector<IncludeEdge> includes;
+  /// Include paths probed and found missing before each include resolved
+  /// (in probe order: sibling directory first, then the search path). If
+  /// one of these files is created later it shadows the recorded
+  /// resolution — the object cache revalidates entries against this set.
+  std::vector<std::string> probed_misses;
   std::string listing;  ///< populated when options.emit_listing
 };
 
@@ -91,6 +96,10 @@ class Assembler {
   /// (on success they move into the AssembleResult and this is empty).
   /// Lets callers name the include that introduced a build failure.
   [[nodiscard]] const std::vector<IncludeEdge>& last_includes() const;
+
+  /// Probed-but-missing include paths of the most recent *failed*
+  /// assemble_* call (successful calls move them into the AssembleResult).
+  [[nodiscard]] const std::vector<std::string>& last_probed_misses() const;
 
  private:
   class Impl;

@@ -1,6 +1,7 @@
 #include "sim/bus.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace advm::sim {
 
@@ -169,6 +170,10 @@ void Bus::tick_all(std::uint64_t cycles) {
   for (auto& m : mappings_) m.device->tick(cycles);
 }
 
+void Bus::reset_devices() {
+  for (auto& m : mappings_) m.device->reset();
+}
+
 BusDevice* Bus::device_at(std::uint32_t addr) {
   const Mapping* m = find(addr);
   return m ? m->device.get() : nullptr;
@@ -180,7 +185,10 @@ Ram::Ram(std::string name, std::uint32_t size, bool track_init)
     : name_(std::move(name)),
       bytes_(size, 0),
       initialized_(track_init ? size : 0, false),
-      track_init_(track_init) {}
+      track_init_(track_init),
+      dirty_pages_((static_cast<std::size_t>(size) + (64u << kPageShift) - 1) /
+                       (64u << kPageShift),
+                   0) {}
 
 bool Ram::read8(std::uint32_t offset, std::uint8_t& value) {
   if (offset >= bytes_.size()) return false;
@@ -193,7 +201,34 @@ bool Ram::write8(std::uint32_t offset, std::uint8_t value) {
   if (offset >= bytes_.size()) return false;
   bytes_[offset] = value;
   if (track_init_) initialized_[offset] = true;
+  const std::uint32_t page = offset >> kPageShift;
+  dirty_pages_[page >> 6] |= 1ULL << (page & 63u);
   return true;
+}
+
+void Ram::reset() {
+  for (std::size_t word = 0; word < dirty_pages_.size(); ++word) {
+    std::uint64_t bits = dirty_pages_[word];
+    while (bits != 0) {
+      const auto bit = static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::size_t page_start = ((word << 6) + bit) << kPageShift;
+      const std::size_t page_end =
+          std::min<std::size_t>(page_start + (1u << kPageShift),
+                                bytes_.size());
+      std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(page_start),
+                bytes_.begin() + static_cast<std::ptrdiff_t>(page_end),
+                std::uint8_t{0});
+      if (track_init_) {
+        std::fill(
+            initialized_.begin() + static_cast<std::ptrdiff_t>(page_start),
+            initialized_.begin() + static_cast<std::ptrdiff_t>(page_end),
+            false);
+      }
+    }
+    dirty_pages_[word] = 0;
+  }
+  uninitialized_reads_ = 0;
 }
 
 // -------------------------------------------------------------------- Rom --
@@ -213,8 +248,25 @@ bool Rom::write8(std::uint32_t offset, std::uint8_t value) {
   return false;  // mask ROM: bus writes fault
 }
 
+void Rom::reset() {
+  std::fill(bytes_.begin() + dirty_lo_, bytes_.begin() + dirty_hi_,
+            std::uint8_t{0});
+  dirty_lo_ = dirty_hi_ = 0;
+}
+
 void Rom::program(std::uint32_t offset,
                   const std::vector<std::uint8_t>& bytes) {
+  const std::uint32_t end = static_cast<std::uint32_t>(
+      std::min<std::size_t>(offset + bytes.size(), bytes_.size()));
+  if (offset < end) {
+    if (dirty_lo_ == dirty_hi_) {
+      dirty_lo_ = offset;
+      dirty_hi_ = end;
+    } else {
+      dirty_lo_ = std::min(dirty_lo_, offset);
+      dirty_hi_ = std::max(dirty_hi_, end);
+    }
+  }
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     if (offset + i < bytes_.size()) bytes_[offset + i] = bytes[i];
   }

@@ -41,6 +41,11 @@ class BusDevice {
   /// machines). Called with the cycles consumed by each executed
   /// instruction.
   virtual void tick(std::uint64_t cycles) { (void)cycles; }
+
+  /// Returns the device to its power-on state. Every stateful device
+  /// overrides this; it is what lets a Board be pooled and reused across
+  /// test runs with outcomes identical to a freshly constructed one.
+  virtual void reset() {}
 };
 
 /// Word-register peripheral convenience base: devices exposing aligned
@@ -82,6 +87,10 @@ class Bus {
 
   void tick_all(std::uint64_t cycles);
 
+  /// Resets every mapped device to its power-on state (see
+  /// BusDevice::reset). The mappings themselves are untouched.
+  void reset_devices();
+
   /// Finds the device mapped at `addr`, or nullptr. Used by debug ports.
   [[nodiscard]] BusDevice* device_at(std::uint32_t addr);
 
@@ -110,6 +119,11 @@ class Ram : public BusDevice {
   }
   bool read8(std::uint32_t offset, std::uint8_t& value) override;
   bool write8(std::uint32_t offset, std::uint8_t value) override;
+  /// Clears only the dirty pages, not the whole array — board pooling
+  /// resets after every test, and a test touches a few KB of a 256KB
+  /// memory (a watermark range would not do: the stack lives at the top
+  /// and the vector table at the bottom, spanning everything).
+  void reset() override;
 
   /// Number of reads that touched never-written bytes.
   [[nodiscard]] std::uint64_t uninitialized_reads() const {
@@ -117,11 +131,15 @@ class Ram : public BusDevice {
   }
 
  private:
+  /// Dirty-page granularity: 4KB pages, one bit per page.
+  static constexpr std::uint32_t kPageShift = 12;
+
   std::string name_;
   std::vector<std::uint8_t> bytes_;
   std::vector<bool> initialized_;
   bool track_init_ = false;
   std::uint64_t uninitialized_reads_ = 0;
+  std::vector<std::uint64_t> dirty_pages_;  ///< bitmap, bit i = page i
 };
 
 /// ROM: writes are rejected (bus error), matching real mask ROM behaviour.
@@ -135,6 +153,8 @@ class Rom : public BusDevice {
   }
   bool read8(std::uint32_t offset, std::uint8_t& value) override;
   bool write8(std::uint32_t offset, std::uint8_t value) override;
+  /// Clears only the programmed watermark range (see Ram::reset).
+  void reset() override;
 
   /// Image loading backdoor (not a bus write).
   void program(std::uint32_t offset, const std::vector<std::uint8_t>& bytes);
@@ -142,6 +162,8 @@ class Rom : public BusDevice {
  private:
   std::string name_;
   std::vector<std::uint8_t> bytes_;
+  std::uint32_t dirty_lo_ = 0;
+  std::uint32_t dirty_hi_ = 0;
 };
 
 }  // namespace advm::sim

@@ -74,6 +74,14 @@ bool Board::load(const assembler::Image& image, std::string* error) {
   return true;
 }
 
+void Board::reset() {
+  bus_.reset_devices();
+  irqs_.clear_all();
+  machine_->set_trace(nullptr);
+  machine_->reset(0, spec_.stack_top(), spec_.vtbase());
+  entry_ = 0;
+}
+
 RunOutcome Board::run(std::uint64_t max_instructions) {
   RunOutcome out;
   out.machine = machine_->run(max_instructions);

@@ -59,6 +59,12 @@ class Board {
   /// Runs to completion or `max_instructions`.
   [[nodiscard]] RunOutcome run(std::uint64_t max_instructions = 2'000'000);
 
+  /// Returns the whole board to its power-on state: every device, both
+  /// memories (contents and X-tracking), the IRQ fabric and the core. A
+  /// reset board followed by load()+run() behaves byte-for-byte like a
+  /// freshly constructed one — the invariant board pooling relies on.
+  void reset();
+
   /// Attaches an instruction/memory trace. Returns false on platforms
   /// without that visibility (accelerator, silicon) — the paper's platform
   /// differences, enforced.

@@ -25,6 +25,8 @@ class InterruptController final : public sim::MmioDevice {
   [[nodiscard]] std::string_view name() const override { return "intc"; }
   [[nodiscard]] std::uint32_t size() const override { return 0xC; }
 
+  void reset() override { enable_ = 0; }
+
   /// Hook for Machine::set_irq_poll — lowest line number wins.
   [[nodiscard]] std::optional<std::uint8_t> highest_priority() const {
     const std::uint16_t active = irqs_.pending() & enable_;

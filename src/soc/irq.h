@@ -16,6 +16,7 @@ class IrqLines {
     pending_ &= static_cast<std::uint16_t>(~mask);
   }
   [[nodiscard]] std::uint16_t pending() const { return pending_; }
+  void clear_all() { pending_ = 0; }
 
  private:
   std::uint16_t pending_ = 0;

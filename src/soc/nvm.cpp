@@ -1,9 +1,23 @@
 #include "soc/nvm.h"
 
+#include <algorithm>
+
 namespace advm::soc {
 
 NvmController::NvmController(const DerivativeSpec& spec, IrqLines& irqs)
     : spec_(spec), irqs_(irqs), array_(spec.nvm_total_bytes(), 0xFF) {}
+
+void NvmController::reset() {
+  std::fill(array_.begin(), array_.end(), std::uint8_t{0xFF});
+  lock_state_ = LockState::Locked;
+  addr_ = 0;
+  data_ = 0;
+  status_errors_ = 0;
+  busy_cycles_ = 0;
+  pending_ = PendingOp::None;
+  programs_done_ = 0;
+  erases_done_ = 0;
+}
 
 std::uint32_t NvmController::word_at(std::uint32_t byte_offset) const {
   std::uint32_t v = 0;

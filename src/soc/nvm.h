@@ -47,6 +47,7 @@ class NvmController final : public sim::MmioDevice {
   [[nodiscard]] std::uint32_t size() const override { return 0x14; }
 
   void tick(std::uint64_t cycles) override;
+  void reset() override;
 
   [[nodiscard]] bool busy() const { return busy_cycles_ > 0; }
   [[nodiscard]] bool locked() const { return lock_state_ != LockState::Open; }

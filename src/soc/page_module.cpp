@@ -1,9 +1,18 @@
 #include "soc/page_module.h"
 
+#include <algorithm>
+
 namespace advm::soc {
 
 PageModule::PageModule(FieldGeometry field, std::uint32_t page_count)
     : field_(field), storage_(page_count, 0) {}
+
+void PageModule::reset() {
+  ctrl_ = 0;
+  selected_ = 0;
+  page_error_ = false;
+  std::fill(storage_.begin(), storage_.end(), 0u);
+}
 
 bool PageModule::read_reg(std::uint32_t reg, std::uint32_t& value) {
   switch (reg) {

@@ -37,6 +37,8 @@ class PageModule final : public sim::MmioDevice {
   [[nodiscard]] std::string_view name() const override { return "pagemod"; }
   [[nodiscard]] std::uint32_t size() const override { return 0x10; }
 
+  void reset() override;
+
   [[nodiscard]] std::uint32_t selected_page() const { return selected_; }
   [[nodiscard]] bool page_error() const { return page_error_; }
   [[nodiscard]] std::uint32_t page_data(std::uint32_t page) const {

@@ -37,6 +37,12 @@ class SimControl final : public sim::MmioDevice {
   [[nodiscard]] Verdict verdict() const { return verdict_; }
   [[nodiscard]] const std::string& console() const { return console_; }
 
+  void reset() override {
+    verdict_ = Verdict::None;
+    console_.clear();
+    scratch_ = 0;
+  }
+
  protected:
   bool read_reg(std::uint32_t reg, std::uint32_t& value) override;
   bool write_reg(std::uint32_t reg, std::uint32_t value) override;

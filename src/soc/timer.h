@@ -36,6 +36,14 @@ class Timer final : public sim::MmioDevice {
 
   void tick(std::uint64_t cycles) override;
 
+  void reset() override {
+    count_ = 0;
+    compare_ = 0;
+    ctrl_ = 0;
+    matched_ = false;
+    residue_ = 0;
+  }
+
   [[nodiscard]] std::uint32_t count() const { return count_; }
   [[nodiscard]] bool matched() const { return matched_; }
 

@@ -5,6 +5,13 @@ namespace advm::soc {
 Uart::Uart(int version, IrqLines& irqs, std::uint8_t irq_line)
     : version_(version), irqs_(irqs), irq_line_(irq_line) {}
 
+void Uart::reset() {
+  ctrl_ = 0;
+  tx_busy_ = 0;
+  rx_fifo_.clear();
+  tx_log_.clear();
+}
+
 std::uint32_t Uart::status_word() const {
   const bool tx_ready = tx_busy_ == 0;
   const bool rx_avail = !rx_fifo_.empty();

@@ -36,6 +36,7 @@ class Uart final : public sim::MmioDevice {
   [[nodiscard]] std::uint32_t size() const override { return 0xC; }
 
   void tick(std::uint64_t cycles) override;
+  void reset() override;
 
   /// Everything the UART ever transmitted (testbench-side capture).
   [[nodiscard]] const std::string& transmitted() const { return tx_log_; }

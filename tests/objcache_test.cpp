@@ -135,6 +135,115 @@ TEST(ObjectCache, MissingFileIsReportedButNeverCached) {
   EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+TEST(ObjectCache, NewFileShadowingAnIncludeEarlierInTheSearchPathMisses) {
+  // The ccache direct-mode hole, closed: the include resolved from the
+  // second search directory at build time; creating the same name in the
+  // *first* directory afterwards must invalidate the entry, because a
+  // fresh assembly would now resolve the earlier path.
+  support::VirtualFileSystem vfs;
+  vfs.write("/lib2/defs.inc", "MAGIC .EQU 42\n");
+  vfs.write("/cells/T1/test.asm",
+            " .INCLUDE defs.inc\n"
+            "_main:\n"
+            " MOV d0, MAGIC\n"
+            " HALT\n");
+  AssemblerOptions options;
+  options.include_dirs = {"/lib1", "/lib2"};
+
+  ObjectCache cache;
+  auto first = cache.assemble(vfs, "/cells/T1/test.asm", options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(cache.assemble(vfs, "/cells/T1/test.asm", options).hit);
+
+  // Shadow from the earlier search directory: different MAGIC, different
+  // object bytes — serving the cached object would be a wrong answer.
+  vfs.write("/lib1/defs.inc", "MAGIC .EQU 999999\n");
+  auto shadowed = cache.assemble(vfs, "/cells/T1/test.asm", options);
+  ASSERT_TRUE(shadowed.ok());
+  EXPECT_FALSE(shadowed.hit);
+  ASSERT_FALSE(shadowed.includes->empty());
+  EXPECT_EQ(shadowed.includes->front().to_file, "/lib1/defs.inc");
+
+  // A sibling of the including file shadows everything.
+  vfs.write("/cells/T1/defs.inc", "MAGIC .EQU 7\n");
+  auto sibling = cache.assemble(vfs, "/cells/T1/test.asm", options);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_FALSE(sibling.hit);
+  EXPECT_EQ(sibling.includes->front().to_file, "/cells/T1/defs.inc");
+
+  // Steady state: with no new shadow appearing, hits resume.
+  EXPECT_TRUE(cache.assemble(vfs, "/cells/T1/test.asm", options).hit);
+}
+
+TEST(ObjectCache, CachedIncludeNotFoundFailureInvalidatesWhenFileAppears) {
+  // The failure arm of shadow detection: an include missing everywhere is
+  // a cached BUILD-FAIL; creating the file at any probed candidate —
+  // including the absolute path itself — must invalidate the entry, or a
+  // regenerate-in-place workflow keeps reporting the stale failure.
+  support::VirtualFileSystem vfs;
+  vfs.write("/cells/T1/test.asm",
+            " .INCLUDE \"/lib/abs_defs.inc\"\n"
+            "_main:\n"
+            " MOV d0, MAGIC\n"
+            " HALT\n");
+  ObjectCache cache;
+  AssemblerOptions options;
+
+  auto first = cache.assemble(vfs, "/cells/T1/test.asm", options);
+  EXPECT_FALSE(first.ok());
+  EXPECT_NE(first.error.find("cannot find include"), std::string::npos);
+  EXPECT_TRUE(cache.assemble(vfs, "/cells/T1/test.asm", options).hit);
+
+  vfs.write("/lib/abs_defs.inc", "MAGIC .EQU 42\n");
+  auto repaired = cache.assemble(vfs, "/cells/T1/test.asm", options);
+  EXPECT_FALSE(repaired.hit);
+  EXPECT_TRUE(repaired.ok()) << repaired.error;
+}
+
+TEST(ObjectCache, ByteBudgetEvictsLeastRecentlyUsedEntries) {
+  support::VirtualFileSystem vfs;
+  const char* files[] = {"/src/a.asm", "/src/b.asm", "/src/c.asm"};
+  for (const char* path : files) {
+    vfs.write(path, std::string("_main:\n MOV d0, 1\n HALT\n"));
+  }
+  AssemblerOptions options;
+
+  // Budget fits roughly one object: every new build evicts the oldest.
+  ObjectCache unbounded;
+  auto probe = unbounded.assemble(vfs, files[0], options);
+  ASSERT_TRUE(probe.ok());
+  const std::uint64_t one = probe.object->total_bytes();
+  ASSERT_GT(one, 0u);
+
+  ObjectCache cache(one + one / 2);
+  EXPECT_EQ(cache.max_bytes(), one + one / 2);
+  ASSERT_TRUE(cache.assemble(vfs, files[0], options).ok());  // a
+  ASSERT_TRUE(cache.assemble(vfs, files[1], options).ok());  // b evicts a
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, cache.max_bytes());
+
+  // b (still cached) hits; a (evicted) rebuilds.
+  EXPECT_TRUE(cache.assemble(vfs, files[1], options).hit);
+  EXPECT_FALSE(cache.assemble(vfs, files[0], options).hit);
+
+  // LRU order: b was touched after a's rebuild started… rebuild of a
+  // evicted b (the least recently used at that moment).
+  stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_LE(stats.bytes, cache.max_bytes());
+}
+
+TEST(ObjectCache, UnboundedCacheNeverEvicts) {
+  auto vfs = tiny_program();
+  ObjectCache cache;
+  AssemblerOptions options;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache.assemble(vfs, kMain, options).ok());
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
 TEST(ObjectCache, ConcurrentSameKeyRequestsBuildOnce) {
   // Whatever the pool size, exactly one request per key may miss — the
   // determinism of the regression report's counters depends on it.

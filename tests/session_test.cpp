@@ -1,0 +1,273 @@
+// advm::Session — the typed request/result API.
+//
+// Covers the contract the CLI and future shard workers rely on: request
+// validation comes back as typed Status errors (unknown derivative /
+// platform / bad root), consecutive verbs on one session share one object
+// cache and one board pool by construction, and the JSON documents for
+// `run` and `matrix` are byte-stable against checked-in goldens
+// (tests/golden/session_*.json — the same bytes `advm --format json`
+// prints).
+//
+// ADVM_GOLDEN_DIR is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "advm/report.h"
+#include "advm/session.h"
+
+namespace {
+
+using namespace advm::core;
+
+std::string golden(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(ADVM_GOLDEN_DIR) / name;
+  EXPECT_TRUE(std::filesystem::exists(path)) << "missing golden " << path;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The canonical small system: five modules, two tests each, built into
+/// the session's VFS at /SYS — the same tree `advm init --tests 2` puts on
+/// disk.
+BuildResult build_small_system(Session& session) {
+  BuildRequest request;
+  request.root = "/SYS";
+  request.tests_per_module = 2;
+  return session.run(request);
+}
+
+// ------------------------------------------------------ request validation --
+
+TEST(SessionValidation, UnknownDerivativeIsATypedError) {
+  Session session;
+  RunRequest request;
+  request.derivative = "SC99-Z";
+  RunResult result = session.run(request);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code, "advm.unknown-derivative");
+  EXPECT_NE(result.status.message.find("unknown derivative 'SC99-Z'"),
+            std::string::npos);
+  EXPECT_NE(result.status.message.find("SC88-A"), std::string::npos);
+  EXPECT_TRUE(result.report.records.empty());
+}
+
+TEST(SessionValidation, UnknownPlatformIsATypedError) {
+  Session session;
+  RunRequest request;
+  request.platform = "warp-drive";
+  RunResult result = session.run(request);
+  EXPECT_EQ(result.status.code, "advm.unknown-platform");
+  EXPECT_NE(result.status.message.find("unknown platform 'warp-drive'"),
+            std::string::npos);
+}
+
+TEST(SessionValidation, BadRootIsATypedError) {
+  Session session;  // nothing built: /SYS does not exist
+  RunRequest run_request;
+  EXPECT_EQ(session.run(run_request).status.code, "advm.bad-root");
+
+  MatrixRequest matrix_request;
+  EXPECT_EQ(session.run(matrix_request).status.code, "advm.bad-root");
+
+  CheckRequest check_request;
+  EXPECT_EQ(session.run(check_request).status.code, "advm.bad-root");
+
+  PortRequest port_request;
+  port_request.to = "SC88-C";
+  EXPECT_EQ(session.run(port_request).status.code, "advm.bad-root");
+
+  ReleaseRequest release_request;
+  EXPECT_EQ(session.run(release_request).status.code, "advm.bad-root");
+
+  RandomRequest random_request;
+  EXPECT_EQ(session.run(random_request).status.code, "advm.bad-root");
+}
+
+TEST(SessionValidation, MatrixValidatesEveryAxisName) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+
+  MatrixRequest request;
+  request.derivatives = {"SC88-A", "SC99-Z"};
+  EXPECT_EQ(session.run(request).status.code, "advm.unknown-derivative");
+
+  request.derivatives = {"SC88-A"};
+  request.platforms = {"golden-model", "warp-drive"};
+  EXPECT_EQ(session.run(request).status.code, "advm.unknown-platform");
+
+  request.platforms = {};
+  EXPECT_EQ(session.run(request).status.code, "advm.empty-matrix");
+}
+
+TEST(SessionValidation, PortValidatesTargetName) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  PortRequest request;
+  request.to = "SC99-Z";
+  EXPECT_EQ(session.run(request).status.code, "advm.unknown-derivative");
+}
+
+// ------------------------------------------------------------ happy paths --
+
+TEST(Session, BuildRunCheckPortReleaseEndToEnd) {
+  Session session;
+  BuildResult built = build_small_system(session);
+  ASSERT_TRUE(built.status.ok()) << built.status.message;
+  EXPECT_EQ(built.derivative, "SC88-A");
+  EXPECT_EQ(built.tests, 10u);
+  EXPECT_EQ(built.layout.environments.size(), 5u);
+  EXPECT_GT(built.files, 0u);
+
+  RunResult run = session.run(RunRequest{});
+  ASSERT_TRUE(run.status.ok()) << run.status.message;
+  EXPECT_TRUE(run.report.all_passed()) << format_report(run.report);
+
+  CheckResult check = session.run(CheckRequest{});
+  ASSERT_TRUE(check.status.ok());
+  EXPECT_TRUE(check.report.clean());
+
+  PortRequest port_request;
+  port_request.to = "SC88-C";
+  PortResult ported = session.run(port_request);
+  ASSERT_TRUE(ported.status.ok());
+  EXPECT_EQ(ported.target, "SC88-C");
+  // The ADVM claim, through the typed API: no test file touched.
+  EXPECT_EQ(ported.repair.test_layer.files_touched(), 0u);
+  EXPECT_GT(ported.repair.abstraction_layer.files_touched(), 0u);
+
+  RunRequest rerun_request;
+  rerun_request.derivative = "SC88-C";
+  RunResult rerun = session.run(rerun_request);
+  ASSERT_TRUE(rerun.status.ok());
+  EXPECT_TRUE(rerun.report.all_passed()) << format_report(rerun.report);
+
+  ReleaseRequest release_request;
+  release_request.derivative = "SC88-C";
+  ReleaseResult released = session.run(release_request);
+  ASSERT_TRUE(released.status.ok()) << released.status.message;
+  EXPECT_TRUE(released.verified);
+  ASSERT_TRUE(released.frozen.has_value());
+  EXPECT_TRUE(released.frozen->all_passed());
+  EXPECT_EQ(released.release.sub_labels.size(), 6u);  // 5 envs + globals
+}
+
+TEST(Session, RandomRegeneratesEveryAdvmEnvironment) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  RandomRequest request;
+  request.seed = 7;
+  RandomResult result = session.run(request);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.seed, 7u);
+  EXPECT_EQ(result.regenerated, 5u);
+  EXPECT_TRUE(result.values.count(GlobalDefineNames::kTest1TargetPage));
+
+  // The regenerated tree still regresses green (constraints are legal).
+  RunResult run = session.run(RunRequest{});
+  ASSERT_TRUE(run.status.ok());
+  EXPECT_TRUE(run.report.all_passed()) << format_report(run.report);
+}
+
+// ----------------------------------------------- shared cache, shared pool --
+
+TEST(Session, ConsecutiveVerbsShareOneObjectCache) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+
+  RunResult run = session.run(RunRequest{});
+  ASSERT_TRUE(run.status.ok());
+  const ObjectCacheStats after_run = session.cache().stats();
+  EXPECT_GT(after_run.misses, 0u);
+
+  // A violation check assembles the same translation units with the same
+  // options: on one session it must be served entirely from the cache.
+  CheckResult check = session.run(CheckRequest{});
+  ASSERT_TRUE(check.status.ok());
+  const ObjectCacheStats after_check = session.cache().stats();
+  EXPECT_EQ(after_check.misses, after_run.misses);
+  EXPECT_GT(after_check.hits, after_run.hits);
+
+  // A matrix over more derivatives links fresh cells against the same
+  // objects — the assembly phase is pure hits.
+  MatrixRequest matrix_request;
+  matrix_request.derivatives = {"SC88-A", "SC88-B"};
+  matrix_request.platforms = {"golden-model", "accelerator"};
+  MatrixResult matrix = session.run(matrix_request);
+  ASSERT_TRUE(matrix.status.ok());
+  EXPECT_EQ(matrix.cells.size(), 4u);
+  const ObjectCacheStats after_matrix = session.cache().stats();
+  EXPECT_EQ(after_matrix.misses, after_run.misses);
+  EXPECT_GT(after_matrix.hits, after_check.hits);
+}
+
+TEST(Session, BoardPoolReusesBoardsAcrossRunsWithIdenticalDigests) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+
+  RunResult first = session.run(RunRequest{});
+  ASSERT_TRUE(first.status.ok());
+  const BoardPoolStats after_first = session.boards().stats();
+  // Serial execution: every task returned its board before the next one
+  // leased, so the whole run needed exactly one board.
+  EXPECT_EQ(after_first.constructed, 1u);
+  EXPECT_GT(after_first.reused, 0u);
+
+  RunResult second = session.run(RunRequest{});
+  ASSERT_TRUE(second.status.ok());
+  const BoardPoolStats after_second = session.boards().stats();
+  EXPECT_EQ(after_second.constructed, after_first.constructed);
+  EXPECT_GT(after_second.reused, after_first.reused);
+
+  // The pooled (reused) boards reproduce the fresh boards' outcomes
+  // exactly — verdicts, state digests, instruction and cycle counts. (The
+  // cache counters legitimately differ: the second run is pure hits.)
+  EXPECT_EQ(second.report.outcome_digest(), first.report.outcome_digest());
+  EXPECT_EQ(second.report.total_instructions(),
+            first.report.total_instructions());
+  ASSERT_EQ(second.report.records.size(), first.report.records.size());
+  for (std::size_t i = 0; i < first.report.records.size(); ++i) {
+    EXPECT_EQ(second.report.records[i].cycles, first.report.records[i].cycles)
+        << first.report.records[i].test_id;
+  }
+}
+
+// ------------------------------------------------------------ JSON goldens --
+
+TEST(SessionJson, RunDocumentMatchesGolden) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  RunResult result = session.run(RunRequest{});
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(to_json(result) + "\n", golden("session_run.json"));
+}
+
+TEST(SessionJson, MatrixDocumentMatchesGolden) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  MatrixRequest request;
+  request.platforms = {"golden-model", "accelerator"};
+  MatrixResult result = session.run(request);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(to_json(result) + "\n", golden("session_matrix.json"));
+}
+
+TEST(SessionJson, ErrorDocumentCarriesCodeAndMessage) {
+  Session session;
+  RunRequest request;
+  request.derivative = "SC99-Z";
+  RunResult result = session.run(request);
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"verb\":\"run\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"advm.unknown-derivative\""),
+            std::string::npos);
+}
+
+}  // namespace

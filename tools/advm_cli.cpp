@@ -12,29 +12,33 @@
 //                                                        cell + roll-up
 //   advm port  <dir> --to SC88-C                         retarget in place
 //   advm check <dir> [--derivative D]                    violation report
+//   advm release <dir> --name R1 [--derivative D] [--platform P] [--jobs N]
+//                                                        frozen snapshot +
+//                                                        verify + regression
 //   advm random <dir> --seed K [--derivative D]          random Globals.inc
 //
-// Environments are imported from disk into the in-memory VFS, transformed,
+// Every verb is the same thin adapter: parse arguments into a typed
+// request, run it on one advm::Session (which owns the VFS, object cache,
+// board pool and worker-pool policy), render the typed result. `--format
+// json` (any verb) renders the result as the stable machine-readable
+// document from src/advm/report.h instead of the human text.
+//
+// Environments are imported from disk into the session's VFS, transformed,
 // and written back — so `port` literally edits only the abstraction layer
 // files in your working copy.
 #include <cstdlib>
-#include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "advm/environment.h"
-#include "advm/porting.h"
-#include "advm/random_globals.h"
-#include "advm/regression.h"
-#include "advm/violations.h"
-#include "soc/derivative.h"
+#include "advm/report.h"
+#include "advm/session.h"
 #include "support/disk.h"
 #include "support/hash.h"
 #include "support/text.h"
-#include "support/vfs.h"
 
 namespace {
 
@@ -47,6 +51,7 @@ struct Args {
   std::string command;
   std::string dir;
   std::map<std::string, std::string> options;
+  bool json = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -70,20 +75,9 @@ Args parse_args(int argc, char** argv) {
       args.dir = arg;
     }
   }
+  auto format = args.options.find("format");
+  args.json = format != args.options.end() && format->second == "json";
   return args;
-}
-
-const soc::DerivativeSpec* derivative_from(const Args& args,
-                                           const char* key = "derivative") {
-  auto it = args.options.find(key);
-  const std::string name = it == args.options.end() ? "SC88-A" : it->second;
-  const soc::DerivativeSpec* spec = soc::find_derivative(name);
-  if (spec == nullptr) {
-    std::cerr << "unknown derivative '" << name << "'; known:";
-    for (const auto* d : soc::all_derivatives()) std::cerr << " " << d->name;
-    std::cerr << "\n";
-  }
-  return spec;
 }
 
 /// Parses --jobs strictly: digits only, 0 = one worker per hardware
@@ -109,252 +103,251 @@ std::optional<std::size_t> jobs_from(const Args& args) {
   return parsed;
 }
 
-sim::PlatformKind platform_from(const Args& args) {
-  auto it = args.options.find("platform");
-  if (it == args.options.end()) return sim::PlatformKind::GoldenModel;
-  for (sim::PlatformKind kind : sim::kAllPlatforms) {
-    if (sim::to_string(kind) == it->second) return kind;
+std::string option_or(const Args& args, const char* key,
+                      const char* fallback) {
+  auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+/// Builds a Session sized by --jobs, with the tree at `args.dir` imported
+/// under kVfsRoot. Null after a diagnostic on a bad --jobs. An unreadable
+/// disk tree is *not* fatal here: the failure is stashed in `import_error`
+/// so that request validation (unknown derivative/platform) still gets to
+/// report first — the session then fails root validation and the verb
+/// substitutes the disk-level message.
+std::unique_ptr<Session> make_session(const Args& args,
+                                      std::string* import_error,
+                                      bool import = true) {
+  const std::optional<std::size_t> jobs = jobs_from(args);
+  if (!jobs) return nullptr;
+  SessionConfig config;
+  config.jobs = *jobs;
+  auto session = std::make_unique<Session>(std::move(config));
+  if (import) {
+    try {
+      support::import_from_disk(session->vfs(), args.dir, kVfsRoot);
+    } catch (const std::exception& e) {
+      if (import_error) *import_error = e.what();
+    }
   }
-  std::cerr << "unknown platform '" << it->second
-            << "', using golden-model; known:";
-  for (sim::PlatformKind kind : sim::kAllPlatforms) {
-    std::cerr << " " << sim::to_string(kind);
+  return session;
+}
+
+/// Error rendering shared by every verb: the JSON document on stdout in
+/// --format json mode, the bare message on stderr otherwise. Always exit
+/// code 2 (a request that failed validation never ran). A root-validation
+/// failure caused by an unreadable disk tree reports the disk error.
+template <typename Result>
+int render_error(const Args& args, Result result,
+                 const std::string& import_error = {}) {
+  if (!import_error.empty() && result.status.code == "advm.bad-root") {
+    result.status = Status::error("advm.import-failed", import_error);
   }
-  std::cerr << "\n";
-  return sim::PlatformKind::GoldenModel;
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    std::cerr << result.status.message << "\n";
+  }
+  return 2;
 }
 
 int cmd_init(const Args& args) {
-  const soc::DerivativeSpec* spec = derivative_from(args);
-  if (!spec) return 2;
-  const std::size_t tests =
+  auto session = make_session(args, nullptr, /*import=*/false);
+  if (!session) return 2;
+
+  BuildRequest request;
+  request.root = kVfsRoot;
+  request.derivative = option_or(args, "derivative", "SC88-A");
+  request.tests_per_module =
       args.options.count("tests")
           ? std::strtoul(args.options.at("tests").c_str(), nullptr, 10)
           : 5;
 
-  support::VirtualFileSystem vfs;
-  SystemConfig config;
-  config.environments = {
-      {"PAGE_MODULE", ModuleKind::Register, tests, true},
-      {"UART_MODULE", ModuleKind::Uart, tests, true},
-      {"NVM_MODULE", ModuleKind::Nvm, tests, true},
-      {"TIMER_MODULE", ModuleKind::Timer, tests, true},
-      {"MEM_MODULE", ModuleKind::Memory, tests, true},
-  };
-  (void)build_system(vfs, config, *spec);
-  // build_system writes under config.root; re-home it below kVfsRoot.
-  const std::size_t written = support::export_to_disk(
-      vfs, "/ADVM_System_Verification_Environment", args.dir);
-  std::cout << "created " << args.dir << " for " << spec->name << ": "
-            << written << " files, " << 5 * tests << " tests\n";
+  BuildResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result);
+
+  const std::size_t written =
+      support::export_to_disk(session->vfs(), kVfsRoot, args.dir);
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    std::cout << "created " << args.dir << " for " << result.derivative
+              << ": " << written << " files, " << result.tests << " tests\n";
+  }
   return 0;
 }
 
 int cmd_run(const Args& args) {
-  const soc::DerivativeSpec* spec = derivative_from(args);
-  if (!spec) return 2;
-  const std::optional<std::size_t> jobs = jobs_from(args);
-  if (!jobs) return 2;
-  support::VirtualFileSystem vfs;
-  support::import_from_disk(vfs, args.dir, kVfsRoot);
-  RegressionRunner runner(vfs, *jobs);
-  auto report = runner.run_system(kVfsRoot, *spec, platform_from(args));
-  std::cout << format_report(report);
-  return report.all_passed() ? 0 : 1;
-}
+  std::string import_error;
+  auto session = make_session(args, &import_error);
+  if (!session) return 2;
 
-/// Parses `--derivatives A,B,C` (default: SC88-A). Empty list after a
-/// diagnostic on any unknown name.
-std::vector<const soc::DerivativeSpec*> derivatives_from(const Args& args) {
-  auto it = args.options.find("derivatives");
-  const std::string list = it == args.options.end() ? "SC88-A" : it->second;
-  std::vector<const soc::DerivativeSpec*> specs;
-  for (std::string_view name : support::split(list, ',')) {
-    const soc::DerivativeSpec* spec =
-        soc::find_derivative(std::string(name));
-    if (spec == nullptr) {
-      std::cerr << "unknown derivative '" << name << "'; known:";
-      for (const auto* d : soc::all_derivatives()) std::cerr << " " << d->name;
-      std::cerr << "\n";
-      return {};
-    }
-    specs.push_back(spec);
-  }
-  return specs;
-}
+  RunRequest request;
+  request.root = kVfsRoot;
+  request.derivative = option_or(args, "derivative", "SC88-A");
+  request.platform = option_or(args, "platform", "golden-model");
 
-/// Parses `--platforms golden-model,rtl-sim` (default: golden-model).
-/// Empty list after a diagnostic on any unknown name.
-std::vector<sim::PlatformKind> platforms_from(const Args& args) {
-  auto it = args.options.find("platforms");
-  const std::string list =
-      it == args.options.end() ? "golden-model" : it->second;
-  std::vector<sim::PlatformKind> platforms;
-  for (std::string_view name : support::split(list, ',')) {
-    bool found = false;
-    for (sim::PlatformKind kind : sim::kAllPlatforms) {
-      if (sim::to_string(kind) == name) {
-        platforms.push_back(kind);
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      std::cerr << "unknown platform '" << name << "'; known:";
-      for (sim::PlatformKind kind : sim::kAllPlatforms) {
-        std::cerr << " " << sim::to_string(kind);
-      }
-      std::cerr << "\n";
-      return {};
-    }
+  RunResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result, import_error);
+
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    std::cout << format_report(result.report);
   }
-  return platforms;
+  return result.report.all_passed() ? 0 : 1;
 }
 
 int cmd_matrix(const Args& args) {
-  const std::vector<const soc::DerivativeSpec*> derivatives =
-      derivatives_from(args);
-  if (derivatives.empty()) return 2;
-  const std::vector<sim::PlatformKind> platforms = platforms_from(args);
-  if (platforms.empty()) return 2;
-  const std::optional<std::size_t> jobs = jobs_from(args);
-  if (!jobs) return 2;
+  std::string import_error;
+  auto session = make_session(args, &import_error);
+  if (!session) return 2;
 
-  support::VirtualFileSystem vfs;
-  support::import_from_disk(vfs, args.dir, kVfsRoot);
+  MatrixRequest request;
+  request.root = kVfsRoot;
+  const std::string derivatives = option_or(args, "derivatives", "SC88-A");
+  const std::string platforms = option_or(args, "platforms", "golden-model");
+  request.derivatives.clear();
+  for (std::string_view name : support::split(derivatives, ',')) {
+    request.derivatives.emplace_back(name);
+  }
+  request.platforms.clear();
+  for (std::string_view name : support::split(platforms, ',')) {
+    request.platforms.emplace_back(name);
+  }
 
-  std::vector<MatrixCell> cells;
-  for (const soc::DerivativeSpec* spec : derivatives) {
-    for (sim::PlatformKind platform : platforms) {
-      cells.push_back({spec, platform});
+  MatrixResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result, import_error);
+
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    for (const auto& cell : result.cells) {
+      std::cout << format_report(cell) << "\n";
     }
+    std::cout << format_matrix_rollup(result);
   }
-
-  // One runner for the whole cube: every test assembles once, every cell
-  // links against the cached objects.
-  RegressionRunner runner(vfs, *jobs);
-  auto reports = runner.run_matrix(kVfsRoot, cells);
-
-  for (const auto& report : reports) {
-    std::cout << format_report(report) << "\n";
-  }
-
-  std::size_t col = 10;  // widths: longest derivative / platform name
-  for (const auto* spec : derivatives) col = std::max(col, spec->name.size());
-  std::size_t pcol = 8;
-  for (sim::PlatformKind p : platforms) {
-    pcol = std::max(pcol, std::string(sim::to_string(p)).size());
-  }
-
-  bool all_green = true;
-  std::cout << "matrix roll-up (" << derivatives.size() << " derivatives x "
-            << platforms.size() << " platforms):\n";
-  std::cout << "  " << std::left << std::setw(static_cast<int>(col) + 2)
-            << "derivative" << std::setw(static_cast<int>(pcol) + 2)
-            << "platform" << std::setw(10) << "passed" << std::setw(12)
-            << "build-fail" << "outcome digest\n";
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    const auto& report = reports[i];
-    all_green = all_green && report.all_passed();
-    std::cout << "  " << std::left << std::setw(static_cast<int>(col) + 2)
-              << report.derivative << std::setw(static_cast<int>(pcol) + 2)
-              << sim::to_string(report.platform) << std::setw(10)
-              << (std::to_string(report.passed()) + "/" +
-                  std::to_string(report.records.size()))
-              << std::setw(12) << report.build_failures()
-              << support::hash_to_string(report.outcome_digest()) << "\n";
-  }
-  return all_green ? 0 : 1;
+  return result.all_passed() ? 0 : 1;
 }
 
 int cmd_port(const Args& args) {
-  const soc::DerivativeSpec* target = derivative_from(args, "to");
-  if (!target) return 2;
-  support::VirtualFileSystem vfs;
-  support::import_from_disk(vfs, args.dir, kVfsRoot);
+  std::string import_error;
+  auto session = make_session(args, &import_error);
+  if (!session) return 2;
 
-  // Reconstruct the layout from the on-disk tree.
-  SystemLayout layout;
-  layout.root = kVfsRoot;
-  layout.global_dir = std::string(kVfsRoot) + "/" + kGlobalLibrariesDir;
-  for (const std::string& entry : vfs.list_dir(kVfsRoot)) {
-    if (entry.empty() || entry.back() != '/') continue;
-    const std::string name = entry.substr(0, entry.size() - 1);
-    if (name == kGlobalLibrariesDir) continue;
-    EnvironmentLayout env;
-    env.name = name;
-    env.dir = std::string(kVfsRoot) + "/" + name;
-    env.abstraction_dir = env.dir + "/" + kAbstractionLayerDir;
-    env.advm_style = vfs.dir_exists(env.abstraction_dir);
-    layout.environments.push_back(std::move(env));
+  PortRequest request;
+  request.root = kVfsRoot;
+  request.to = option_or(args, "to", "");
+
+  PortResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result, import_error);
+
+  support::export_to_disk(session->vfs(), kVfsRoot, args.dir);
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    std::cout << "ported " << args.dir << " to " << result.target << "\n"
+              << "  global layer: "
+              << result.repair.global_layer.files_touched() << " files\n"
+              << "  abstraction layer: "
+              << result.repair.abstraction_layer.files_touched() << " files, "
+              << result.repair.abstraction_layer.lines().total() << " lines\n"
+              << "  test layer: " << result.repair.test_layer.files_touched()
+              << " files (ADVM environments: expected 0)\n";
   }
-
-  PortingEngine porter(vfs);
-  auto repair = porter.port(layout, *target, {}, {});
-  support::export_to_disk(vfs, kVfsRoot, args.dir);
-
-  std::cout << "ported " << args.dir << " to " << target->name << "\n"
-            << "  global layer: " << repair.global_layer.files_touched()
-            << " files\n"
-            << "  abstraction layer: "
-            << repair.abstraction_layer.files_touched() << " files, "
-            << repair.abstraction_layer.lines().total() << " lines\n"
-            << "  test layer: " << repair.test_layer.files_touched()
-            << " files (ADVM environments: expected 0)\n";
   return 0;
 }
 
 int cmd_check(const Args& args) {
-  const soc::DerivativeSpec* spec = derivative_from(args);
-  if (!spec) return 2;
-  support::VirtualFileSystem vfs;
-  support::import_from_disk(vfs, args.dir, kVfsRoot);
-  ViolationChecker checker(vfs);
-  auto report = checker.check_system(kVfsRoot, *spec);
-  if (report.clean()) {
+  std::string import_error;
+  auto session = make_session(args, &import_error);
+  if (!session) return 2;
+
+  CheckRequest request;
+  request.root = kVfsRoot;
+  request.derivative = option_or(args, "derivative", "SC88-A");
+
+  CheckResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result, import_error);
+
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else if (result.report.clean()) {
     std::cout << "clean: no abstraction violations\n";
-    return 0;
+  } else {
+    for (const auto& v : result.report.violations) {
+      std::cout << v.file;
+      if (v.loc.valid()) std::cout << ":" << v.loc.line;
+      std::cout << ": [" << v.code << "] " << v.detail << "\n";
+    }
+    std::cout << result.report.violations.size() << " violation(s)\n";
   }
-  for (const auto& v : report.violations) {
-    std::cout << v.file;
-    if (v.loc.valid()) std::cout << ":" << v.loc.line;
-    std::cout << ": [" << v.code << "] " << v.detail << "\n";
+  return result.report.clean() ? 0 : 1;
+}
+
+int cmd_release(const Args& args) {
+  std::string import_error;
+  auto session = make_session(args, &import_error);
+  if (!session) return 2;
+
+  ReleaseRequest request;
+  request.root = kVfsRoot;
+  request.name = option_or(args, "name", "R1");
+  request.derivative = option_or(args, "derivative", "SC88-A");
+  request.platform = option_or(args, "platform", "golden-model");
+
+  ReleaseResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result, import_error);
+
+  // Persist the frozen snapshot next to the live tree (outside it, so
+  // discovery and future releases never pick it up as an environment). A
+  // later invocation can re-verify or re-regress it with plain `advm run`.
+  const std::string snapshot_dir =
+      args.dir + ".releases/" + result.release.name;
+  support::export_to_disk(session->vfs(), result.release.root, snapshot_dir);
+
+  const bool frozen_green = result.frozen && result.frozen->all_passed();
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    if (result.frozen) std::cout << format_report(*result.frozen);
+    std::cout << "release " << result.release.name << ": "
+              << result.release.sub_labels.size() << " sub-labels, composed "
+              << support::hash_to_string(result.release.composed_hash)
+              << (result.verified ? " (verified)" : " (TAMPERED)")
+              << ", snapshot " << snapshot_dir << "\n";
   }
-  std::cout << report.violations.size() << " violation(s)\n";
-  return 1;
+  return result.verified && frozen_green ? 0 : 1;
 }
 
 int cmd_random(const Args& args) {
-  const soc::DerivativeSpec* spec = derivative_from(args);
-  if (!spec) return 2;
-  const std::uint64_t seed =
+  std::string import_error;
+  auto session = make_session(args, &import_error);
+  if (!session) return 2;
+
+  RandomRequest request;
+  request.root = kVfsRoot;
+  request.derivative = option_or(args, "derivative", "SC88-A");
+  request.seed =
       args.options.count("seed")
           ? std::strtoull(args.options.at("seed").c_str(), nullptr, 10)
           : 1;
 
-  support::VirtualFileSystem vfs;
-  support::import_from_disk(vfs, args.dir, kVfsRoot);
+  RandomResult result = session->run(request);
+  if (!result.status.ok()) return render_error(args, result, import_error);
 
-  auto values = randomize_defines(default_constraints(*spec), seed);
-  GlobalsOptions options;
-  options.overrides = values;
-  std::size_t regenerated = 0;
-  for (const std::string& entry : vfs.list_dir(kVfsRoot)) {
-    if (entry.empty() || entry.back() != '/') continue;
-    const std::string abstraction = std::string(kVfsRoot) + "/" +
-                                    entry.substr(0, entry.size() - 1) + "/" +
-                                    kAbstractionLayerDir;
-    if (!vfs.dir_exists(abstraction)) continue;
-    vfs.write(abstraction + "/" + kGlobalsFile,
-              generate_globals(*spec, options));
-    ++regenerated;
+  support::export_to_disk(session->vfs(), kVfsRoot, args.dir);
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    std::cout << "seed " << result.seed << ": regenerated "
+              << result.regenerated
+              << " Globals.inc instance(s); TEST1_TARGET_PAGE="
+              << result.values.at(GlobalDefineNames::kTest1TargetPage)
+              << " TEST2_TARGET_PAGE="
+              << result.values.at(GlobalDefineNames::kTest2TargetPage)
+              << "\n";
   }
-  support::export_to_disk(vfs, kVfsRoot, args.dir);
-  std::cout << "seed " << seed << ": regenerated " << regenerated
-            << " Globals.inc instance(s); TEST1_TARGET_PAGE="
-            << values.at(GlobalDefineNames::kTest1TargetPage)
-            << " TEST2_TARGET_PAGE="
-            << values.at(GlobalDefineNames::kTest2TargetPage) << "\n";
   return 0;
 }
 
@@ -368,7 +361,10 @@ int usage() {
          " [--jobs N]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
-         "  advm random <dir> --seed K [--derivative D]\n";
+         "  advm release <dir> [--name R1] [--derivative D] [--platform P]"
+         " [--jobs N]\n"
+         "  advm random <dir> --seed K [--derivative D]\n"
+         "options: --format json renders any verb's result as JSON\n";
   return 2;
 }
 
@@ -377,12 +373,22 @@ int usage() {
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
   if (args.dir.empty()) return usage();
+  // Strict like --jobs: a typo'd --format must not silently feed human
+  // text to a JSON consumer.
+  auto format = args.options.find("format");
+  if (format != args.options.end() && format->second != "json" &&
+      format->second != "text") {
+    std::cerr << "invalid --format value '" << format->second
+              << "' (expected json or text)\n";
+    return 2;
+  }
   try {
     if (args.command == "init") return cmd_init(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "matrix") return cmd_matrix(args);
     if (args.command == "port") return cmd_port(args);
     if (args.command == "check") return cmd_check(args);
+    if (args.command == "release") return cmd_release(args);
     if (args.command == "random") return cmd_random(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

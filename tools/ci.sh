@@ -15,6 +15,31 @@ echo "==> tier-1 verify"
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
 cd ..
 
+echo "==> JSON report contract (advm matrix --format json)"
+rm -rf build/json-contract-env
+./build/tools/advm init build/json-contract-env --tests 2 > /dev/null
+./build/tools/advm matrix build/json-contract-env \
+  --derivatives SC88-A,SC88-B --platforms golden-model \
+  --format json > build/json-contract.json
+python3 - build/json-contract.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] is True, doc
+assert doc["verb"] == "matrix", doc["verb"]
+assert doc["all_passed"] is True, "matrix not green"
+assert len(doc["cells"]) == 2, len(doc["cells"])
+for cell in doc["cells"]:
+    for key in ("derivative", "platform", "records", "passed", "total",
+                "build_failures", "all_passed", "outcome_digest", "cache"):
+        assert key in cell, "missing key " + key
+    assert cell["total"] == len(cell["records"]) > 0
+    assert len(cell["outcome_digest"]) == 16
+    for key in ("hits", "misses", "bytes", "evictions"):
+        assert key in cell["cache"], "missing cache key " + key
+print("json contract ok: %d cells, %d records" %
+      (len(doc["cells"]), sum(c["total"] for c in doc["cells"])))
+PY
+
 echo "==> -Werror hygiene build"
 cmake --preset werror
 cmake --build build-werror -j
