@@ -14,11 +14,15 @@
 // The assembly cost of the cached arm is cell-count-independent: its
 // wall-clock grows only with the (cheap) link+run work, which is the whole
 // point of the two-phase pipeline.
+#include <filesystem>
 #include <iostream>
 
 #include "advm/environment.h"
+#include "advm/exec/backend.h"
+#include "advm/exec/workplan.h"
 #include "advm/objcache.h"
 #include "advm/regression.h"
+#include "advm/session.h"
 #include "asm/assembler.h"
 #include "bench_util.h"
 #include "sim/platform.h"
@@ -143,6 +147,60 @@ int main() {
   }
   table.print();
   bench::emit_json("e10_matrix", "scaling", table);
+
+  // Execution-backend datapoint on the full 8-cell cube: the in-process
+  // thread backend vs `advm worker` subprocess shards (the orchestration
+  // substrate for corpus-scale fan-out). Wall-clock includes the process
+  // backend's tree export and worker spawn overhead — that overhead is
+  // what this row exists to keep on record. Outcome digests must match
+  // the thread backend cell for cell.
+  {
+    std::vector<std::string> derivative_names;
+    for (const soc::DerivativeSpec* spec : soc::all_derivatives()) {
+      derivative_names.push_back(spec->name);
+    }
+    core::MatrixRequest request;
+    request.root = layout.root;
+    request.derivatives = derivative_names;
+    request.platforms = {"golden-model", "hdl-rtl"};
+    request.max_instructions = kMaxInstructions;
+
+    core::ObjectCache cache;
+    core::BoardPool boards;
+    core::exec::ThreadBackend thread_backend(
+        core::SessionContext{vfs, cache, boards, kJobs});
+    const core::exec::MatrixPlan plan = core::exec::plan_matrix(request, 4);
+    bench::Stopwatch thread_watch;
+    const auto thread_run = thread_backend.run_matrix(plan);
+    const double thread_ms = thread_watch.millis();
+
+    bench::Table backends({"backend", "shards", "wall ms", "digests match"});
+    backends.add_row("thread", 1, thread_ms, "yes");
+    if (std::filesystem::exists(ADVM_CLI_PATH)) {
+      core::exec::ProcessBackendConfig config;
+      config.worker_exe = ADVM_CLI_PATH;
+      config.jobs_per_worker = kJobs;
+      core::exec::ProcessBackend process_backend(vfs, config);
+      bench::Stopwatch process_watch;
+      const auto process_run = process_backend.run_matrix(plan);
+      const double process_ms = process_watch.millis();
+      bool match = process_run.status.ok() &&
+                   process_run.cells.size() == thread_run.cells.size();
+      if (match) {
+        for (std::size_t i = 0; i < process_run.cells.size(); ++i) {
+          match = match && process_run.cells[i].outcome_digest() ==
+                               thread_run.cells[i].outcome_digest();
+        }
+      }
+      backends.add_row("process", plan.slices.size(), process_ms,
+                       match ? "yes" : "NO");
+    } else {
+      std::cout << "(advm CLI not built; skipping the process-backend "
+                   "datapoint)\n";
+    }
+    backends.print();
+    bench::emit_json("e10_matrix", "backends", backends);
+  }
 
   // Throughput metrics for the CI trend gate (tools/bench_trend.py).
   bench::Stopwatch lines_watch;

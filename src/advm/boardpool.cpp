@@ -84,9 +84,34 @@ void BoardPool::give_back(std::uint64_t fingerprint,
                           std::unique_ptr<soc::Board> board) {
   board->reset();  // outside the lock: device resets touch memory
   const Key key{&board->spec(), board->platform()};
-  Shard& shard = shard_for_this_thread();
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.free[key].push_back(Pooled{fingerprint, std::move(board)});
+  std::vector<Pooled> dropped;  // destroyed outside the lock
+  {
+    Shard& shard = shard_for_this_thread();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& list = shard.free[key];
+    // Eager stale eviction: a returning board proves what the key's
+    // fingerprint is *now*; anything pooled under the key with a different
+    // fingerprint was built for a spec that no longer lives there and
+    // would only be discovered (and discarded) lazily at acquire time.
+    for (std::size_t i = 0; i < list.size();) {
+      if (list[i].fingerprint != fingerprint) {
+        stale_evicted_.fetch_add(1, std::memory_order_relaxed);
+        dropped.push_back(std::move(list[i]));
+        list[i] = std::move(list.back());
+        list.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (max_free_per_key_ != 0 && list.size() >= max_free_per_key_) {
+      // Free list full: every pooled board under the key is equivalent
+      // (all reset), so the returning one is simply destroyed.
+      trimmed_.fetch_add(1, std::memory_order_relaxed);
+      dropped.push_back(Pooled{fingerprint, std::move(board)});
+    } else {
+      list.push_back(Pooled{fingerprint, std::move(board)});
+    }
+  }
 }
 
 BoardPoolStats BoardPool::stats() const {
@@ -94,6 +119,8 @@ BoardPoolStats BoardPool::stats() const {
   s.constructed = constructed_.load(std::memory_order_relaxed);
   s.reused = reused_.load(std::memory_order_relaxed);
   s.discarded = discarded_.load(std::memory_order_relaxed);
+  s.trimmed = trimmed_.load(std::memory_order_relaxed);
+  s.stale_evicted = stale_evicted_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,7 +1,9 @@
 #include "advm/environment.h"
 
 #include <sstream>
+#include <utility>
 
+#include "advm/regression.h"
 #include "soc/global_layer.h"
 #include "support/text.h"
 
@@ -9,6 +11,18 @@ namespace advm::core {
 
 using support::join_path;
 using support::VirtualFileSystem;
+
+std::vector<EnvironmentConfig> canonical_environments(
+    std::size_t tests_per_module) {
+  const std::size_t n = tests_per_module;
+  return {
+      {"PAGE_MODULE", ModuleKind::Register, n, true},
+      {"UART_MODULE", ModuleKind::Uart, n, true},
+      {"NVM_MODULE", ModuleKind::Nvm, n, true},
+      {"TIMER_MODULE", ModuleKind::Timer, n, true},
+      {"MEM_MODULE", ModuleKind::Memory, n, true},
+  };
+}
 
 std::string testplan_text(const EnvironmentConfig& config,
                           const std::vector<TestSpec>& tests) {
@@ -58,39 +72,63 @@ void regenerate_baseline_tests(VirtualFileSystem& vfs,
   }
 }
 
+std::vector<GeneratedFile> generate_environment(
+    std::string_view system_root, const EnvironmentConfig& env_config,
+    const soc::DerivativeSpec& spec, const GlobalsOptions& globals,
+    const BaseFunctionsOptions& base_functions, EnvironmentLayout* layout) {
+  EnvironmentLayout env;
+  env.name = env_config.name;
+  env.dir = join_path(system_root, env_config.name);
+  env.module = env_config.module;
+  env.advm_style = env_config.advm_style;
+  env.tests = build_corpus(env_config.module, env_config.test_count);
+
+  std::vector<GeneratedFile> files;
+  files.reserve(env.tests.size() + 3);
+  if (env_config.advm_style) {
+    env.abstraction_dir = join_path(env.dir, kAbstractionLayerDir);
+    files.push_back({join_path(env.abstraction_dir, kGlobalsFile),
+                     generate_globals(spec, globals)});
+    files.push_back({join_path(env.abstraction_dir, kBaseFunctionsFile),
+                     generate_base_functions(base_functions)});
+  }
+  files.push_back({join_path(env.dir, kTestplanFile),
+                   testplan_text(env_config, env.tests)});
+  for (const TestSpec& t : env.tests) {
+    files.push_back({join_path(join_path(env.dir, t.id), kTestSourceFile),
+                     env_config.advm_style
+                         ? advm_test_source(t)
+                         : baseline_test_source(t, spec)});
+  }
+  if (layout != nullptr) *layout = std::move(env);
+  return files;
+}
+
 SystemLayout build_system(VirtualFileSystem& vfs, const SystemConfig& config,
-                          const soc::DerivativeSpec& spec) {
+                          const soc::DerivativeSpec& spec, std::size_t jobs) {
   SystemLayout layout;
   layout.root = support::normalize_path(config.root);
   layout.global_dir = join_path(layout.root, kGlobalLibrariesDir);
 
   regenerate_global_layer(vfs, layout, spec);
 
-  for (const EnvironmentConfig& env_config : config.environments) {
-    EnvironmentLayout env;
-    env.name = env_config.name;
-    env.dir = join_path(layout.root, env_config.name);
-    env.module = env_config.module;
-    env.advm_style = env_config.advm_style;
-    env.tests = build_corpus(env_config.module, env_config.test_count);
-
-    if (env_config.advm_style) {
-      env.abstraction_dir = join_path(env.dir, kAbstractionLayerDir);
-      regenerate_abstraction_layer(vfs, env, spec, config.globals,
-                                   config.base_functions);
+  // Corpus generation is the serial hot spot at scale: every environment's
+  // files are pure functions of (config, spec), so render them on the pool
+  // and commit to the (single-threaded) VFS in config order afterwards.
+  std::vector<EnvironmentLayout> environments(config.environments.size());
+  std::vector<std::vector<GeneratedFile>> generated(
+      config.environments.size());
+  parallel_for(config.environments.size(), jobs, [&](std::size_t i) {
+    generated[i] = generate_environment(layout.root, config.environments[i],
+                                        spec, config.globals,
+                                        config.base_functions,
+                                        &environments[i]);
+  });
+  for (std::size_t i = 0; i < generated.size(); ++i) {
+    for (GeneratedFile& file : generated[i]) {
+      vfs.write(file.path, std::move(file.content));
     }
-
-    vfs.write(join_path(env.dir, kTestplanFile),
-              testplan_text(env_config, env.tests));
-
-    for (const TestSpec& t : env.tests) {
-      const std::string source = env_config.advm_style
-                                     ? advm_test_source(t)
-                                     : baseline_test_source(t, spec);
-      vfs.write(join_path(join_path(env.dir, t.id), kTestSourceFile), source);
-    }
-
-    layout.environments.push_back(std::move(env));
+    layout.environments.push_back(std::move(environments[i]));
   }
   return layout;
 }

@@ -62,16 +62,44 @@ struct SystemLayout {
   std::vector<EnvironmentLayout> environments;
 };
 
+/// The canonical five-module system (paper Fig 5) with `tests_per_module`
+/// tests each — what `advm init` and an empty BuildRequest environment
+/// list build, and the default corpus the execution planners slice.
+[[nodiscard]] std::vector<EnvironmentConfig> canonical_environments(
+    std::size_t tests_per_module);
+
 /// Canonical sub-directory / file names (paper Figs 3 and 5).
 inline constexpr const char* kGlobalLibrariesDir = "Global_Libraries";
 inline constexpr const char* kAbstractionLayerDir = "Abstraction_Layer";
 inline constexpr const char* kTestplanFile = "TESTPLAN.TXT";
 inline constexpr const char* kTestSourceFile = "test.asm";
 
+/// One generated file, before it lands in a VFS. Corpus generation renders
+/// into these buffers so environments can be generated in parallel (and on
+/// shard workers) while the VFS — which is not thread-safe — is only
+/// written from one thread, in deterministic order.
+struct GeneratedFile {
+  std::string path;
+  std::string content;
+};
+
+/// Renders every file of one module environment (abstraction layer,
+/// testplan, test cells) for `spec`. Pure function of its arguments — safe
+/// to fan out, and the unit of a corpus work-plan slice.
+[[nodiscard]] std::vector<GeneratedFile> generate_environment(
+    std::string_view system_root, const EnvironmentConfig& env_config,
+    const soc::DerivativeSpec& spec, const GlobalsOptions& globals,
+    const BaseFunctionsOptions& base_functions, EnvironmentLayout* layout);
+
 /// Builds the complete Fig 5 tree for one derivative into the VFS.
+/// Environment generation fans out over `jobs` workers (1 = serial, 0 =
+/// one per hardware thread); the resulting tree is byte-identical for any
+/// pool size because every file is rendered independently and written in
+/// config order.
 [[nodiscard]] SystemLayout build_system(support::VirtualFileSystem& vfs,
                                         const SystemConfig& config,
-                                        const soc::DerivativeSpec& spec);
+                                        const soc::DerivativeSpec& spec,
+                                        std::size_t jobs = 1);
 
 /// Regenerates only the global layer (the world changed: new databook /
 /// new ES drop). Both methodologies receive this for free — it is outside

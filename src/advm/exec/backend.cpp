@@ -1,0 +1,321 @@
+#include "advm/exec/backend.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "advm/regression.h"
+#include "advm/report.h"
+#include "soc/derivative.h"
+#include "support/disk.h"
+#include "support/json.h"
+
+namespace advm::core::exec {
+
+namespace fs = std::filesystem;
+
+MatrixExecution ThreadBackend::run_matrix(const MatrixPlan& plan) {
+  MatrixExecution execution;
+  std::vector<MatrixCell> cells;
+  cells.reserve(plan.cells.size());
+  for (const PlannedCell& cell : plan.cells) {
+    const soc::DerivativeSpec* spec = soc::find_derivative(cell.derivative);
+    const auto platform = sim::platform_from_name(cell.platform);
+    if (spec == nullptr || !platform) {
+      execution.status = Status::error(
+          "advm.exec-bad-plan", "unresolvable cell '" + cell.derivative +
+                                    "' on '" + cell.platform + "'");
+      return execution;
+    }
+    cells.push_back({spec, *platform});
+  }
+  RegressionRunner runner(context_);
+  execution.cells =
+      runner.run_matrix(plan.root, cells, plan.max_instructions);
+  return execution;
+}
+
+namespace {
+
+/// Path of the running executable — the default worker binary when the
+/// orchestrator is the advm CLI itself.
+std::string self_exe_path() {
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) return {};
+  return self.string();
+}
+
+/// A fresh scratch directory under `base` (system temp dir when empty),
+/// unique per process and per call.
+std::string make_scratch_dir(const std::string& base, std::error_code& ec) {
+  static std::atomic<std::uint64_t> counter{0};
+  const fs::path parent =
+      base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) return {};
+  const fs::path dir =
+      parent / ("advm-exec-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter.fetch_add(1)));
+  fs::create_directories(dir, ec);
+  return ec ? std::string() : dir.string();
+}
+
+std::string slurp_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Shell-quotes a path for the worker command line. Paths come from this
+/// backend's own scratch naming plus user-supplied directories
+/// (worker_exe, scratch_dir, TMPDIR); anything the shell would still
+/// interpret inside double quotes — or that would terminate them — is
+/// refused rather than escaped.
+std::optional<std::string> quoted(const std::string& path) {
+  if (path.find_first_of("\"\\$`\n") != std::string::npos) {
+    return std::nullopt;
+  }
+  return "\"" + path + "\"";
+}
+
+struct WorkerRun {
+  int exit_code = -1;
+  std::string stdout_path;
+  std::string stderr_path;
+};
+
+/// Spawns every slice's worker concurrently (one launcher thread per
+/// worker — the work happens in the subprocesses) and waits for all.
+std::optional<Status> spawn_workers(const std::string& exe,
+                                    const std::string& scratch,
+                                    const std::vector<WorkerSlice>& slices,
+                                    std::vector<WorkerRun>& runs) {
+  const auto exe_quoted = quoted(exe);
+  // The scratch dir prefixes every interpolated path (slice, stdout,
+  // stderr — all named by this function), so checking it once covers
+  // them all.
+  const auto scratch_quoted = quoted(scratch);
+  if (!exe_quoted || !scratch_quoted) {
+    return Status::error("advm.exec-spawn-failed",
+                         "path not shell-safe: " +
+                             (exe_quoted ? scratch : exe));
+  }
+  runs.assign(slices.size(), WorkerRun{});
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const std::string stem = scratch + "/shard-" + std::to_string(i);
+    std::ofstream slice_file(stem + ".slice.json",
+                             std::ios::binary | std::ios::trunc);
+    slice_file << to_json(slices[i]) << "\n";
+    if (!slice_file.good()) {
+      return Status::error("advm.exec-spawn-failed",
+                           "cannot write slice file " + stem + ".slice.json");
+    }
+    runs[i].stdout_path = stem + ".out.json";
+    runs[i].stderr_path = stem + ".err.txt";
+  }
+  parallel_for(slices.size(), slices.size(), [&](std::size_t i) {
+    const std::string stem = scratch + "/shard-" + std::to_string(i);
+    const std::string command = *exe_quoted + " worker --slice \"" + stem +
+                                ".slice.json\" > \"" + runs[i].stdout_path +
+                                "\" 2> \"" + runs[i].stderr_path + "\"";
+    const int status = std::system(command.c_str());
+    runs[i].exit_code =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  });
+  return std::nullopt;
+}
+
+Status worker_failure(std::size_t shard, const WorkerRun& run,
+                      const std::string& detail) {
+  std::string message = "shard " + std::to_string(shard) + ": " + detail;
+  const std::string stderr_text = slurp_file(run.stderr_path);
+  if (!stderr_text.empty()) {
+    // Last line of the worker's stderr usually names the real problem.
+    message += " [worker stderr: ";
+    message += stderr_text.size() > 400
+                   ? stderr_text.substr(stderr_text.size() - 400)
+                   : stderr_text;
+    if (message.back() == '\n') message.pop_back();
+    message += "]";
+  }
+  return Status::error("advm.exec-worker-failed", std::move(message));
+}
+
+/// RAII scratch-dir cleanup (keeps the tree on ADVM_EXEC_KEEP_SCRATCH=1
+/// for debugging a failed shard).
+struct ScratchGuard {
+  std::string dir;
+  ~ScratchGuard() {
+    if (dir.empty()) return;
+    const char* keep = std::getenv("ADVM_EXEC_KEEP_SCRATCH");
+    if (keep != nullptr && keep[0] == '1') return;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+};
+
+}  // namespace
+
+MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
+  MatrixExecution execution;
+
+  const std::string exe =
+      config_.worker_exe.empty() ? self_exe_path() : config_.worker_exe;
+  if (exe.empty() || !fs::exists(exe)) {
+    execution.status = Status::error(
+        "advm.exec-spawn-failed",
+        "worker executable not found: " + (exe.empty() ? "<none>" : exe));
+    return execution;
+  }
+
+  std::error_code ec;
+  ScratchGuard scratch{make_scratch_dir(config_.scratch_dir, ec)};
+  if (ec || scratch.dir.empty()) {
+    execution.status = Status::error("advm.exec-spawn-failed",
+                                     "cannot create scratch directory: " +
+                                         ec.message());
+    return execution;
+  }
+
+  // One export serves every worker: the tree is read-only to them.
+  const std::string tree_dir = scratch.dir + "/tree";
+  try {
+    support::export_to_disk(vfs_, plan.root, tree_dir);
+  } catch (const std::exception& e) {
+    execution.status =
+        Status::error("advm.exec-spawn-failed",
+                      std::string("cannot export tree: ") + e.what());
+    return execution;
+  }
+
+  std::vector<WorkerSlice> slices;
+  slices.reserve(plan.slices.size());
+  for (const MatrixSlice& planned : plan.slices) {
+    WorkerSlice slice;
+    slice.kind = WorkerSlice::Kind::Matrix;
+    slice.tree_dir = tree_dir;
+    slice.max_instructions = plan.max_instructions;
+    slice.jobs = config_.jobs_per_worker;
+    slice.cache_dir = config_.cache_dir;
+    slice.cache_max_bytes = config_.cache_max_bytes;
+    slice.cells = planned.cells;
+    slices.push_back(std::move(slice));
+  }
+
+  std::vector<WorkerRun> runs;
+  if (auto spawn_error = spawn_workers(exe, scratch.dir, slices, runs)) {
+    execution.status = std::move(*spawn_error);
+    return execution;
+  }
+
+  execution.cells.resize(plan.cells.size());
+  std::vector<bool> filled(plan.cells.size(), false);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].exit_code != 0) {
+      execution.status = worker_failure(
+          i, runs[i],
+          "exit code " + std::to_string(runs[i].exit_code));
+      return execution;
+    }
+    std::string parse_error;
+    const auto doc =
+        support::json::parse(slurp_file(runs[i].stdout_path), &parse_error);
+    const auto* ok = doc ? doc->find("ok") : nullptr;
+    const auto* cells = doc ? doc->find("cells") : nullptr;
+    if (!doc || !ok || ok->as_bool() != std::optional<bool>(true) ||
+        cells == nullptr || !cells->is_array()) {
+      execution.status = worker_failure(
+          i, runs[i], "unparsable shard report (" + parse_error + ")");
+      return execution;
+    }
+    for (const auto& item : cells->items) {
+      const auto* index = item.find("index");
+      const auto* report = item.find("report");
+      const auto index_value = index ? index->as_uint64() : std::nullopt;
+      auto parsed = report ? report_from_json(*report) : std::nullopt;
+      const std::size_t cell_index =
+          index_value ? static_cast<std::size_t>(*index_value)
+                      : execution.cells.size();
+      if (cell_index >= execution.cells.size() || !parsed) {
+        execution.status =
+            worker_failure(i, runs[i], "malformed cell in shard report");
+        return execution;
+      }
+      // Deterministic merge: the planned index positions the report; the
+      // order workers finish in is irrelevant.
+      execution.cells[cell_index] = std::move(*parsed);
+      filled[cell_index] = true;
+    }
+  }
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      execution.status = Status::error(
+          "advm.exec-worker-failed",
+          "no shard reported cell " + std::to_string(i) + " (" +
+              plan.cells[i].derivative + " on " + plan.cells[i].platform +
+              ")");
+      return execution;
+    }
+  }
+  return execution;
+}
+
+Status generate_corpus_with_workers(const CorpusPlan& plan,
+                                    std::string_view out_dir,
+                                    const ProcessBackendConfig& config) {
+  const std::string exe =
+      config.worker_exe.empty() ? self_exe_path() : config.worker_exe;
+  if (exe.empty() || !fs::exists(exe)) {
+    return Status::error(
+        "advm.exec-spawn-failed",
+        "worker executable not found: " + (exe.empty() ? "<none>" : exe));
+  }
+  std::error_code ec;
+  ScratchGuard scratch{make_scratch_dir(config.scratch_dir, ec)};
+  if (ec || scratch.dir.empty()) {
+    return Status::error("advm.exec-spawn-failed",
+                         "cannot create scratch directory: " + ec.message());
+  }
+
+  std::vector<WorkerSlice> slices;
+  slices.reserve(plan.slices.size());
+  for (const CorpusSlice& planned : plan.slices) {
+    WorkerSlice slice;
+    slice.kind = WorkerSlice::Kind::Corpus;
+    slice.tree_dir = std::string(out_dir);
+    slice.derivative = plan.derivative;
+    slice.jobs = config.jobs_per_worker;
+    slice.environments = planned.environments;
+    slices.push_back(std::move(slice));
+  }
+
+  std::vector<WorkerRun> runs;
+  if (auto spawn_error = spawn_workers(exe, scratch.dir, slices, runs)) {
+    return std::move(*spawn_error);
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].exit_code != 0) {
+      return worker_failure(
+          i, runs[i], "exit code " + std::to_string(runs[i].exit_code));
+    }
+    std::string parse_error;
+    const auto doc =
+        support::json::parse(slurp_file(runs[i].stdout_path), &parse_error);
+    const auto* ok = doc ? doc->find("ok") : nullptr;
+    if (!doc || !ok || ok->as_bool() != std::optional<bool>(true)) {
+      return worker_failure(
+          i, runs[i], "unparsable shard report (" + parse_error + ")");
+    }
+  }
+  return {};
+}
+
+}  // namespace advm::core::exec

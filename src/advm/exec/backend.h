@@ -1,0 +1,103 @@
+// Execution backends — the "how" behind a WorkPlan.
+//
+// An ExecutionBackend turns a MatrixPlan into per-cell regression reports.
+// Two implementations:
+//
+//  * ThreadBackend — the in-process worker pool the regression runner has
+//    always used (chunked parallel_for claiming), now behind the
+//    interface. One assembly phase, one shared cache and board pool.
+//
+//  * ProcessBackend — spawns one `advm worker --slice <file>` subprocess
+//    per plan slice against an exported copy of the tree, and folds the
+//    workers' `--format json` shard reports back into typed results. Each
+//    worker is a thin advm::Session driven by the slice; pointing every
+//    worker at one SessionConfig::cache_dir makes them share the
+//    persistent object cache by construction.
+//
+// The load-bearing invariant both implementations uphold: results land in
+// plan (cube) order and every cell's outcome digest is identical across
+// backends and shard counts. The process backend guarantees it by
+// *positioning* each parsed cell report at its planned index — shard
+// completion order never reorders anything; the shard-determinism gate in
+// tools/ci.sh holds the two backends byte-identical on the roll-up JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "advm/context.h"
+#include "advm/exec/workplan.h"
+#include "advm/session.h"
+
+namespace advm::core::exec {
+
+/// Outcome of executing a plan: per-cell reports in cube order on
+/// success, a typed Status (advm.exec-* codes) when orchestration itself
+/// failed. Test failures are *not* an execution failure — they come back
+/// inside the reports.
+struct MatrixExecution {
+  Status status;
+  std::vector<RegressionReport> cells;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual MatrixExecution run_matrix(const MatrixPlan& plan) = 0;
+};
+
+/// In-process execution on the session's shared resources.
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadBackend(const SessionContext& context) : context_(context) {}
+  [[nodiscard]] std::string_view name() const override { return "thread"; }
+  [[nodiscard]] MatrixExecution run_matrix(const MatrixPlan& plan) override;
+
+ private:
+  SessionContext context_;
+};
+
+struct ProcessBackendConfig {
+  /// Worker binary. Empty = this process's own executable (/proc/self/exe)
+  /// — correct when the caller is the advm CLI itself.
+  std::string worker_exe;
+  /// Scratch directory for the exported tree, slice files and shard
+  /// reports; empty = a fresh directory under the system temp dir. Always
+  /// extended with a unique subdirectory and removed afterwards.
+  std::string scratch_dir;
+  /// Persistent object-cache directory shared by every worker (and with
+  /// the spawning session); empty disables the persistent tier.
+  std::string cache_dir;
+  std::uint64_t cache_max_bytes = 0;
+  /// Worker-pool size *inside* each worker process.
+  std::size_t jobs_per_worker = 1;
+};
+
+/// Multi-process execution over `advm worker` subprocesses. Reads the tree
+/// from the VFS it is constructed over; the VFS must stay alive and
+/// unmodified for the duration of run_matrix.
+class ProcessBackend final : public ExecutionBackend {
+ public:
+  ProcessBackend(const support::VirtualFileSystem& vfs,
+                 ProcessBackendConfig config)
+      : vfs_(vfs), config_(std::move(config)) {}
+  [[nodiscard]] std::string_view name() const override { return "process"; }
+  [[nodiscard]] MatrixExecution run_matrix(const MatrixPlan& plan) override;
+
+ private:
+  const support::VirtualFileSystem& vfs_;
+  ProcessBackendConfig config_;
+};
+
+/// Corpus half of the process backend: spawns one worker per corpus slice,
+/// each generating its environments directly into `out_dir` (disjoint
+/// subdirectories, so no two workers touch the same file). The caller owns
+/// the global layer — write it before or after; the workers never do.
+[[nodiscard]] Status generate_corpus_with_workers(
+    const CorpusPlan& plan, std::string_view out_dir,
+    const ProcessBackendConfig& config);
+
+}  // namespace advm::core::exec

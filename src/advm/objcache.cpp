@@ -98,6 +98,7 @@ CachedObject ObjectCache::assemble(const support::VirtualFileSystem& vfs,
   }
 
   bool added_bytes = false;
+  bool persist = false;
   {
     // Entry-level lock: one thread builds, concurrent same-key requests
     // wait and then hit — the counters come out the same for any pool size.
@@ -120,45 +121,113 @@ CachedObject ObjectCache::assemble(const support::VirtualFileSystem& vfs,
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (entry->valid) {  // stale: an include changed underneath the entry
       bytes_.fetch_sub(entry->object_bytes, std::memory_order_relaxed);
+      entry->valid = false;
     }
 
-    support::DiagnosticEngine diags;
-    Assembler assembler(vfs, diags, options);
-    auto result = assembler.assemble_file(norm);
-    if (result) {
-      entry->object =
-          std::make_shared<const ObjectFile>(std::move(result->object));
-      entry->error.clear();
-      entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
-          std::move(result->includes));
-      entry->probed_misses = std::make_shared<const std::vector<std::string>>(
-          std::move(result->probed_misses));
-      entry->object_bytes = entry->object->total_bytes();
-    } else {
-      entry->object = nullptr;
-      entry->error = diags.to_string();
-      entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
-          assembler.last_includes());
-      entry->probed_misses = std::make_shared<const std::vector<std::string>>(
-          assembler.last_probed_misses());
-      entry->object_bytes = 0;
+    // Persistent tier: a disk entry under the same key is adopted iff it
+    // passes exactly the revalidation an in-memory hit would (same inputs,
+    // same include contents, probed misses still missing). One probe per
+    // build attempt, under the entry lock — same-key racers then hit.
+    if (store_ != nullptr) {
+      if (auto stored = store_->load(key.digest());
+          stored && stored->path == norm &&
+          stored->source_digest == source_digest &&
+          stored->options_digest == options_digest) {
+        auto includes = std::make_shared<const std::vector<IncludeEdge>>(
+            std::move(stored->includes));
+        if (deps_digest_of(vfs, includes.get()) == stored->deps_digest &&
+            probed_misses_still_missing(vfs, &stored->probed_misses)) {
+          persistent_hits_.fetch_add(1, std::memory_order_relaxed);
+          entry->object =
+              std::make_shared<const ObjectFile>(std::move(stored->object));
+          entry->error.clear();
+          entry->includes = std::move(includes);
+          entry->probed_misses =
+              std::make_shared<const std::vector<std::string>>(
+                  std::move(stored->probed_misses));
+          entry->object_bytes = entry->object->total_bytes();
+          entry->path = norm;
+          entry->source_digest = source_digest;
+          entry->options_digest = options_digest;
+          entry->deps_digest = stored->deps_digest;
+          entry->valid = true;
+          bytes_.fetch_add(entry->object_bytes, std::memory_order_relaxed);
+          added_bytes = entry->object_bytes != 0;
+        }
+      }
     }
-    entry->path = norm;
-    entry->source_digest = source_digest;
-    entry->options_digest = options_digest;
-    entry->deps_digest = deps_digest_of(vfs, entry->includes.get());
-    entry->valid = true;
-    bytes_.fetch_add(entry->object_bytes, std::memory_order_relaxed);
-    added_bytes = entry->object_bytes != 0;
+
+    if (!entry->valid) {
+      support::DiagnosticEngine diags;
+      Assembler assembler(vfs, diags, options);
+      auto result = assembler.assemble_file(norm);
+      if (result) {
+        entry->object =
+            std::make_shared<const ObjectFile>(std::move(result->object));
+        entry->error.clear();
+        entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
+            std::move(result->includes));
+        entry->probed_misses =
+            std::make_shared<const std::vector<std::string>>(
+                std::move(result->probed_misses));
+        entry->object_bytes = entry->object->total_bytes();
+        persist = store_ != nullptr;
+      } else {
+        entry->object = nullptr;
+        entry->error = diags.to_string();
+        entry->includes = std::make_shared<const std::vector<IncludeEdge>>(
+            assembler.last_includes());
+        entry->probed_misses =
+            std::make_shared<const std::vector<std::string>>(
+                assembler.last_probed_misses());
+        entry->object_bytes = 0;
+      }
+      entry->path = norm;
+      entry->source_digest = source_digest;
+      entry->options_digest = options_digest;
+      entry->deps_digest = deps_digest_of(vfs, entry->includes.get());
+      entry->valid = true;
+      bytes_.fetch_add(entry->object_bytes, std::memory_order_relaxed);
+      added_bytes = entry->object_bytes != 0;
+    }
 
     out.object = entry->object;
     out.error = entry->error;
     out.includes = entry->includes;
+
+    // Publish successful builds (not failures: a failure is cheap to
+    // reproduce and its diagnostics may embed absolute search paths).
+    // Still under the entry lock, so the written payload is stable.
+    if (persist && entry->object != nullptr) {
+      StoredObject stored;
+      stored.path = entry->path;
+      stored.source_digest = entry->source_digest;
+      stored.options_digest = entry->options_digest;
+      stored.deps_digest = entry->deps_digest;
+      stored.includes = *entry->includes;
+      stored.probed_misses = *entry->probed_misses;
+      stored.object = *entry->object;
+      if (store_->store(key.digest(), stored)) {
+        persistent_stores_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
-  if (added_bytes && max_bytes_ != 0 &&
-      bytes_.load(std::memory_order_relaxed) > max_bytes_) {
-    evict_over_budget();
+  if (added_bytes && max_bytes_ != 0) {
+    if (bytes_.load(std::memory_order_relaxed) > max_bytes_) {
+      evict_over_budget();
+    }
+    // The budget spans both tiers: whatever memory still holds, the disk
+    // tier may only keep the remainder.
+    if (store_ != nullptr) {
+      const std::uint64_t memory = bytes_.load(std::memory_order_relaxed);
+      const std::uint64_t disk_budget =
+          max_bytes_ > memory ? max_bytes_ - memory : 0;
+      if (store_->disk_bytes() > disk_budget) {
+        persistent_evictions_.fetch_add(store_->trim_to(disk_budget),
+                                        std::memory_order_relaxed);
+      }
+    }
   }
   return out;
 }
@@ -207,6 +276,10 @@ ObjectCacheStats ObjectCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.bytes = bytes_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.persistent_hits = persistent_hits_.load(std::memory_order_relaxed);
+  s.persistent_stores = persistent_stores_.load(std::memory_order_relaxed);
+  s.persistent_evictions =
+      persistent_evictions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -33,6 +33,17 @@
 // least-recently-used entries are evicted until it fits; eviction counts
 // are surfaced in ObjectCacheStats. Entries currently being built or read
 // are never evicted.
+//
+// Persistence: an optional on-disk tier (`disk_dir`, see
+// src/advm/objstore.h) makes entries outlive the process. A request that
+// misses in memory probes the disk entry under the same key and adopts it
+// when every revalidation rule passes (source/options digests, include
+// contents, probed-miss shadowing) — counted as a `persistent_hit` on top
+// of the in-memory miss, so the hit/miss counters keep their historical
+// meaning. Successful builds are published to disk with atomic renames, so
+// concurrent shard workers can share one cache directory. The byte budget
+// spans both tiers: memory evicts LRU first, then the disk tier trims its
+// oldest entries until memory + disk fits.
 #pragma once
 
 #include <atomic>
@@ -43,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "advm/objstore.h"
 #include "asm/assembler.h"
 #include "support/vfs.h"
 
@@ -56,6 +68,12 @@ struct ObjectCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t bytes = 0;
   std::uint64_t evictions = 0;  ///< entries dropped by the byte budget
+  /// Persistent-tier counters (all zero without a cache dir): in-memory
+  /// misses served from disk, entries published to disk, entries trimmed
+  /// off disk by the byte budget.
+  std::uint64_t persistent_hits = 0;
+  std::uint64_t persistent_stores = 0;
+  std::uint64_t persistent_evictions = 0;
 };
 
 /// Outcome of a cached assembly: a shared immutable object on success, the
@@ -78,14 +96,24 @@ struct CachedObject {
 
 class ObjectCache {
  public:
-  /// `max_bytes` caps the emitted-byte footprint (LRU eviction); 0 keeps
-  /// the cache unbounded, the historical behaviour.
-  explicit ObjectCache(std::uint64_t max_bytes = 0)
-      : max_bytes_(max_bytes) {}
+  /// `max_bytes` caps the emitted-byte footprint across both tiers (LRU
+  /// eviction); 0 keeps the cache unbounded, the historical behaviour. A
+  /// non-empty `disk_dir` enables the persistent tier in that directory.
+  explicit ObjectCache(std::uint64_t max_bytes = 0, std::string disk_dir = {})
+      : max_bytes_(max_bytes) {
+    if (!disk_dir.empty()) {
+      store_ = std::make_unique<PersistentObjectStore>(std::move(disk_dir));
+    }
+  }
   ObjectCache(const ObjectCache&) = delete;
   ObjectCache& operator=(const ObjectCache&) = delete;
 
   [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+
+  /// The persistent tier, or nullptr when the cache is memory-only.
+  [[nodiscard]] const PersistentObjectStore* disk_store() const {
+    return store_.get();
+  }
 
   /// Returns the object for (path, current source text, options), assembling
   /// it at most once until an input changes. Failed assemblies are cached
@@ -126,11 +154,15 @@ class ObjectCache {
   mutable std::mutex mutex_;  ///< guards `entries_` (not entry payloads)
   std::map<std::uint64_t, std::shared_ptr<Entry>> entries_;
   std::uint64_t max_bytes_ = 0;
+  std::unique_ptr<PersistentObjectStore> store_;
   std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> persistent_hits_{0};
+  std::atomic<std::uint64_t> persistent_stores_{0};
+  std::atomic<std::uint64_t> persistent_evictions_{0};
 };
 
 }  // namespace advm::core

@@ -196,36 +196,6 @@ struct EnvPlan {
   EnvBuildContext ctx;
 };
 
-/// Test-cell discovery for one environment, in deterministic VFS order.
-std::vector<std::string> discover_tests(const support::VirtualFileSystem& vfs,
-                                        std::string_view env_dir) {
-  std::vector<std::string> tests;
-  for (const std::string& entry : vfs.list_dir(env_dir)) {
-    if (entry.empty() || entry.back() != '/') continue;  // files
-    const std::string name = entry.substr(0, entry.size() - 1);
-    if (name == kAbstractionLayerDir) continue;
-    const std::string cell_dir = join_path(env_dir, name);
-    if (!vfs.exists(join_path(cell_dir, kTestSourceFile))) continue;
-    tests.push_back(name);
-  }
-  return tests;
-}
-
-/// Environment discovery under a system root, in deterministic VFS order.
-std::vector<std::string> discover_environments(
-    const support::VirtualFileSystem& vfs, std::string_view system_root) {
-  std::vector<std::string> envs;
-  for (const std::string& entry : vfs.list_dir(system_root)) {
-    if (entry.empty() || entry.back() != '/') continue;
-    const std::string name = entry.substr(0, entry.size() - 1);
-    if (name == kGlobalLibrariesDir) continue;
-    const std::string env_dir = join_path(system_root, name);
-    if (!vfs.exists(join_path(env_dir, kTestplanFile))) continue;
-    envs.push_back(env_dir);
-  }
-  return envs;
-}
-
 /// Assembly phase 1: discovers test cells and assembles shared objects for
 /// every environment. The per-environment builds are independent, so they
 /// run on the pool too.
@@ -326,6 +296,34 @@ std::vector<RegressionReport> run_planned_matrix(
 
 }  // namespace
 
+std::vector<std::string> discover_tests(const support::VirtualFileSystem& vfs,
+                                        std::string_view env_dir) {
+  std::vector<std::string> tests;
+  for (const std::string& entry : vfs.list_dir(env_dir)) {
+    if (entry.empty() || entry.back() != '/') continue;  // files
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kAbstractionLayerDir) continue;
+    const std::string cell_dir = join_path(env_dir, name);
+    if (!vfs.exists(join_path(cell_dir, kTestSourceFile))) continue;
+    tests.push_back(name);
+  }
+  return tests;
+}
+
+std::vector<std::string> discover_environments(
+    const support::VirtualFileSystem& vfs, std::string_view system_root) {
+  std::vector<std::string> envs;
+  for (const std::string& entry : vfs.list_dir(system_root)) {
+    if (entry.empty() || entry.back() != '/') continue;
+    const std::string name = entry.substr(0, entry.size() - 1);
+    if (name == kGlobalLibrariesDir) continue;
+    const std::string env_dir = join_path(system_root, name);
+    if (!vfs.exists(join_path(env_dir, kTestplanFile))) continue;
+    envs.push_back(env_dir);
+  }
+  return envs;
+}
+
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
@@ -389,6 +387,12 @@ std::vector<RegressionReport> run_two_phase(
     report.cache.misses = after.misses - before.misses;
     report.cache.evictions = after.evictions - before.evictions;
     report.cache.bytes = after.bytes;
+    report.cache.persistent_hits =
+        after.persistent_hits - before.persistent_hits;
+    report.cache.persistent_stores =
+        after.persistent_stores - before.persistent_stores;
+    report.cache.persistent_evictions =
+        after.persistent_evictions - before.persistent_evictions;
   }
   return reports;
 }

@@ -128,6 +128,20 @@ class RegressionRunner {
   BoardPool* boards_ = nullptr;
 };
 
+/// Environment discovery under a system root, in deterministic VFS order:
+/// every directory with a TESTPLAN.TXT except the global libraries.
+/// Returns absolute environment directories. This is the discovery half of
+/// the execution planners (src/advm/exec/workplan.h); the runner uses the
+/// same function, so a plan and a run always agree on the tree.
+[[nodiscard]] std::vector<std::string> discover_environments(
+    const support::VirtualFileSystem& vfs, std::string_view system_root);
+
+/// Test-cell discovery for one environment, in deterministic VFS order:
+/// every subdirectory with a test.asm except the abstraction layer.
+/// Returns cell names relative to `env_dir`.
+[[nodiscard]] std::vector<std::string> discover_tests(
+    const support::VirtualFileSystem& vfs, std::string_view env_dir);
+
 /// Runs `count` independent tasks on `jobs` worker threads (0 → one per
 /// hardware thread; ≤1 → inline on the caller). Tasks are claimed from an
 /// atomic cursor, so any task graph whose outputs are indexed by task id is

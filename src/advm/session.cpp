@@ -1,7 +1,10 @@
 #include "advm/session.h"
 
+#include <memory>
 #include <utility>
 
+#include "advm/exec/backend.h"
+#include "advm/exec/workplan.h"
 #include "advm/random_globals.h"
 #include "soc/derivative.h"
 #include "sim/platform.h"
@@ -10,6 +13,16 @@
 namespace advm::core {
 
 using support::join_path;
+
+const char* to_string(ExecBackendKind kind) {
+  switch (kind) {
+    case ExecBackendKind::Thread:
+      return "thread";
+    case ExecBackendKind::Process:
+      return "process";
+  }
+  return "?";
+}
 
 bool MatrixResult::all_passed() const {
   if (cells.empty()) return false;
@@ -52,10 +65,7 @@ const soc::DerivativeSpec* find_spec(std::string_view name) {
 }
 
 std::optional<sim::PlatformKind> find_platform(std::string_view name) {
-  for (sim::PlatformKind kind : sim::kAllPlatforms) {
-    if (sim::to_string(kind) == name) return kind;
-  }
-  return std::nullopt;
+  return sim::platform_from_name(name);
 }
 
 /// True if at least one module environment (a TESTPLAN.TXT directory)
@@ -74,6 +84,23 @@ bool has_environments(const support::VirtualFileSystem& vfs,
 }
 
 }  // namespace
+
+Status SessionConfig::validate() const {
+  if (jobs > kMaxJobs) {
+    return Status::error(
+        "advm.bad-jobs",
+        "jobs value " + std::to_string(jobs) + " exceeds the limit " +
+            std::to_string(kMaxJobs) +
+            " (0 = one worker per hardware thread)");
+  }
+  if (shards == 0 || shards > kMaxShards) {
+    return Status::error("advm.bad-shards",
+                         "shards value " + std::to_string(shards) +
+                             " out of range [1, " +
+                             std::to_string(kMaxShards) + "]");
+  }
+  return {};
+}
 
 SystemLayout layout_from_tree(const support::VirtualFileSystem& vfs,
                               std::string_view root) {
@@ -96,6 +123,8 @@ SystemLayout layout_from_tree(const support::VirtualFileSystem& vfs,
 
 BuildResult Session::run(const BuildRequest& request) {
   BuildResult result;
+  result.status = config_.validate();
+  if (!result.status.ok()) return result;
   const soc::DerivativeSpec* spec = find_spec(request.derivative);
   if (spec == nullptr) {
     result.status = unknown_derivative(request.derivative);
@@ -115,17 +144,10 @@ BuildResult Session::run(const BuildRequest& request) {
   config.base_functions = request.base_functions;
   config.environments = request.environments;
   if (config.environments.empty()) {
-    const std::size_t n = request.tests_per_module;
-    config.environments = {
-        {"PAGE_MODULE", ModuleKind::Register, n, true},
-        {"UART_MODULE", ModuleKind::Uart, n, true},
-        {"NVM_MODULE", ModuleKind::Nvm, n, true},
-        {"TIMER_MODULE", ModuleKind::Timer, n, true},
-        {"MEM_MODULE", ModuleKind::Memory, n, true},
-    };
+    config.environments = canonical_environments(request.tests_per_module);
   }
 
-  result.layout = build_system(vfs_, config, *spec);
+  result.layout = build_system(vfs_, config, *spec, config_.jobs);
   result.files = vfs_.list_tree(result.layout.root).size();
   for (const EnvironmentLayout& env : result.layout.environments) {
     result.tests += env.tests.size();
@@ -135,6 +157,8 @@ BuildResult Session::run(const BuildRequest& request) {
 
 RunResult Session::run(const RunRequest& request) {
   RunResult result;
+  result.status = config_.validate();
+  if (!result.status.ok()) return result;
   const soc::DerivativeSpec* spec = find_spec(request.derivative);
   if (spec == nullptr) {
     result.status = unknown_derivative(request.derivative);
@@ -150,6 +174,21 @@ RunResult Session::run(const RunRequest& request) {
     return result;
   }
 
+  if (config_.backend == ExecBackendKind::Process) {
+    // A run is a one-cell matrix; the plan's slicing granularity is the
+    // cell, so it executes on exactly one worker (process isolation, not
+    // parallelism — the worker's own pool still uses `jobs`).
+    MatrixRequest one_cell;
+    one_cell.root = request.root;
+    one_cell.derivatives = {request.derivative};
+    one_cell.platforms = {request.platform};
+    one_cell.max_instructions = request.max_instructions;
+    MatrixResult matrix = run_matrix_on_backend(one_cell);
+    result.status = matrix.status;
+    if (!matrix.cells.empty()) result.report = std::move(matrix.cells[0]);
+    return result;
+  }
+
   RegressionRunner runner(context());
   result.report = runner.run_system(request.root, *spec, *platform,
                                     request.max_instructions);
@@ -158,25 +197,21 @@ RunResult Session::run(const RunRequest& request) {
 
 MatrixResult Session::run(const MatrixRequest& request) {
   MatrixResult result;
-  std::vector<const soc::DerivativeSpec*> specs;
+  result.status = config_.validate();
+  if (!result.status.ok()) return result;
   for (const std::string& name : request.derivatives) {
-    const soc::DerivativeSpec* spec = find_spec(name);
-    if (spec == nullptr) {
+    if (find_spec(name) == nullptr) {
       result.status = unknown_derivative(name);
       return result;
     }
-    specs.push_back(spec);
   }
-  std::vector<sim::PlatformKind> platforms;
   for (const std::string& name : request.platforms) {
-    const auto platform = find_platform(name);
-    if (!platform) {
+    if (!find_platform(name)) {
       result.status = unknown_platform(name);
       return result;
     }
-    platforms.push_back(*platform);
   }
-  if (specs.empty() || platforms.empty()) {
+  if (request.derivatives.empty() || request.platforms.empty()) {
     result.status = Status::error(
         "advm.empty-matrix", "matrix needs at least one derivative and one "
                              "platform");
@@ -187,17 +222,33 @@ MatrixResult Session::run(const MatrixRequest& request) {
     return result;
   }
 
-  std::vector<MatrixCell> cells;
-  cells.reserve(specs.size() * platforms.size());
-  for (const soc::DerivativeSpec* spec : specs) {
-    for (sim::PlatformKind platform : platforms) {
-      cells.push_back({spec, platform});
-    }
-  }
+  return run_matrix_on_backend(request);
+}
 
-  RegressionRunner runner(context());
-  result.cells =
-      runner.run_matrix(request.root, cells, request.max_instructions);
+MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
+  MatrixResult result;
+  const exec::MatrixPlan plan = exec::plan_matrix(request, config_.shards);
+
+  std::unique_ptr<exec::ExecutionBackend> backend;
+  if (config_.backend == ExecBackendKind::Process) {
+    exec::ProcessBackendConfig process_config;
+    process_config.worker_exe = config_.worker_exe;
+    process_config.scratch_dir = config_.scratch_dir;
+    process_config.cache_dir = config_.cache_dir;
+    process_config.cache_max_bytes = config_.cache_max_bytes;
+    process_config.jobs_per_worker = config_.jobs;
+    backend =
+        std::make_unique<exec::ProcessBackend>(vfs_, process_config);
+  } else {
+    backend = std::make_unique<exec::ThreadBackend>(context());
+  }
+  result.backend = backend->name();
+  result.shards = plan.slices.size();
+
+  exec::MatrixExecution execution = backend->run_matrix(plan);
+  result.status = std::move(execution.status);
+  result.cells = std::move(execution.cells);
+  if (!result.status.ok()) result.cells.clear();
   return result;
 }
 
@@ -240,6 +291,8 @@ CheckResult Session::run(const CheckRequest& request) {
 
 ReleaseResult Session::run(const ReleaseRequest& request) {
   ReleaseResult result;
+  result.status = config_.validate();
+  if (!result.status.ok()) return result;
   const soc::DerivativeSpec* spec = find_spec(request.derivative);
   if (spec == nullptr) {
     result.status = unknown_derivative(request.derivative);

@@ -107,6 +107,8 @@ struct MatrixRequest {
 struct MatrixResult {
   Status status;
   std::vector<RegressionReport> cells;  ///< derivative-major order
+  std::string backend = "thread";  ///< execution backend that ran the cube
+  std::size_t shards = 1;          ///< work-plan slices actually used
 
   [[nodiscard]] bool all_passed() const;
 };
@@ -172,20 +174,63 @@ struct RandomResult {
 
 // ---------------------------------------------------------------- session --
 
+/// How matrix/run work is executed (src/advm/exec/backend.h): on a worker
+/// pool inside this process, or sharded across `advm worker` subprocesses.
+enum class ExecBackendKind : std::uint8_t { Thread, Process };
+
+[[nodiscard]] const char* to_string(ExecBackendKind kind);
+
 struct SessionConfig {
   /// Worker-pool size for every operation: 1 = serial, 0 = one worker per
-  /// hardware thread.
+  /// hardware thread. Values above kMaxJobs fail request validation.
   std::size_t jobs = 1;
-  /// Object-cache byte budget (LRU eviction); 0 = unbounded.
+  /// Work-plan slices for matrix execution. Must be ≥ 1 (0 fails request
+  /// validation — a degenerate shard count must not silently serialise).
+  /// The thread backend treats the plan as one in-process cube; the
+  /// process backend spawns one worker per (non-empty) slice.
+  std::size_t shards = 1;
+  /// Applies to the matrix and run verbs. Build (corpus generation) stays
+  /// in-process here because its output is this session's VFS, which a
+  /// subprocess cannot share; sharded corpus generation targets a *disk*
+  /// tree instead — exec::plan_corpus + generate_corpus_with_workers,
+  /// orchestrated by `advm init --backend process`.
+  ExecBackendKind backend = ExecBackendKind::Thread;
+  /// Object-cache byte budget, spanning the in-memory and persistent
+  /// tiers (LRU eviction); 0 = unbounded.
   std::uint64_t cache_max_bytes = 0;
+  /// Persistent object-cache directory; empty = in-memory cache only.
+  /// Shard workers and consecutive CLI invocations pointed at the same
+  /// directory share one cache by construction.
+  std::string cache_dir;
+  /// Board-pool trim policy: per-shard free boards kept per (derivative ×
+  /// platform) key; 0 = unbounded.
+  std::size_t board_pool_max_free_per_key = 0;
   /// VFS directory release snapshots land under.
   std::string release_root = "/releases";
+  /// Process backend: the `advm` binary to spawn as workers; empty =
+  /// this process's own executable (right when the caller *is* advm).
+  std::string worker_exe;
+  /// Process backend: scratch directory for the exported tree and the
+  /// slice/report files; empty = the system temp directory.
+  std::string scratch_dir;
+
+  /// Upper bounds request validation enforces (guards against a typo'd
+  /// --jobs/--shards silently fanning out the whole machine).
+  static constexpr std::size_t kMaxJobs = 1'000'000;
+  static constexpr std::size_t kMaxShards = 4096;
+
+  /// Pool-size/shard-count sanity, applied by every verb that fans work
+  /// out: a degenerate value fails as a typed Status, never silently
+  /// serialises (shards = 0) or fans out across the machine (absurd jobs).
+  [[nodiscard]] Status validate() const;
 };
 
 class Session {
  public:
   explicit Session(SessionConfig config = {})
-      : config_(std::move(config)), cache_(config_.cache_max_bytes) {}
+      : config_(std::move(config)),
+        cache_(config_.cache_max_bytes, config_.cache_dir),
+        boards_(config_.board_pool_max_free_per_key) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -210,6 +255,12 @@ class Session {
   [[nodiscard]] RandomResult run(const RandomRequest& request);
 
  private:
+  /// Shared matrix execution path: plans the cube, selects the configured
+  /// ExecutionBackend, and runs the plan (used by both the matrix verb and
+  /// a process-backend `run`). Requests reaching here are validated.
+  [[nodiscard]] MatrixResult run_matrix_on_backend(
+      const MatrixRequest& request);
+
   SessionConfig config_;
   support::VirtualFileSystem vfs_;
   ObjectCache cache_;

@@ -28,6 +28,13 @@ std::string_view to_string(PlatformKind kind) {
   return platform_caps(kind).name;
 }
 
+std::optional<PlatformKind> platform_from_name(std::string_view name) {
+  for (PlatformKind kind : kAllPlatforms) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<TimingModel> make_timing(PlatformKind kind) {
   switch (kind) {
     case PlatformKind::RtlSim:

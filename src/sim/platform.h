@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 
@@ -53,6 +54,12 @@ struct PlatformCaps {
 
 [[nodiscard]] const PlatformCaps& platform_caps(PlatformKind kind);
 [[nodiscard]] std::string_view to_string(PlatformKind kind);
+
+/// Inverse of to_string: resolves a platform by its canonical name
+/// (request validation, report parsing, work-plan cells). nullopt for
+/// unknown names.
+[[nodiscard]] std::optional<PlatformKind> platform_from_name(
+    std::string_view name);
 
 /// Builds the timing model a platform charges time with. Functional
 /// platforms use FunctionalTiming; HDL platforms use PipelineTiming.

@@ -1,0 +1,350 @@
+// The execution layer: work-plan slicing, the worker slice protocol, and
+// backend parity.
+//
+// The load-bearing contract under test is deterministic aggregation —
+// plans partition units round-robin with positions recorded, and both
+// execution backends return cell reports in cube order with identical
+// outcome digests and roll-up JSON bytes. The process-backend tests drive
+// the real `advm` binary (ADVM_CLI_PATH, injected by tests/CMakeLists.txt)
+// through the worker verb, exactly as the orchestrator spawns it.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "advm/exec/backend.h"
+#include "advm/exec/workplan.h"
+#include "advm/report.h"
+#include "advm/session.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace advm;
+using namespace advm::core;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("advm_exec_") + tag + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+BuildResult build_small_system(Session& session) {
+  BuildRequest request;
+  request.root = "/SYS";
+  request.tests_per_module = 2;
+  return session.run(request);
+}
+
+MatrixRequest small_cube() {
+  MatrixRequest request;
+  request.derivatives = {"SC88-A", "SC88-B"};
+  request.platforms = {"golden-model", "accelerator"};
+  return request;
+}
+
+// ------------------------------------------------------------- planning ----
+
+TEST(WorkPlan, MatrixPlanEnumeratesTheCubeDerivativeMajor) {
+  const exec::MatrixPlan plan = exec::plan_matrix(small_cube(), 1);
+  ASSERT_EQ(plan.cells.size(), 4u);
+  EXPECT_EQ(plan.cells[0].derivative, "SC88-A");
+  EXPECT_EQ(plan.cells[0].platform, "golden-model");
+  EXPECT_EQ(plan.cells[1].derivative, "SC88-A");
+  EXPECT_EQ(plan.cells[1].platform, "accelerator");
+  EXPECT_EQ(plan.cells[3].derivative, "SC88-B");
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    EXPECT_EQ(plan.cells[i].index, i);
+  }
+  ASSERT_EQ(plan.slices.size(), 1u);
+  EXPECT_EQ(plan.slices[0].cells.size(), 4u);
+}
+
+TEST(WorkPlan, SlicesPartitionCellsRoundRobin) {
+  const exec::MatrixPlan plan = exec::plan_matrix(small_cube(), 3);
+  ASSERT_EQ(plan.slices.size(), 3u);
+  // Round-robin deal: cell i lands on slice i % 3.
+  EXPECT_EQ(plan.slices[0].cells.size(), 2u);  // cells 0, 3
+  EXPECT_EQ(plan.slices[1].cells.size(), 1u);  // cell 1
+  EXPECT_EQ(plan.slices[2].cells.size(), 1u);  // cell 2
+  EXPECT_EQ(plan.slices[0].cells[1].index, 3u);
+
+  // Every cell appears exactly once across slices.
+  std::vector<bool> seen(plan.cells.size(), false);
+  for (const exec::MatrixSlice& slice : plan.slices) {
+    for (const exec::PlannedCell& cell : slice.cells) {
+      EXPECT_FALSE(seen[cell.index]);
+      seen[cell.index] = true;
+    }
+  }
+  for (const bool covered : seen) EXPECT_TRUE(covered);
+}
+
+TEST(WorkPlan, MoreShardsThanCellsDropsEmptySlices) {
+  const exec::MatrixPlan plan = exec::plan_matrix(small_cube(), 64);
+  EXPECT_EQ(plan.slices.size(), 4u);  // one cell each, nothing empty
+  for (const exec::MatrixSlice& slice : plan.slices) {
+    EXPECT_EQ(slice.cells.size(), 1u);
+  }
+}
+
+TEST(WorkPlan, CorpusPlanDefaultsToTheCanonicalSystem) {
+  BuildRequest request;
+  request.tests_per_module = 3;
+  const exec::CorpusPlan plan = exec::plan_corpus(request, 2);
+  ASSERT_EQ(plan.environments.size(), 5u);
+  EXPECT_EQ(plan.environments[0].config.name, "PAGE_MODULE");
+  EXPECT_EQ(plan.environments[0].config.test_count, 3u);
+  ASSERT_EQ(plan.slices.size(), 2u);
+  EXPECT_EQ(plan.slices[0].environments.size(), 3u);
+  EXPECT_EQ(plan.slices[1].environments.size(), 2u);
+}
+
+// ------------------------------------------------------- slice protocol ----
+
+TEST(WorkerSliceProtocol, MatrixSliceRoundTripsThroughJson) {
+  exec::WorkerSlice slice;
+  slice.kind = exec::WorkerSlice::Kind::Matrix;
+  slice.tree_dir = "/tmp/tree with space";
+  slice.max_instructions = 12345;
+  slice.jobs = 3;
+  slice.cache_dir = "/tmp/cache";
+  slice.cache_max_bytes = 1u << 20;
+  slice.cells = {{2, "SC88-B", "golden-model"}, {5, "SC88-C", "hdl-rtl"}};
+
+  const auto parsed = exec::parse_worker_slice(exec::to_json(slice));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, exec::WorkerSlice::Kind::Matrix);
+  EXPECT_EQ(parsed->tree_dir, slice.tree_dir);
+  EXPECT_EQ(parsed->max_instructions, 12345u);
+  EXPECT_EQ(parsed->jobs, 3u);
+  EXPECT_EQ(parsed->cache_dir, "/tmp/cache");
+  EXPECT_EQ(parsed->cache_max_bytes, 1u << 20);
+  ASSERT_EQ(parsed->cells.size(), 2u);
+  EXPECT_EQ(parsed->cells[0].index, 2u);
+  EXPECT_EQ(parsed->cells[1].derivative, "SC88-C");
+  EXPECT_EQ(parsed->cells[1].platform, "hdl-rtl");
+}
+
+TEST(WorkerSliceProtocol, CorpusSliceRoundTripsThroughJson) {
+  exec::WorkerSlice slice;
+  slice.kind = exec::WorkerSlice::Kind::Corpus;
+  slice.tree_dir = "/tmp/out";
+  slice.derivative = "SC88-B";
+  slice.environments.push_back(
+      {1, {"UART_MODULE", ModuleKind::Uart, 4, true}});
+  slice.environments.push_back(
+      {3, {"RAW_MODULE", ModuleKind::Memory, 2, false}});
+
+  const auto parsed = exec::parse_worker_slice(exec::to_json(slice));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, exec::WorkerSlice::Kind::Corpus);
+  EXPECT_EQ(parsed->derivative, "SC88-B");
+  ASSERT_EQ(parsed->environments.size(), 2u);
+  EXPECT_EQ(parsed->environments[0].config.module, ModuleKind::Uart);
+  EXPECT_EQ(parsed->environments[1].config.name, "RAW_MODULE");
+  EXPECT_FALSE(parsed->environments[1].config.advm_style);
+  EXPECT_EQ(parsed->environments[1].index, 3u);
+}
+
+TEST(WorkerSliceProtocol, MalformedSlicesAreRejectedWithADiagnostic) {
+  std::string error;
+  EXPECT_FALSE(exec::parse_worker_slice("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(exec::parse_worker_slice(
+                   R"({"kind":"warp","tree_dir":"/x"})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("warp"), std::string::npos);
+
+  // A matrix slice without cells is a planner bug, not busywork.
+  EXPECT_FALSE(exec::parse_worker_slice(
+                   R"({"kind":"matrix","tree_dir":"/x","cells":[]})", &error)
+                   .has_value());
+}
+
+TEST(ReportJson, ReportRoundTripsThroughJsonWithDigestIntact) {
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  RunResult result = session.run(RunRequest{});
+  ASSERT_TRUE(result.status.ok());
+
+  const std::string json = report_to_json(result.report);
+  const auto doc = support::json::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto parsed = report_from_json(*doc);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->derivative, result.report.derivative);
+  EXPECT_EQ(parsed->platform, result.report.platform);
+  ASSERT_EQ(parsed->records.size(), result.report.records.size());
+  EXPECT_EQ(parsed->outcome_digest(), result.report.outcome_digest());
+  EXPECT_EQ(parsed->total_instructions(),
+            result.report.total_instructions());
+  EXPECT_EQ(parsed->cache.misses, result.report.cache.misses);
+  // The re-serialized document is byte-identical — the property the
+  // process backend's merge relies on.
+  EXPECT_EQ(report_to_json(*parsed), json);
+}
+
+// ------------------------------------------------------ backend parity ----
+
+TEST(ExecutionBackend, ThreadBackendMatchesTheDirectRunner) {
+  Session direct;
+  ASSERT_TRUE(build_small_system(direct).status.ok());
+  MatrixResult expected = direct.run(small_cube());
+  ASSERT_TRUE(expected.status.ok());
+  EXPECT_EQ(expected.backend, "thread");
+  EXPECT_EQ(expected.shards, 1u);
+
+  Session session;
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  exec::ThreadBackend backend(session.context());
+  EXPECT_EQ(backend.name(), "thread");
+  const exec::MatrixExecution execution =
+      backend.run_matrix(exec::plan_matrix(small_cube(), 1));
+  ASSERT_TRUE(execution.status.ok()) << execution.status.message;
+  ASSERT_EQ(execution.cells.size(), expected.cells.size());
+  for (std::size_t i = 0; i < execution.cells.size(); ++i) {
+    EXPECT_EQ(execution.cells[i].outcome_digest(),
+              expected.cells[i].outcome_digest());
+  }
+}
+
+TEST(ExecutionBackend, ProcessBackendMatchesThreadBackendByteForByte) {
+  Session thread_session;
+  ASSERT_TRUE(build_small_system(thread_session).status.ok());
+  MatrixResult thread_result = thread_session.run(small_cube());
+  ASSERT_TRUE(thread_result.status.ok());
+
+  SessionConfig config;
+  config.backend = ExecBackendKind::Process;
+  config.shards = 3;
+  config.worker_exe = ADVM_CLI_PATH;
+  Session process_session(std::move(config));
+  ASSERT_TRUE(build_small_system(process_session).status.ok());
+  MatrixResult process_result = process_session.run(small_cube());
+  ASSERT_TRUE(process_result.status.ok()) << process_result.status.message;
+
+  EXPECT_EQ(process_result.backend, "process");
+  EXPECT_EQ(process_result.shards, 3u);
+  ASSERT_EQ(process_result.cells.size(), thread_result.cells.size());
+  for (std::size_t i = 0; i < process_result.cells.size(); ++i) {
+    EXPECT_EQ(process_result.cells[i].outcome_digest(),
+              thread_result.cells[i].outcome_digest())
+        << "cell " << i;
+    EXPECT_EQ(process_result.cells[i].derivative,
+              thread_result.cells[i].derivative);
+    EXPECT_EQ(process_result.cells[i].platform,
+              thread_result.cells[i].platform);
+  }
+  // The shard-determinism contract the CI gate enforces, at the API level.
+  EXPECT_EQ(rollup_to_json(process_result), rollup_to_json(thread_result));
+}
+
+TEST(ExecutionBackend, ProcessBackendRunVerbExecutesOnAWorker) {
+  SessionConfig config;
+  config.backend = ExecBackendKind::Process;
+  config.worker_exe = ADVM_CLI_PATH;
+  Session session(std::move(config));
+  ASSERT_TRUE(build_small_system(session).status.ok());
+
+  Session reference;
+  ASSERT_TRUE(build_small_system(reference).status.ok());
+  RunResult expected = reference.run(RunRequest{});
+  ASSERT_TRUE(expected.status.ok());
+
+  RunResult result = session.run(RunRequest{});
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_EQ(result.report.outcome_digest(),
+            expected.report.outcome_digest());
+}
+
+TEST(ExecutionBackend, WorkersShareThePersistentCacheAcrossRuns) {
+  ScratchDir cache("workers_cache");
+  const auto run_once = [&] {
+    SessionConfig config;
+    config.backend = ExecBackendKind::Process;
+    config.shards = 2;
+    config.worker_exe = ADVM_CLI_PATH;
+    config.cache_dir = cache.path();
+    Session session(std::move(config));
+    EXPECT_TRUE(build_small_system(session).status.ok());
+    return session.run(small_cube());
+  };
+
+  MatrixResult cold = run_once();
+  ASSERT_TRUE(cold.status.ok()) << cold.status.message;
+
+  // Second orchestration: every worker process starts with a cold
+  // in-memory cache, so its misses must be served from the shared disk
+  // tier the first run populated.
+  MatrixResult warm = run_once();
+  ASSERT_TRUE(warm.status.ok()) << warm.status.message;
+  std::uint64_t persistent_hits = 0;
+  for (const RegressionReport& cell : warm.cells) {
+    persistent_hits += cell.cache.persistent_hits;
+  }
+  EXPECT_GT(persistent_hits, 0u);
+  EXPECT_EQ(rollup_to_json(warm), rollup_to_json(cold));
+}
+
+TEST(ExecutionBackend, MissingWorkerBinaryIsATypedExecError) {
+  SessionConfig config;
+  config.backend = ExecBackendKind::Process;
+  config.worker_exe = "/nonexistent/advm-worker-binary";
+  Session session(std::move(config));
+  ASSERT_TRUE(build_small_system(session).status.ok());
+  MatrixResult result = session.run(small_cube());
+  EXPECT_EQ(result.status.code, "advm.exec-spawn-failed");
+  EXPECT_TRUE(result.cells.empty());
+}
+
+TEST(ExecutionBackend, CorpusWorkersGenerateTheTreeTheThreadPathBuilds) {
+  // Shard the canonical corpus across workers and diff the result against
+  // an in-process build: byte-identical trees, or sharded init is broken.
+  ScratchDir out("corpus_out");
+  BuildRequest request;
+  request.tests_per_module = 2;
+  const exec::CorpusPlan plan = exec::plan_corpus(request, 3);
+  exec::ProcessBackendConfig config;
+  config.worker_exe = ADVM_CLI_PATH;
+  const Status status =
+      exec::generate_corpus_with_workers(plan, out.path(), config);
+  ASSERT_TRUE(status.ok()) << status.message;
+
+  Session reference;
+  ASSERT_TRUE(build_small_system(reference).status.ok());
+
+  std::size_t files_compared = 0;
+  for (const std::string& path : reference.vfs().list_tree("/SYS")) {
+    // Workers own the environments; the orchestrator (not under test
+    // here) owns the global layer.
+    if (path.find("Global_Libraries") != std::string::npos) continue;
+    const std::filesystem::path on_disk =
+        std::filesystem::path(out.path()) / path.substr(sizeof("/SYS"));
+    ASSERT_TRUE(std::filesystem::exists(on_disk)) << on_disk;
+    std::ifstream in(on_disk, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), reference.vfs().read_required(path)) << path;
+    ++files_compared;
+  }
+  EXPECT_GT(files_compared, 10u);
+}
+
+}  // namespace

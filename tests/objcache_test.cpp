@@ -4,9 +4,18 @@
 // caching, and counter determinism under concurrent same-key requests.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "advm/objcache.h"
+#include "advm/objstore.h"
 #include "advm/regression.h"
 #include "support/vfs.h"
 
@@ -261,6 +270,260 @@ TEST(ObjectCache, ConcurrentSameKeyRequestsBuildOnce) {
   auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 31u);
+}
+
+// ----------------------------------------------------- persistent tier ----
+
+/// Fresh scratch directory on the host filesystem, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("advm_objcache_") + tag + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(PersistentObjectCache, WarmStartAcrossTwoCacheLifetimes) {
+  ScratchDir scratch("warm");
+  auto vfs = tiny_program();
+  AssemblerOptions options;
+
+  std::uint64_t cold_bytes = 0;
+  {
+    ObjectCache first(0, scratch.path());
+    auto built = first.assemble(vfs, kMain, options);
+    ASSERT_TRUE(built.ok());
+    cold_bytes = built.object->total_bytes();
+    auto stats = first.stats();
+    EXPECT_EQ(stats.persistent_hits, 0u);
+    EXPECT_EQ(stats.persistent_stores, 1u);
+  }
+
+  // Second lifetime, same directory: the in-memory miss is served from
+  // disk — same object bytes, no rebuild.
+  ObjectCache second(0, scratch.path());
+  auto warmed = second.assemble(vfs, kMain, options);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(warmed.object->total_bytes(), cold_bytes);
+  auto stats = second.stats();
+  EXPECT_EQ(stats.misses, 1u);  // still an in-memory miss...
+  EXPECT_EQ(stats.persistent_hits, 1u);  // ...but satisfied from disk
+  EXPECT_EQ(stats.persistent_stores, 0u);  // nothing re-published
+
+  // And the adopted entry serves in-memory hits from then on.
+  EXPECT_TRUE(second.assemble(vfs, kMain, options).hit);
+}
+
+TEST(PersistentObjectCache, ChangedIncludeInvalidatesDiskEntry) {
+  ScratchDir scratch("deps");
+  auto vfs = tiny_program();
+  AssemblerOptions options;
+  {
+    ObjectCache first(0, scratch.path());
+    ASSERT_TRUE(first.assemble(vfs, kMain, options).ok());
+  }
+
+  // Same source text, different include content: the disk entry's deps
+  // digest no longer matches — rebuild, then re-publish.
+  vfs.write(kInc, "MAGIC .EQU 43\n");
+  ObjectCache second(0, scratch.path());
+  ASSERT_TRUE(second.assemble(vfs, kMain, options).ok());
+  auto stats = second.stats();
+  EXPECT_EQ(stats.persistent_hits, 0u);
+  EXPECT_EQ(stats.persistent_stores, 1u);
+}
+
+TEST(PersistentObjectCache, NewShadowingFileInvalidatesDiskEntry) {
+  // The probed-miss record must survive the disk round trip: a file
+  // created at a search-path candidate probed (and missing) at build time
+  // makes the persisted entry stale exactly like an in-memory one.
+  ScratchDir scratch("shadow");
+  support::VirtualFileSystem vfs;
+  vfs.write("/lib2/defs.inc", "MAGIC .EQU 42\n");
+  vfs.write("/cells/T1/test.asm",
+            " .INCLUDE defs.inc\n"
+            "_main:\n"
+            " MOV d0, MAGIC\n"
+            " HALT\n");
+  AssemblerOptions options;
+  options.include_dirs = {"/lib1", "/lib2"};
+  {
+    ObjectCache first(0, scratch.path());
+    ASSERT_TRUE(first.assemble(vfs, "/cells/T1/test.asm", options).ok());
+  }
+
+  vfs.write("/lib1/defs.inc", "MAGIC .EQU 999999\n");
+  ObjectCache second(0, scratch.path());
+  auto rebuilt = second.assemble(vfs, "/cells/T1/test.asm", options);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(second.stats().persistent_hits, 0u);
+  ASSERT_FALSE(rebuilt.includes->empty());
+  EXPECT_EQ(rebuilt.includes->front().to_file, "/lib1/defs.inc");
+}
+
+TEST(PersistentObjectCache, CorruptedOrTruncatedEntryFallsBackToMiss) {
+  ScratchDir scratch("corrupt");
+  auto vfs = tiny_program();
+  AssemblerOptions options;
+  {
+    ObjectCache first(0, scratch.path());
+    ASSERT_TRUE(first.assemble(vfs, kMain, options).ok());
+  }
+
+  // Damage every stored entry three ways across iterations: truncated,
+  // bit-flipped payload, and garbage header. Each must degrade to a
+  // rebuild — never a crash, never a wrong object.
+  std::vector<std::filesystem::path> entries;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(scratch.path())) {
+    entries.push_back(entry.path());
+  }
+  ASSERT_FALSE(entries.empty());
+  const auto original =
+      [&](const std::filesystem::path& path) -> std::string {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }(entries.front());
+
+  const auto write_bytes = [&](const std::string& bytes) {
+    std::ofstream out(entries.front(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  for (const std::string& damaged :
+       {original.substr(0, original.size() / 2),
+        [&] {
+          std::string flipped = original;
+          flipped[flipped.size() - 3] ^= static_cast<char>(0xFF);
+          return flipped;
+        }(),
+        std::string("not an advm object"), std::string()}) {
+    write_bytes(damaged);
+    ObjectCache cache(0, scratch.path());
+    auto rebuilt = cache.assemble(vfs, kMain, options);
+    ASSERT_TRUE(rebuilt.ok());
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.persistent_hits, 0u);
+    EXPECT_EQ(stats.persistent_stores, 1u);  // repaired on disk
+  }
+
+  // The final repair left a valid entry behind.
+  ObjectCache cache(0, scratch.path());
+  ASSERT_TRUE(cache.assemble(vfs, kMain, options).ok());
+  EXPECT_EQ(cache.stats().persistent_hits, 1u);
+}
+
+TEST(PersistentObjectCache, StoredObjectRoundTripsExactly) {
+  auto vfs = tiny_program();
+  AssemblerOptions options;
+  ScratchDir scratch("roundtrip");
+  ObjectCache cache(0, scratch.path());
+  auto built = cache.assemble(vfs, kMain, options);
+  ASSERT_TRUE(built.ok());
+
+  StoredObject entry;
+  entry.path = kMain;
+  entry.source_digest = 1;
+  entry.options_digest = 2;
+  entry.deps_digest = 3;
+  entry.includes = *built.includes;
+  entry.probed_misses = {"/a/defs.inc"};
+  entry.object = *built.object;
+
+  const std::string bytes = encode_stored_object(entry);
+  const auto decoded = decode_stored_object(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->path, entry.path);
+  EXPECT_EQ(decoded->deps_digest, entry.deps_digest);
+  EXPECT_EQ(decoded->probed_misses, entry.probed_misses);
+  ASSERT_EQ(decoded->includes.size(), entry.includes.size());
+  EXPECT_EQ(decoded->object.name, entry.object.name);
+  ASSERT_EQ(decoded->object.sections.size(), entry.object.sections.size());
+  for (std::size_t i = 0; i < entry.object.sections.size(); ++i) {
+    EXPECT_EQ(decoded->object.sections[i].bytes,
+              entry.object.sections[i].bytes);
+    EXPECT_EQ(decoded->object.sections[i].org, entry.object.sections[i].org);
+  }
+  EXPECT_EQ(decoded->object.symbols.size(), entry.object.symbols.size());
+  EXPECT_EQ(decoded->object.relocations.size(),
+            entry.object.relocations.size());
+
+  // Truncation at every prefix length parses to nullopt, never UB.
+  for (std::size_t n = 0; n < bytes.size(); n += 7) {
+    EXPECT_FALSE(decode_stored_object(bytes.substr(0, n)).has_value());
+  }
+}
+
+TEST(PersistentObjectCache, ConcurrentWritersPublishWholeEntries) {
+  // Shard workers share one cache directory with no coordination beyond
+  // atomic renames: racing same-key writers must leave a complete entry
+  // (any of theirs) and no torn files behind.
+  ScratchDir scratch("race");
+  auto vfs = tiny_program();
+  AssemblerOptions options;
+
+  constexpr int kWriters = 8;
+  std::vector<std::unique_ptr<ObjectCache>> caches;
+  for (int i = 0; i < kWriters; ++i) {
+    caches.push_back(std::make_unique<ObjectCache>(0, scratch.path()));
+  }
+  std::atomic<int> failures{0};
+  parallel_for(kWriters, kWriters, [&](std::size_t i) {
+    if (!caches[i]->assemble(vfs, kMain, options).ok()) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+
+  // No temp droppings; exactly one entry file; it decodes.
+  std::size_t entry_files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(scratch.path())) {
+    EXPECT_EQ(entry.path().extension(), ".advmobj")
+        << "leftover temp file " << entry.path();
+    ++entry_files;
+  }
+  EXPECT_EQ(entry_files, 1u);
+  ObjectCache reader(0, scratch.path());
+  ASSERT_TRUE(reader.assemble(vfs, kMain, options).ok());
+  EXPECT_EQ(reader.stats().persistent_hits, 1u);
+}
+
+TEST(PersistentObjectCache, ByteBudgetSpansBothTiers) {
+  ScratchDir scratch("budget");
+  support::VirtualFileSystem vfs;
+  for (const char* path : {"/src/a.asm", "/src/b.asm", "/src/c.asm"}) {
+    vfs.write(path, std::string("_main:\n MOV d0, 1\n HALT\n"));
+  }
+  AssemblerOptions options;
+
+  std::uint64_t one_object = 0;
+  {
+    ObjectCache probe;
+    one_object = probe.assemble(vfs, "/src/a.asm", options)
+                     .object->total_bytes();
+  }
+
+  // Budget for two objects across memory + disk: after the third build
+  // something must have given — and the combined footprint must fit.
+  ObjectCache cache(2 * one_object, scratch.path());
+  for (const char* path : {"/src/a.asm", "/src/b.asm", "/src/c.asm"}) {
+    ASSERT_TRUE(cache.assemble(vfs, path, options).ok());
+  }
+  auto stats = cache.stats();
+  EXPECT_LE(stats.bytes + cache.disk_store()->disk_bytes(),
+            2 * one_object);
+  EXPECT_GT(stats.evictions + stats.persistent_evictions, 0u);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,7 @@
 
 namespace {
 
+using namespace advm;
 using namespace advm::core;
 
 std::string golden(const std::string& name) {
@@ -112,6 +114,46 @@ TEST(SessionValidation, PortValidatesTargetName) {
   PortRequest request;
   request.to = "SC99-Z";
   EXPECT_EQ(session.run(request).status.code, "advm.unknown-derivative");
+}
+
+TEST(SessionValidation, ZeroShardsIsATypedError) {
+  // shards = 0 used to be representable and silently degenerate; it must
+  // fail validation before any work is planned.
+  SessionConfig config;
+  config.shards = 0;
+  Session session(std::move(config));
+
+  // Limits are checked before anything else — even building is refused.
+  MatrixResult matrix = session.run(MatrixRequest{});
+  EXPECT_EQ(matrix.status.code, "advm.bad-shards");
+  EXPECT_TRUE(matrix.cells.empty());
+  EXPECT_EQ(session.run(RunRequest{}).status.code, "advm.bad-shards");
+  EXPECT_EQ(session.run(BuildRequest{}).status.code, "advm.bad-shards");
+}
+
+TEST(SessionValidation, ShardAndJobLimitsAreTypedErrors) {
+  {
+    SessionConfig config;
+    config.shards = SessionConfig::kMaxShards + 1;
+    Session session(std::move(config));
+    EXPECT_EQ(session.run(MatrixRequest{}).status.code, "advm.bad-shards");
+  }
+  {
+    SessionConfig config;
+    config.jobs = SessionConfig::kMaxJobs + 1;
+    Session session(std::move(config));
+    EXPECT_EQ(session.run(RunRequest{}).status.code, "advm.bad-jobs");
+    EXPECT_EQ(session.run(BuildRequest{}).status.code, "advm.bad-jobs");
+    EXPECT_EQ(session.run(ReleaseRequest{}).status.code, "advm.bad-jobs");
+  }
+  // jobs = 0 stays legal: it means one worker per hardware thread.
+  {
+    SessionConfig config;
+    config.jobs = 0;
+    Session session(std::move(config));
+    ASSERT_TRUE(build_small_system(session).status.ok());
+    EXPECT_TRUE(session.run(RunRequest{}).status.ok());
+  }
 }
 
 // ------------------------------------------------------------ happy paths --
@@ -236,6 +278,77 @@ TEST(Session, BoardPoolReusesBoardsAcrossRunsWithIdenticalDigests) {
     EXPECT_EQ(second.report.records[i].cycles, first.report.records[i].cycles)
         << first.report.records[i].test_id;
   }
+}
+
+// -------------------------------------------------------- board-pool trim --
+
+TEST(BoardPool, FreeListCapTrimsReleasedBoards) {
+  // Three concurrent leases on one key, released on one thread (one
+  // shard): with a cap of 1, the first release pools and the other two
+  // are destroyed instead of accumulating.
+  BoardPool pool(/*max_free_per_key=*/1);
+  const soc::DerivativeSpec& spec = soc::derivative_a();
+  {
+    auto lease_a = pool.acquire(spec, sim::PlatformKind::GoldenModel);
+    auto lease_b = pool.acquire(spec, sim::PlatformKind::GoldenModel);
+    auto lease_c = pool.acquire(spec, sim::PlatformKind::GoldenModel);
+  }
+  const BoardPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.constructed, 3u);
+  EXPECT_EQ(stats.trimmed, 2u);
+
+  // The one pooled board is still leasable.
+  { auto again = pool.acquire(spec, sim::PlatformKind::GoldenModel); }
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(BoardPool, StaleKeysAreEvictedWhenTheSpecChangesUnderneath) {
+  BoardPool pool;
+  soc::DerivativeSpec spec = soc::derivative_a();  // mutable local copy
+  { auto lease = pool.acquire(spec, sim::PlatformKind::GoldenModel); }
+
+  // The spec object at this address now describes different hardware: the
+  // pooled board must never be leased again; acquire discovers it lazily.
+  spec.page_count += 1;
+  { auto lease = pool.acquire(spec, sim::PlatformKind::GoldenModel); }
+  BoardPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.constructed, 2u);
+  EXPECT_EQ(stats.reused, 0u);
+  EXPECT_EQ(stats.discarded, 1u);
+}
+
+TEST(BoardPool, StaleFreeBoardsAreEvictedEagerlyOnRelease) {
+  // A board pooled under the old spec while a lease built under the new
+  // spec is still out: when the new-spec board returns, the free list
+  // holds a provably stale sibling — it is destroyed on the spot instead
+  // of waiting for the next acquire to stumble over it.
+  BoardPool pool;
+  soc::DerivativeSpec spec = soc::derivative_a();
+  std::optional<BoardPool::Lease> old_lease(
+      pool.acquire(spec, sim::PlatformKind::GoldenModel));
+  spec.page_count += 1;
+  std::optional<BoardPool::Lease> new_lease(
+      pool.acquire(spec, sim::PlatformKind::GoldenModel));
+
+  old_lease.reset();  // pools the old-fingerprint board
+  new_lease.reset();  // returning new board evicts the stale one
+
+  const BoardPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.constructed, 2u);
+  EXPECT_EQ(stats.stale_evicted, 1u);
+
+  // Only the current-spec board remains leasable.
+  { auto lease = pool.acquire(spec, sim::PlatformKind::GoldenModel); }
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(Session, ConfigPlumbsTrimPolicyAndPersistentCache) {
+  SessionConfig config;
+  config.board_pool_max_free_per_key = 2;
+  Session session(std::move(config));
+  EXPECT_EQ(session.boards().max_free_per_key(), 2u);
+  // No cache dir configured: the persistent tier stays off.
+  EXPECT_EQ(session.cache().disk_store(), nullptr);
 }
 
 // ------------------------------------------------------------ JSON goldens --

@@ -3,11 +3,13 @@
 // The workflow a verification team would actually run, against environments
 // that live on disk (paper §3 keeps them under revision control):
 //
-//   advm init  <dir> [--derivative SC88-A] [--tests N]   create a system env
+//   advm init  <dir> [--derivative SC88-A] [--tests N] [--backend B]
+//                    [--shards N] [--jobs N]             create a system env
 //   advm run   <dir> [--derivative D] [--platform P] [--jobs N]
-//                                                        build + regress
+//                    [--backend B] [--cache-dir DIR]     build + regress
 //   advm matrix <dir> --derivatives A,B,C --platforms P,Q [--jobs N]
-//                                                        derivative × platform
+//                    [--backend thread|process] [--shards N]
+//                    [--cache-dir DIR]                   derivative × platform
 //                                                        cube, one report per
 //                                                        cell + roll-up
 //   advm port  <dir> --to SC88-C                         retarget in place
@@ -16,6 +18,9 @@
 //                                                        frozen snapshot +
 //                                                        verify + regression
 //   advm random <dir> --seed K [--derivative D]          random Globals.inc
+//   advm worker --slice <file>                           execute one work-plan
+//                                                        slice (spawned by the
+//                                                        process backend)
 //
 // Every verb is the same thin adapter: parse arguments into a typed
 // request, run it on one advm::Session (which owns the VFS, object cache,
@@ -23,19 +28,31 @@
 // json` (any verb) renders the result as the stable machine-readable
 // document from src/advm/report.h instead of the human text.
 //
+// `--backend process` shards matrix cells (or corpus environments, for
+// init) across `advm worker` subprocesses — this very binary, re-entered
+// through the worker verb. `--cache-dir` points the content-addressed
+// object cache at a persistent directory that workers and consecutive
+// invocations share.
+//
 // Environments are imported from disk into the session's VFS, transformed,
 // and written back — so `port` literally edits only the abstraction layer
 // files in your working copy.
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "advm/exec/backend.h"
+#include "advm/exec/workplan.h"
 #include "advm/report.h"
 #include "advm/session.h"
+#include "soc/derivative.h"
 #include "support/disk.h"
 #include "support/hash.h"
 #include "support/text.h"
@@ -80,27 +97,28 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-/// Parses --jobs strictly: digits only, 0 = one worker per hardware
-/// thread. nullopt (after a diagnostic) on anything else — a typo must not
-/// silently fan out across every core.
-std::optional<std::size_t> jobs_from(const Args& args) {
-  auto it = args.options.find("jobs");
-  if (it == args.options.end()) return 1;
+/// Parses a numeric option strictly: digits only. strtoul would silently
+/// accept "-1" (wrapping to ULONG_MAX — i.e. maximum fan-out, the exact
+/// accident to prevent), so negative and non-numeric values come back as a
+/// typed Status instead. Range validation (0 shards, absurd jobs) is the
+/// Session's job — numeric values pass through so the typed error has one
+/// home.
+Status parse_count(const Args& args, const char* key, const char* code,
+                   std::size_t* out) {
+  auto it = args.options.find(key);
+  if (it == args.options.end()) return {};
   const std::string& value = it->second;
-  // Digits only, checked by hand: strtoul silently accepts "-1" (wrapping
-  // to ULONG_MAX — i.e. maximum fan-out, the exact accident to prevent).
   const bool all_digits =
       !value.empty() &&
       value.find_first_not_of("0123456789") == std::string::npos;
-  const unsigned long parsed =
-      all_digits ? std::strtoul(value.c_str(), nullptr, 10) : 0;
-  // The cap also catches strtoul's silent ERANGE saturation to ULONG_MAX.
-  if (!all_digits || parsed > 1'000'000) {
-    std::cerr << "invalid --jobs value '" << value
-              << "' (expected a number; 0 = all hardware threads)\n";
-    return std::nullopt;
+  // 20 digits cannot fit in 64 bits: reject before strtoul saturates.
+  if (!all_digits || value.size() > 19) {
+    return Status::error(std::string(code),
+                         std::string("invalid --") + key + " value '" +
+                             value + "' (expected a non-negative number)");
   }
-  return parsed;
+  *out = std::strtoul(value.c_str(), nullptr, 10);
+  return {};
 }
 
 std::string option_or(const Args& args, const char* key,
@@ -109,19 +127,57 @@ std::string option_or(const Args& args, const char* key,
   return it == args.options.end() ? fallback : it->second;
 }
 
-/// Builds a Session sized by --jobs, with the tree at `args.dir` imported
-/// under kVfsRoot. Null after a diagnostic on a bad --jobs. An unreadable
-/// disk tree is *not* fatal here: the failure is stashed in `import_error`
-/// so that request validation (unknown derivative/platform) still gets to
-/// report first — the session then fails root validation and the verb
-/// substitutes the disk-level message.
-std::unique_ptr<Session> make_session(const Args& args,
+/// SessionConfig from the shared execution flags (--jobs, --shards,
+/// --backend, --cache-dir). Typed Status on malformed values.
+Status config_from_args(const Args& args, SessionConfig* config) {
+  if (Status status = parse_count(args, "jobs", "advm.bad-jobs",
+                                  &config->jobs);
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = parse_count(args, "shards", "advm.bad-shards",
+                                  &config->shards);
+      !status.ok()) {
+    return status;
+  }
+  const std::string backend = option_or(args, "backend", "thread");
+  if (backend == "process") {
+    config->backend = ExecBackendKind::Process;
+  } else if (backend != "thread") {
+    return Status::error("advm.bad-backend",
+                         "invalid --backend value '" + backend +
+                             "' (expected thread or process)");
+  }
+  config->cache_dir = option_or(args, "cache-dir", "");
+  return {};
+}
+
+/// Renders a pre-request failure (bad flag value) through the same
+/// contract request validation uses: JSON error document on stdout in
+/// --format json mode, bare message on stderr otherwise, exit code 2.
+int render_status(const Args& args, const char* verb, const Status& status) {
+  if (args.json) {
+    std::cout << error_to_json(verb, status) << "\n";
+  } else {
+    std::cerr << status.message << "\n";
+  }
+  return 2;
+}
+
+/// Builds a Session from the shared execution flags, with the tree at
+/// `args.dir` imported under kVfsRoot. Null after a diagnostic on a bad
+/// flag value. An unreadable disk tree is *not* fatal here: the failure is
+/// stashed in `import_error` so that request validation (unknown
+/// derivative/platform) still gets to report first — the session then
+/// fails root validation and the verb substitutes the disk-level message.
+std::unique_ptr<Session> make_session(const Args& args, const char* verb,
                                       std::string* import_error,
                                       bool import = true) {
-  const std::optional<std::size_t> jobs = jobs_from(args);
-  if (!jobs) return nullptr;
   SessionConfig config;
-  config.jobs = *jobs;
+  if (Status status = config_from_args(args, &config); !status.ok()) {
+    render_status(args, verb, status);
+    return nullptr;
+  }
   auto session = std::make_unique<Session>(std::move(config));
   if (import) {
     try {
@@ -151,8 +207,62 @@ int render_error(const Args& args, Result result,
   return 2;
 }
 
+/// `init --backend process`: shard corpus generation across worker
+/// subprocesses. The orchestrator writes the global layer, each worker
+/// generates a disjoint set of environment directories straight into the
+/// output tree, and the result is byte-identical to a thread-backend init
+/// (every environment is a pure function of its config + derivative).
+int init_with_process_backend(const Args& args, Session& session,
+                              const BuildRequest& request) {
+  if (Status status = session.config().validate(); !status.ok()) {
+    return render_status(args, "init", status);
+  }
+  const soc::DerivativeSpec* spec =
+      soc::find_derivative(request.derivative);
+  if (spec == nullptr) {
+    BuildRequest probe = request;  // reuse Session validation + rendering
+    BuildResult invalid = session.run(probe);
+    return render_error(args, invalid);
+  }
+
+  SystemConfig globals_only;
+  globals_only.root = kVfsRoot;
+  (void)build_system(session.vfs(), globals_only, *spec);
+  support::export_to_disk(session.vfs(), kVfsRoot, args.dir);
+
+  const exec::CorpusPlan plan =
+      exec::plan_corpus(request, session.config().shards);
+  exec::ProcessBackendConfig process_config;
+  process_config.jobs_per_worker = session.config().jobs;
+  if (Status status =
+          exec::generate_corpus_with_workers(plan, args.dir, process_config);
+      !status.ok()) {
+    return render_status(args, "init", status);
+  }
+
+  // Fold the workers' output back through the session VFS so the rendered
+  // result (and its JSON document) comes from the tree that actually
+  // landed on disk.
+  support::import_from_disk(session.vfs(), args.dir, kVfsRoot);
+  BuildResult result;
+  result.derivative = spec->name;
+  result.layout = layout_from_tree(session.vfs(), kVfsRoot);
+  result.files = session.vfs().list_tree(kVfsRoot).size();
+  for (const exec::PlannedEnvironment& env : plan.environments) {
+    result.tests += env.config.test_count;
+  }
+  if (args.json) {
+    std::cout << to_json(result) << "\n";
+  } else {
+    std::cout << "created " << args.dir << " for " << result.derivative
+              << ": " << result.files << " files, " << result.tests
+              << " tests (" << plan.slices.size() << " corpus shards)\n";
+  }
+  return 0;
+}
+
 int cmd_init(const Args& args) {
-  auto session = make_session(args, nullptr, /*import=*/false);
+  auto session = make_session(args, "init", nullptr, /*import=*/false);
   if (!session) return 2;
 
   BuildRequest request;
@@ -162,6 +272,10 @@ int cmd_init(const Args& args) {
       args.options.count("tests")
           ? std::strtoul(args.options.at("tests").c_str(), nullptr, 10)
           : 5;
+
+  if (session->config().backend == ExecBackendKind::Process) {
+    return init_with_process_backend(args, *session, request);
+  }
 
   BuildResult result = session->run(request);
   if (!result.status.ok()) return render_error(args, result);
@@ -179,7 +293,7 @@ int cmd_init(const Args& args) {
 
 int cmd_run(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, &import_error);
+  auto session = make_session(args, "run", &import_error);
   if (!session) return 2;
 
   RunRequest request;
@@ -200,7 +314,7 @@ int cmd_run(const Args& args) {
 
 int cmd_matrix(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, &import_error);
+  auto session = make_session(args, "matrix", &import_error);
   if (!session) return 2;
 
   MatrixRequest request;
@@ -232,7 +346,7 @@ int cmd_matrix(const Args& args) {
 
 int cmd_port(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, &import_error);
+  auto session = make_session(args, "port", &import_error);
   if (!session) return 2;
 
   PortRequest request;
@@ -260,7 +374,7 @@ int cmd_port(const Args& args) {
 
 int cmd_check(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, &import_error);
+  auto session = make_session(args, "check", &import_error);
   if (!session) return 2;
 
   CheckRequest request;
@@ -287,7 +401,7 @@ int cmd_check(const Args& args) {
 
 int cmd_release(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, &import_error);
+  auto session = make_session(args, "release", &import_error);
   if (!session) return 2;
 
   ReleaseRequest request;
@@ -322,7 +436,7 @@ int cmd_release(const Args& args) {
 
 int cmd_random(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, &import_error);
+  auto session = make_session(args, "random", &import_error);
   if (!session) return 2;
 
   RandomRequest request;
@@ -351,19 +465,135 @@ int cmd_random(const Args& args) {
   return 0;
 }
 
+/// `advm worker --slice <file>` — the shard protocol endpoint the process
+/// execution backend spawns. Output is always a JSON document on stdout
+/// ({"ok":true,"verb":"worker",...} or the shared error document), exit
+/// code 0 when the slice executed (test failures live inside the
+/// reports), 2 when it could not.
+int cmd_worker(const Args& args) {
+  const auto slice_option = args.options.find("slice");
+  if (slice_option == args.options.end()) {
+    std::cout << error_to_json(
+                     "worker",
+                     Status::error("advm.bad-slice", "missing --slice file"))
+              << "\n";
+    return 2;
+  }
+  std::ifstream in(slice_option->second, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    std::cout << error_to_json(
+                     "worker",
+                     Status::error("advm.bad-slice", "unreadable slice file " +
+                                                         slice_option->second))
+              << "\n";
+    return 2;
+  }
+  std::string parse_error;
+  const auto slice = exec::parse_worker_slice(text.str(), &parse_error);
+  if (!slice) {
+    std::cout << error_to_json("worker",
+                               Status::error("advm.bad-slice", parse_error))
+              << "\n";
+    return 2;
+  }
+
+  SessionConfig config;
+  config.jobs = slice->jobs;
+  config.cache_dir = slice->cache_dir;
+  config.cache_max_bytes = slice->cache_max_bytes;
+  Session session(std::move(config));
+
+  if (slice->kind == exec::WorkerSlice::Kind::Matrix) {
+    try {
+      support::import_from_disk(session.vfs(), slice->tree_dir, kVfsRoot);
+    } catch (const std::exception& e) {
+      std::cout << error_to_json(
+                       "worker", Status::error("advm.import-failed", e.what()))
+                << "\n";
+      return 2;
+    }
+    std::ostringstream os;
+    os << "{\"ok\":true,\"verb\":\"worker\",\"kind\":\"matrix\",\"cells\":[";
+    bool first = true;
+    for (const exec::PlannedCell& cell : slice->cells) {
+      RunRequest request;
+      request.root = kVfsRoot;
+      request.derivative = cell.derivative;
+      request.platform = cell.platform;
+      request.max_instructions = slice->max_instructions;
+      RunResult result = session.run(request);
+      if (!result.status.ok()) {
+        std::cout << error_to_json("worker", result.status) << "\n";
+        return 2;
+      }
+      if (!first) os << ",";
+      first = false;
+      os << "{\"index\":" << cell.index
+         << ",\"report\":" << report_to_json(result.report) << "}";
+    }
+    os << "]}";
+    std::cout << os.str() << "\n";
+    return 0;
+  }
+
+  // Corpus slice: generate this shard's environments in the session VFS
+  // and export exactly those directories — the orchestrator owns the
+  // global layer, and sibling shards own theirs.
+  BuildRequest request;
+  request.root = kVfsRoot;
+  request.derivative = slice->derivative;
+  for (const exec::PlannedEnvironment& env : slice->environments) {
+    request.environments.push_back(env.config);
+  }
+  BuildResult built = session.run(request);
+  if (!built.status.ok()) {
+    std::cout << error_to_json("worker", built.status) << "\n";
+    return 2;
+  }
+  std::size_t files = 0;
+  std::ostringstream os;
+  os << "{\"ok\":true,\"verb\":\"worker\",\"kind\":\"corpus\","
+        "\"environments\":[";
+  for (std::size_t i = 0; i < slice->environments.size(); ++i) {
+    const std::string& name = slice->environments[i].config.name;
+    try {
+      files += support::export_to_disk(
+          session.vfs(), std::string(kVfsRoot) + "/" + name,
+          slice->tree_dir + "/" + name);
+    } catch (const std::exception& e) {
+      std::cout << error_to_json(
+                       "worker", Status::error("advm.export-failed", e.what()))
+                << "\n";
+      return 2;
+    }
+    if (i != 0) os << ",";
+    os << "\"" << json_escape(name) << "\"";
+  }
+  os << "],\"files\":" << files << "}";
+  std::cout << os.str() << "\n";
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "advm — assembler-driven verification methodology toolchain\n"
          "usage:\n"
-         "  advm init  <dir> [--derivative SC88-A] [--tests N]\n"
-         "  advm run   <dir> [--derivative D] [--platform P] [--jobs N]\n"
+         "  advm init  <dir> [--derivative SC88-A] [--tests N]"
+         " [--backend B] [--shards N] [--jobs N]\n"
+         "  advm run   <dir> [--derivative D] [--platform P] [--jobs N]"
+         " [--backend B] [--cache-dir DIR]\n"
          "  advm matrix <dir> [--derivatives A,B,C] [--platforms P,Q]"
          " [--jobs N]\n"
+         "             [--backend thread|process] [--shards N]"
+         " [--cache-dir DIR]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
          "  advm release <dir> [--name R1] [--derivative D] [--platform P]"
          " [--jobs N]\n"
          "  advm random <dir> --seed K [--derivative D]\n"
+         "  advm worker --slice <file>\n"
          "options: --format json renders any verb's result as JSON\n";
   return 2;
 }
@@ -372,7 +602,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
-  if (args.dir.empty()) return usage();
+  // The worker verb is addressed by --slice, not a positional directory.
+  if (args.dir.empty() && args.command != "worker") return usage();
   // Strict like --jobs: a typo'd --format must not silently feed human
   // text to a JSON consumer.
   auto format = args.options.find("format");
@@ -383,6 +614,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (args.command == "worker") return cmd_worker(args);
     if (args.command == "init") return cmd_init(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "matrix") return cmd_matrix(args);

@@ -26,18 +26,57 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["ok"] is True, doc
 assert doc["verb"] == "matrix", doc["verb"]
+assert doc["backend"] == "thread", doc["backend"]
+assert doc["shards"] == 1, doc["shards"]
 assert doc["all_passed"] is True, "matrix not green"
 assert len(doc["cells"]) == 2, len(doc["cells"])
+assert len(doc["rollup"]) == len(doc["cells"])
 for cell in doc["cells"]:
     for key in ("derivative", "platform", "records", "passed", "total",
                 "build_failures", "all_passed", "outcome_digest", "cache"):
         assert key in cell, "missing key " + key
     assert cell["total"] == len(cell["records"]) > 0
     assert len(cell["outcome_digest"]) == 16
-    for key in ("hits", "misses", "bytes", "evictions"):
+    for key in ("hits", "misses", "bytes", "evictions", "persistent_hits"):
         assert key in cell["cache"], "missing cache key " + key
+for entry in doc["rollup"]:
+    for key in ("derivative", "platform", "passed", "total",
+                "build_failures", "outcome_digest"):
+        assert key in entry, "missing rollup key " + key
 print("json contract ok: %d cells, %d records" %
       (len(doc["cells"]), sum(c["total"] for c in doc["cells"])))
+PY
+
+echo "==> shard-determinism gate (thread vs process backend on the e10 cube)"
+rm -rf build/shard-env build/shard-cache
+./build/tools/advm init build/shard-env --tests 2 > /dev/null
+SHARD_AXES="--derivatives SC88-A,SC88-B,SC88-C,SC88-D --platforms golden-model,hdl-rtl"
+# Exit codes are informational here (un-ported derivatives legitimately
+# fail their cells); the gate is that both backends fail *identically*.
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --format json > build/shard-thread.json || true
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --backend process --shards 4 --cache-dir build/shard-cache \
+  --format json > build/shard-process.json || true
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --backend process --shards 4 --cache-dir build/shard-cache \
+  --format json > build/shard-process-warm.json || true
+python3 - build/shard-thread.json build/shard-process.json \
+  build/shard-process-warm.json <<'PY'
+import json, sys
+thread, process, warm = (json.load(open(p)) for p in sys.argv[1:4])
+assert process["backend"] == "process" and process["shards"] == 4, process
+roll_thread = json.dumps(thread["rollup"], sort_keys=True)
+roll_process = json.dumps(process["rollup"], sort_keys=True)
+roll_warm = json.dumps(warm["rollup"], sort_keys=True)
+assert roll_thread == roll_process, "thread vs process roll-up mismatch"
+assert roll_thread == roll_warm, "warm-cache roll-up mismatch"
+digests = [c["outcome_digest"] for c in thread["rollup"]]
+assert digests == [c["outcome_digest"] for c in process["rollup"]]
+hits = sum(c["cache"]["persistent_hits"] for c in warm["cells"])
+assert hits > 0, "second cold-process run had no persistent-cache hits"
+print("shard determinism ok: %d cells byte-identical across backends, "
+      "%d persistent-cache hits on the warm rerun" % (len(digests), hits))
 PY
 
 echo "==> -Werror hygiene build"
