@@ -152,8 +152,11 @@ int main() {
   // thread backend vs `advm worker` subprocess shards (the orchestration
   // substrate for corpus-scale fan-out). Wall-clock includes the process
   // backend's tree export and worker spawn overhead — that overhead is
-  // what this row exists to keep on record. Outcome digests must match
-  // the thread backend cell for cell.
+  // what this row exists to keep on record. Two process rows: "pooled"
+  // (one worker pool serving the whole cube — spawn and tree import paid
+  // once per worker) vs "oneshot" (one backend invocation per cell, the
+  // cold-start cost repeated matrix laps used to pay per slice). Outcome
+  // digests must match the thread backend cell for cell.
   {
     std::vector<std::string> derivative_names;
     for (const soc::DerivativeSpec* spec : soc::all_derivatives()) {
@@ -192,8 +195,37 @@ int main() {
                                thread_run.cells[i].outcome_digest();
         }
       }
-      backends.add_row("process", plan.slices.size(), process_ms,
+      backends.add_row("process-pooled", plan.slices.size(), process_ms,
                        match ? "yes" : "NO");
+
+      // One-shot arm: a fresh single-cell plan (and therefore a fresh
+      // worker spawn + tree export + import) per cell — what N separate
+      // `advm run --backend process` invocations cost, and the pre-pool
+      // per-slice cold start.
+      bench::Stopwatch oneshot_watch;
+      bool oneshot_match = true;
+      std::size_t cube_index = 0;  // derivative-major, matches plan order
+      for (std::size_t i = 0; i < request.derivatives.size(); ++i) {
+        for (const std::string& platform : request.platforms) {
+          core::MatrixRequest one_cell;
+          one_cell.root = layout.root;
+          one_cell.derivatives = {request.derivatives[i]};
+          one_cell.platforms = {platform};
+          one_cell.max_instructions = kMaxInstructions;
+          core::exec::ProcessBackend cold(vfs, config);
+          const auto run =
+              cold.run_matrix(core::exec::plan_matrix(one_cell, 1));
+          oneshot_match =
+              oneshot_match && run.status.ok() && run.cells.size() == 1 &&
+              cube_index < thread_run.cells.size() &&
+              run.cells[0].outcome_digest() ==
+                  thread_run.cells[cube_index].outcome_digest();
+          ++cube_index;
+        }
+      }
+      const double oneshot_ms = oneshot_watch.millis();
+      backends.add_row("process-oneshot", thread_run.cells.size(),
+                       oneshot_ms, oneshot_match ? "yes" : "NO");
     } else {
       std::cout << "(advm CLI not built; skipping the process-backend "
                    "datapoint)\n";

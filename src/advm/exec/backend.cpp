@@ -1,16 +1,21 @@
 #include "advm/exec/backend.h"
 
-#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <mutex>
+#include <numeric>
 #include <sstream>
 #include <system_error>
+#include <thread>
 #include <utility>
 
+#include "advm/exec/workerpool.h"
 #include "advm/regression.h"
 #include "advm/report.h"
 #include "soc/derivative.h"
@@ -74,62 +79,44 @@ std::string slurp_file(const fs::path& path) {
   return os.str();
 }
 
-/// Shell-quotes a path for the worker command line. Paths come from this
-/// backend's own scratch naming plus user-supplied directories
-/// (worker_exe, scratch_dir, TMPDIR); anything the shell would still
-/// interpret inside double quotes — or that would terminate them — is
-/// refused rather than escaped.
-std::optional<std::string> quoted(const std::string& path) {
-  if (path.find_first_of("\"\\$`\n") != std::string::npos) {
-    return std::nullopt;
-  }
-  return "\"" + path + "\"";
-}
-
 struct WorkerRun {
   int exit_code = -1;
+  std::string spawn_error;
   std::string stdout_path;
   std::string stderr_path;
 };
 
-/// Spawns every slice's worker concurrently (one launcher thread per
-/// worker — the work happens in the subprocesses) and waits for all.
+/// Spawns every corpus slice's one-shot worker concurrently (one launcher
+/// thread per worker — the work happens in the subprocesses) and waits
+/// for all. posix_spawn with an argv vector: paths never pass through a
+/// shell.
 std::optional<Status> spawn_workers(const std::string& exe,
                                     const std::string& scratch,
                                     const std::vector<WorkerSlice>& slices,
                                     std::vector<WorkerRun>& runs) {
-  const auto exe_quoted = quoted(exe);
-  // The scratch dir prefixes every interpolated path (slice, stdout,
-  // stderr — all named by this function), so checking it once covers
-  // them all.
-  const auto scratch_quoted = quoted(scratch);
-  if (!exe_quoted || !scratch_quoted) {
-    return Status::error("advm.exec-spawn-failed",
-                         "path not shell-safe: " +
-                             (exe_quoted ? scratch : exe));
-  }
   runs.assign(slices.size(), WorkerRun{});
   for (std::size_t i = 0; i < slices.size(); ++i) {
     const std::string stem = scratch + "/shard-" + std::to_string(i);
-    std::ofstream slice_file(stem + ".slice.json",
-                             std::ios::binary | std::ios::trunc);
-    slice_file << to_json(slices[i]) << "\n";
-    if (!slice_file.good()) {
-      return Status::error("advm.exec-spawn-failed",
-                           "cannot write slice file " + stem + ".slice.json");
+    if (Status status = write_slice_file(stem + ".slice.json", slices[i]);
+        !status.ok()) {
+      return status;
     }
     runs[i].stdout_path = stem + ".out.json";
     runs[i].stderr_path = stem + ".err.txt";
   }
   parallel_for(slices.size(), slices.size(), [&](std::size_t i) {
     const std::string stem = scratch + "/shard-" + std::to_string(i);
-    const std::string command = *exe_quoted + " worker --slice \"" + stem +
-                                ".slice.json\" > \"" + runs[i].stdout_path +
-                                "\" 2> \"" + runs[i].stderr_path + "\"";
-    const int status = std::system(command.c_str());
     runs[i].exit_code =
-        WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+        run_oneshot_worker(exe, stem + ".slice.json", runs[i].stdout_path,
+                           runs[i].stderr_path, &runs[i].spawn_error);
   });
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].exit_code < 0 && !runs[i].spawn_error.empty()) {
+      return Status::error("advm.exec-spawn-failed",
+                           "shard " + std::to_string(i) + ": " +
+                               runs[i].spawn_error);
+    }
+  }
   return std::nullopt;
 }
 
@@ -162,7 +149,94 @@ struct ScratchGuard {
   }
 };
 
+/// Parses a worker response and checks {"ok":true}: the shared decoder
+/// for serve acks and shard reports. On success `doc` carries the parsed
+/// document; on an error document its message is folded into the Status.
+Status decode_worker_document(std::string_view document,
+                              std::optional<support::json::Value>& doc) {
+  std::string parse_error;
+  doc = support::json::parse(document, &parse_error);
+  const auto* ok = doc ? doc->find("ok") : nullptr;
+  if (!doc || !ok) {
+    return Status::error("advm.exec-worker-failed",
+                         "unparsable shard report (" + parse_error + ")");
+  }
+  if (ok->as_bool() != std::optional<bool>(true)) {
+    const auto* error = doc->find("error");
+    const auto* message = error ? error->find("message") : nullptr;
+    const auto text = message ? message->as_string() : std::nullopt;
+    return Status::error("advm.exec-worker-failed",
+                         "worker reported failure" +
+                             (text ? ": " + *text : std::string()));
+  }
+  return {};
+}
+
+/// Checks a serve-protocol response for {"ok":true}, naming the worker
+/// in the diagnostic.
+Status check_serve_ack(std::size_t worker, std::string_view response) {
+  std::optional<support::json::Value> doc;
+  if (Status status = decode_worker_document(response, doc);
+      !status.ok()) {
+    return Status::error(status.code, "serve worker " +
+                                          std::to_string(worker) + ": " +
+                                          status.message);
+  }
+  return {};
+}
+
 }  // namespace
+
+Status merge_shard_report(std::string_view document,
+                          const std::vector<std::size_t>& expected,
+                          std::vector<RegressionReport>& cells,
+                          std::vector<bool>& filled) {
+  const auto reject = [](std::string detail) {
+    return Status::error("advm.exec-worker-failed", std::move(detail));
+  };
+  std::optional<support::json::Value> doc;
+  if (Status status = decode_worker_document(document, doc); !status.ok()) {
+    return status;
+  }
+  const auto* items = doc->find("cells");
+  if (items == nullptr || !items->is_array()) {
+    return reject("shard report has no cells array");
+  }
+  std::size_t merged = 0;
+  for (const auto& item : items->items) {
+    const auto* index = item.find("index");
+    const auto* report = item.find("report");
+    const auto index_value = index ? index->as_uint64() : std::nullopt;
+    auto parsed = report ? report_from_json(*report) : std::nullopt;
+    if (!index_value || !parsed) {
+      return reject("malformed cell in shard report");
+    }
+    const std::size_t cell_index = static_cast<std::size_t>(*index_value);
+    if (cell_index >= cells.size()) {
+      return reject("cell index " + std::to_string(cell_index) +
+                    " outside the plan");
+    }
+    if (std::find(expected.begin(), expected.end(), cell_index) ==
+        expected.end()) {
+      return reject("cell index " + std::to_string(cell_index) +
+                    " was not assigned to this shard");
+    }
+    if (filled[cell_index]) {
+      return reject("duplicate report for cell " +
+                    std::to_string(cell_index));
+    }
+    // Deterministic merge: the planned index positions the report; the
+    // order workers finish in is irrelevant.
+    cells[cell_index] = std::move(*parsed);
+    filled[cell_index] = true;
+    ++merged;
+  }
+  if (merged != expected.size()) {
+    return reject("shard reported " + std::to_string(merged) + " of " +
+                  std::to_string(expected.size()) + " assigned cells");
+  }
+  return {};
+}
 
 MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
   MatrixExecution execution;
@@ -173,6 +247,11 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
     execution.status = Status::error(
         "advm.exec-spawn-failed",
         "worker executable not found: " + (exe.empty() ? "<none>" : exe));
+    return execution;
+  }
+  if (plan.cells.empty() || plan.slices.empty()) {
+    execution.status =
+        Status::error("advm.exec-bad-plan", "matrix plan has no cells");
     return execution;
   }
 
@@ -196,64 +275,143 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
     return execution;
   }
 
-  std::vector<WorkerSlice> slices;
-  slices.reserve(plan.slices.size());
-  for (const MatrixSlice& planned : plan.slices) {
-    WorkerSlice slice;
-    slice.kind = WorkerSlice::Kind::Matrix;
-    slice.tree_dir = tree_dir;
-    slice.max_instructions = plan.max_instructions;
-    slice.jobs = config_.jobs_per_worker;
-    slice.cache_dir = config_.cache_dir;
-    slice.cache_max_bytes = config_.cache_max_bytes;
-    slice.cells = planned.cells;
-    slices.push_back(std::move(slice));
+  // Dispatch queue, ordered by estimated cost (descending, ties broken by
+  // planned index so dispatch order is deterministic). Every matrix cell
+  // runs the same discovered test set over the shared tree, so today the
+  // estimate — the tree's test-cell count — ties across cells and the
+  // order degenerates to plan order; the cost hook is where a
+  // heterogeneous-corpus planner weighs cells differently.
+  std::vector<std::uint64_t> cost(plan.cells.size(), 0);
+  {
+    std::uint64_t tests = 0;
+    for (const std::string& env : discover_environments(vfs_, plan.root)) {
+      tests += discover_tests(vfs_, env).size();
+    }
+    for (std::uint64_t& c : cost) c = tests;
+  }
+  std::vector<std::size_t> order(plan.cells.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (std::adjacent_find(cost.begin(), cost.end(),
+                         std::not_equal_to<>()) != cost.end()) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cost[a] > cost[b];
+                     });
   }
 
-  std::vector<WorkerRun> runs;
-  if (auto spawn_error = spawn_workers(exe, scratch.dir, slices, runs)) {
-    execution.status = std::move(*spawn_error);
+  // One resident worker per plan slice (min(shards, cells) — never more
+  // workers than cells, so the seeded first deal below covers everyone).
+  const std::size_t worker_count = plan.slices.size();
+  WorkerPool pool;
+  if (Status status = pool.spawn(exe, scratch.dir, worker_count);
+      !status.ok()) {
+    execution.status = std::move(status);
     return execution;
   }
 
+  ServeRequest init;
+  init.kind = ServeRequest::Kind::Init;
+  init.tree_dir = tree_dir;
+  init.jobs = config_.jobs_per_worker;
+  init.cache_dir = config_.cache_dir;
+  init.cache_max_bytes = config_.cache_max_bytes;
+  const std::string init_line = to_json(init);
+
   execution.cells.resize(plan.cells.size());
+  execution.jobs_per_worker = config_.jobs_per_worker;
+  execution.workers.resize(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    execution.workers[i].worker = i;
+  }
   std::vector<bool> filled(plan.cells.size(), false);
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    if (runs[i].exit_code != 0) {
-      execution.status = worker_failure(
-          i, runs[i],
-          "exit code " + std::to_string(runs[i].exit_code));
-      return execution;
+
+  // Dynamic dispatch: worker w is seeded with the w-th cell in cost
+  // order (guaranteeing every live worker serves at least one request),
+  // then pulls from the shared cursor whenever it goes idle — a heavy
+  // cell occupies one worker while the others drain the rest.
+  std::atomic<std::size_t> cursor{worker_count};
+  std::atomic<bool> abort{false};
+  std::mutex merge_mutex;
+  Status failure;  // guarded by merge_mutex
+
+  // One driving thread per worker (the work happens in the subprocesses;
+  // these threads only shuttle protocol lines): a pooled worker must
+  // never wait for a sibling's dispatch loop to finish.
+  const auto drive_worker = [&](std::size_t w) {
+    const auto fail = [&](Status status) {
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      if (failure.ok()) failure = std::move(status);
+      abort.store(true, std::memory_order_relaxed);
+    };
+    std::string response;
+    if (Status status = pool.roundtrip(w, init_line, &response);
+        !status.ok()) {
+      fail(std::move(status));
+      return;
     }
-    std::string parse_error;
-    const auto doc =
-        support::json::parse(slurp_file(runs[i].stdout_path), &parse_error);
-    const auto* ok = doc ? doc->find("ok") : nullptr;
-    const auto* cells = doc ? doc->find("cells") : nullptr;
-    if (!doc || !ok || ok->as_bool() != std::optional<bool>(true) ||
-        cells == nullptr || !cells->is_array()) {
-      execution.status = worker_failure(
-          i, runs[i], "unparsable shard report (" + parse_error + ")");
-      return execution;
+    if (Status status = check_serve_ack(w, response); !status.ok()) {
+      fail(std::move(status));
+      return;
     }
-    for (const auto& item : cells->items) {
-      const auto* index = item.find("index");
-      const auto* report = item.find("report");
-      const auto index_value = index ? index->as_uint64() : std::nullopt;
-      auto parsed = report ? report_from_json(*report) : std::nullopt;
-      const std::size_t cell_index =
-          index_value ? static_cast<std::size_t>(*index_value)
-                      : execution.cells.size();
-      if (cell_index >= execution.cells.size() || !parsed) {
-        execution.status =
-            worker_failure(i, runs[i], "malformed cell in shard report");
-        return execution;
+    for (std::size_t next = w; next < order.size();
+         next = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t cell_index = order[next];
+      ServeRequest run;
+      run.kind = ServeRequest::Kind::Run;
+      run.max_instructions = plan.max_instructions;
+      run.cells = {plan.cells[cell_index]};
+      if (Status status = pool.roundtrip(w, to_json(run), &response);
+          !status.ok()) {
+        fail(std::move(status));
+        return;
       }
-      // Deterministic merge: the planned index positions the report; the
-      // order workers finish in is irrelevant.
-      execution.cells[cell_index] = std::move(*parsed);
-      filled[cell_index] = true;
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      if (Status status =
+              merge_shard_report(response, {cell_index}, execution.cells,
+                                 filled);
+          !status.ok()) {
+        if (failure.ok()) {
+          failure = Status::error(
+              status.code,
+              "serve worker " + std::to_string(w) + ": " + status.message);
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      execution.workers[w].requests += 1;
+      execution.workers[w].cells += 1;
     }
+  };
+  std::vector<std::thread> drivers;
+  drivers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    drivers.emplace_back([&, w] {
+      try {
+        drive_worker(w);
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        if (failure.ok()) {
+          failure = Status::error("advm.exec-worker-failed",
+                                  "serve worker " + std::to_string(w) +
+                                      ": " + e.what());
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  // Shutdown diagnostics (a worker slow to tear down gets escalated to
+  // SIGKILL, a crash after its last response reaps non-zero) must not
+  // discard a complete run: every cell below was already validated and
+  // positioned, so the reap status only matters when results are missing
+  // — where the dispatch loop has the better diagnostic anyway.
+  (void)pool.shutdown();
+  if (!failure.ok()) {
+    execution.status = std::move(failure);
+    execution.cells.clear();
+    return execution;
   }
   for (std::size_t i = 0; i < filled.size(); ++i) {
     if (!filled[i]) {
@@ -262,6 +420,7 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
           "no shard reported cell " + std::to_string(i) + " (" +
               plan.cells[i].derivative + " on " + plan.cells[i].platform +
               ")");
+      execution.cells.clear();
       return execution;
     }
   }

@@ -7,19 +7,24 @@
 //    always used (chunked parallel_for claiming), now behind the
 //    interface. One assembly phase, one shared cache and board pool.
 //
-//  * ProcessBackend — spawns one `advm worker --slice <file>` subprocess
-//    per plan slice against an exported copy of the tree, and folds the
-//    workers' `--format json` shard reports back into typed results. Each
-//    worker is a thin advm::Session driven by the slice; pointing every
-//    worker at one SessionConfig::cache_dir makes them share the
-//    persistent object cache by construction.
+//  * ProcessBackend — posix_spawns a pool of long-lived `advm worker
+//    --serve` subprocesses (one per plan slice) against an exported copy
+//    of the tree, speaks the line-delimited JSON serve protocol over
+//    stdin/stdout pipes (src/advm/exec/workerpool.h), and dispatches
+//    cells *dynamically*: a shared queue ordered by estimated cost
+//    (discovered test-cell counts), each worker pulling its next cell
+//    when idle, so a heavy cell never serializes a lap behind a bad
+//    static deal. Each worker is a thin advm::Session resident across
+//    requests; pointing every worker at one SessionConfig::cache_dir
+//    makes them share the persistent object cache by construction.
 //
 // The load-bearing invariant both implementations uphold: results land in
 // plan (cube) order and every cell's outcome digest is identical across
 // backends and shard counts. The process backend guarantees it by
-// *positioning* each parsed cell report at its planned index — shard
-// completion order never reorders anything; the shard-determinism gate in
-// tools/ci.sh holds the two backends byte-identical on the roll-up JSON.
+// *positioning* each parsed cell report at its planned index — dispatch
+// order and worker completion order never reorder anything; the
+// shard-determinism gate in tools/ci.sh holds the two backends
+// byte-identical on the roll-up JSON.
 #pragma once
 
 #include <cstdint>
@@ -33,13 +38,25 @@
 
 namespace advm::core::exec {
 
+/// Per-worker dispatch bookkeeping of a pooled process-backend run.
+/// `requests` counts the Run round trips the worker served — anything
+/// past the first is spawn-amortizing reuse.
+struct WorkerDispatchStats {
+  std::size_t worker = 0;
+  std::size_t requests = 0;
+  std::size_t cells = 0;
+};
+
 /// Outcome of executing a plan: per-cell reports in cube order on
 /// success, a typed Status (advm.exec-* codes) when orchestration itself
 /// failed. Test failures are *not* an execution failure — they come back
-/// inside the reports.
+/// inside the reports. `workers`/`jobs_per_worker` are filled by the
+/// process backend only (empty/0 on the thread backend).
 struct MatrixExecution {
   Status status;
   std::vector<RegressionReport> cells;
+  std::vector<WorkerDispatchStats> workers;
+  std::size_t jobs_per_worker = 0;
 };
 
 class ExecutionBackend {
@@ -72,7 +89,9 @@ struct ProcessBackendConfig {
   /// the spawning session); empty disables the persistent tier.
   std::string cache_dir;
   std::uint64_t cache_max_bytes = 0;
-  /// Worker-pool size *inside* each worker process.
+  /// Worker-pool size *inside* each worker process. The session divides
+  /// its --jobs budget across the live workers (divide_jobs) so
+  /// `--shards S --jobs N` never oversubscribes N×S threads.
   std::size_t jobs_per_worker = 1;
 };
 
@@ -91,6 +110,18 @@ class ProcessBackend final : public ExecutionBackend {
   const support::VirtualFileSystem& vfs_;
   ProcessBackendConfig config_;
 };
+
+/// Merges one worker shard-report document
+/// ({"ok":true,...,"cells":[{"index":N,"report":{...}}]}) into `cells`,
+/// positioning each report at its planned index. `expected` lists the
+/// indices dispatched in the request this document answers; an index
+/// outside the plan, an index not in `expected` (foreign — another
+/// shard's cell), or an index already `filled` (duplicate) is rejected
+/// with a typed Status instead of silently overwriting another shard's
+/// report. On success every expected index is filled. Exposed for tests.
+[[nodiscard]] Status merge_shard_report(
+    std::string_view document, const std::vector<std::size_t>& expected,
+    std::vector<RegressionReport>& cells, std::vector<bool>& filled);
 
 /// Corpus half of the process backend: spawns one worker per corpus slice,
 /// each generating its environments directly into `out_dir` (disjoint

@@ -1,0 +1,311 @@
+#include "advm/exec/workerpool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <thread>
+
+extern char** environ;
+
+namespace advm::core::exec {
+
+namespace {
+
+Status spawn_error(const std::string& detail) {
+  return Status::error("advm.exec-spawn-failed", detail);
+}
+
+/// Reads the tail of a worker's stderr capture, for folding into
+/// pipe-failure diagnostics.
+std::string stderr_tail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::string text = os.str();
+  if (text.size() > 400) text = text.substr(text.size() - 400);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+/// Blocks SIGPIPE on the calling thread for the duration of a pipe write
+/// and swallows any instance raised by it, so writing to a worker that
+/// already died surfaces as EPIPE (a typed Status upstream) instead of
+/// killing the whole orchestrator — the process-wide disposition is left
+/// alone because this is library code.
+class SigPipeGuard {
+ public:
+  SigPipeGuard() {
+    sigemptyset(&pipe_set_);
+    sigaddset(&pipe_set_, SIGPIPE);
+    blocked_ =
+        ::pthread_sigmask(SIG_BLOCK, &pipe_set_, &old_set_) == 0;
+  }
+  ~SigPipeGuard() {
+    if (!blocked_) return;
+    // The caller is about to report the write's errno; the sigtimedwait
+    // poll below legitimately fails with EAGAIN and must not clobber it.
+    const int saved_errno = errno;
+    // Consume a SIGPIPE our write raised while blocked; without this it
+    // would be delivered the moment the old mask is restored.
+    if (!sigismember(&old_set_, SIGPIPE)) {
+      struct timespec poll_only = {0, 0};
+      while (::sigtimedwait(&pipe_set_, nullptr, &poll_only) >= 0) {
+      }
+    }
+    ::pthread_sigmask(SIG_SETMASK, &old_set_, nullptr);
+    errno = saved_errno;
+  }
+
+ private:
+  sigset_t pipe_set_;
+  sigset_t old_set_;
+  bool blocked_ = false;
+};
+
+bool write_all(int fd, std::string_view bytes) {
+  const SigPipeGuard guard;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// RAII wrapper so every early return releases the file actions.
+struct FileActions {
+  posix_spawn_file_actions_t actions;
+  FileActions() { posix_spawn_file_actions_init(&actions); }
+  ~FileActions() { posix_spawn_file_actions_destroy(&actions); }
+};
+
+/// posix_spawn with an argv vector — no shell, no quoting. `actions`
+/// already carries the child's fd plumbing.
+int spawn_process(const std::string& exe,
+                  const std::vector<std::string>& args,
+                  posix_spawn_file_actions_t* actions, pid_t* pid) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  return ::posix_spawn(pid, exe.c_str(), actions, nullptr, argv.data(),
+                       environ);
+}
+
+}  // namespace
+
+Status WorkerPool::spawn(const std::string& exe, const std::string& scratch,
+                         std::size_t count) {
+  shutdown();
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // O_CLOEXEC everywhere: a later-spawned worker must not inherit an
+    // earlier worker's pipe ends, or a surviving copy of a sibling's
+    // stdin write end would keep EOF-driven shutdown from ever arriving.
+    // The child's own ends survive its exec via the dup2 file actions
+    // below (the duplicates to fds 0/1 are not close-on-exec).
+    int to_worker[2] = {-1, -1};    // orchestrator writes → worker stdin
+    int from_worker[2] = {-1, -1};  // worker stdout → orchestrator reads
+    if (::pipe2(to_worker, O_CLOEXEC) != 0 ||
+        ::pipe2(from_worker, O_CLOEXEC) != 0) {
+      if (to_worker[0] != -1) {
+        ::close(to_worker[0]);
+        ::close(to_worker[1]);
+      }
+      const Status status =
+          spawn_error(std::string("pipe: ") + std::strerror(errno));
+      shutdown();
+      return status;
+    }
+
+    Worker worker;
+    worker.stderr_path =
+        scratch + "/serve-" + std::to_string(i) + ".err.txt";
+
+    FileActions fa;
+    posix_spawn_file_actions_adddup2(&fa.actions, to_worker[0], 0);
+    posix_spawn_file_actions_adddup2(&fa.actions, from_worker[1], 1);
+    posix_spawn_file_actions_addopen(
+        &fa.actions, 2, worker.stderr_path.c_str(),
+        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+
+    const int rc = spawn_process(exe, {"worker", "--serve"}, &fa.actions,
+                                 &worker.pid);
+    ::close(to_worker[0]);
+    ::close(from_worker[1]);
+    if (rc != 0) {
+      ::close(to_worker[1]);
+      ::close(from_worker[0]);
+      const Status status = spawn_error(std::string("posix_spawn ") + exe +
+                                        ": " + std::strerror(rc));
+      shutdown();
+      return status;
+    }
+    worker.stdin_fd = to_worker[1];
+    worker.stdout_fd = from_worker[0];
+    workers_.push_back(std::move(worker));
+  }
+  return {};
+}
+
+Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
+                             std::string* response) {
+  Worker& worker = workers_[i];
+  const auto fail = [&](const std::string& detail) {
+    std::string message =
+        "serve worker " + std::to_string(i) + ": " + detail;
+    const std::string tail = stderr_tail(worker.stderr_path);
+    if (!tail.empty()) message += " [worker stderr: " + tail + "]";
+    return Status::error("advm.exec-worker-failed", std::move(message));
+  };
+
+  if (!write_all(worker.stdin_fd, request) ||
+      !write_all(worker.stdin_fd, "\n")) {
+    return fail("request write failed (" +
+                std::string(std::strerror(errno)) + ")");
+  }
+  for (;;) {
+    const std::size_t newline = worker.read_buffer.find('\n');
+    if (newline != std::string::npos) {
+      *response = worker.read_buffer.substr(0, newline);
+      worker.read_buffer.erase(0, newline + 1);
+      return {};
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(worker.stdout_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("response read failed (" +
+                  std::string(std::strerror(errno)) + ")");
+    }
+    if (n == 0) return fail("exited before answering");
+    worker.read_buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Status WorkerPool::shutdown() {
+  Status first_failure;
+  for (Worker& worker : workers_) {
+    if (worker.stdin_fd != -1) ::close(worker.stdin_fd);
+    if (worker.stdout_fd != -1) ::close(worker.stdout_fd);
+    worker.stdin_fd = worker.stdout_fd = -1;
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = workers_[i];
+    if (worker.pid < 0) continue;
+    int status = 0;
+    pid_t reaped = -1;
+    // EOF-driven exit is prompt; poll briefly before escalating so a
+    // wedged worker cannot hang the orchestrator.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      reaped = ::waitpid(worker.pid, &status, WNOHANG);
+      if (reaped != 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (reaped == 0) {
+      ::kill(worker.pid, SIGKILL);
+      reaped = ::waitpid(worker.pid, &status, 0);
+    }
+    if (reaped < 0) {
+      if (first_failure.ok()) {
+        first_failure = Status::error(
+            "advm.exec-worker-failed",
+            "serve worker " + std::to_string(i) + ": waitpid failed (" +
+                std::strerror(errno) + ")");
+      }
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      if (first_failure.ok()) {
+        std::string message = "serve worker " + std::to_string(i) +
+                              (WIFEXITED(status)
+                                   ? ": exit code " +
+                                         std::to_string(WEXITSTATUS(status))
+                                   : ": killed by signal");
+        const std::string tail = stderr_tail(worker.stderr_path);
+        if (!tail.empty()) message += " [worker stderr: " + tail + "]";
+        first_failure =
+            Status::error("advm.exec-worker-failed", std::move(message));
+      }
+    }
+    worker.pid = -1;
+  }
+  workers_.clear();
+  return first_failure;
+}
+
+Status write_slice_file(const std::string& path, const WorkerSlice& slice) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << to_json(slice) << "\n";
+  // close() flushes; only then does the stream state reflect whether the
+  // bytes actually landed (a full disk truncates silently before that).
+  out.close();
+  if (!out.good()) {
+    return Status::error("advm.exec-spawn-failed",
+                         "cannot write slice file " + path);
+  }
+  return {};
+}
+
+int run_oneshot_worker(const std::string& exe, const std::string& slice_path,
+                       const std::string& stdout_path,
+                       const std::string& stderr_path, std::string* error) {
+  FileActions fa;
+  posix_spawn_file_actions_addopen(&fa.actions, 0, "/dev/null", O_RDONLY,
+                                   0);
+  posix_spawn_file_actions_addopen(&fa.actions, 1, stdout_path.c_str(),
+                                   O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  posix_spawn_file_actions_addopen(&fa.actions, 2, stderr_path.c_str(),
+                                   O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  pid_t pid = -1;
+  const int rc =
+      spawn_process(exe, {"worker", "--slice", slice_path}, &fa.actions,
+                    &pid);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = std::string("posix_spawn ") + exe + ": " + std::strerror(rc);
+    }
+    return -1;
+  }
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped < 0) {
+    if (error != nullptr) {
+      *error = std::string("waitpid: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  // Only a real wait status goes through the WIFEXITED decoders.
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::size_t divide_jobs(std::size_t jobs, std::size_t workers) {
+  if (workers == 0) workers = 1;
+  std::size_t total = jobs == 0
+                          ? static_cast<std::size_t>(
+                                std::thread::hardware_concurrency())
+                          : jobs;
+  if (total == 0) total = 1;
+  return std::max<std::size_t>(1, total / workers);
+}
+
+}  // namespace advm::core::exec

@@ -1,0 +1,103 @@
+// Persistent worker pool — the process-management substrate of the
+// process execution backend.
+//
+// A WorkerPool posix_spawn(3)s N long-lived `advm worker --serve`
+// processes once per orchestration (argv vector, no shell — paths never
+// pass through quoting) and speaks the line-delimited JSON serve
+// protocol (workplan.h, ServeRequest) over each worker's stdin/stdout
+// pipes. One request is outstanding per worker at a time, so a
+// write-request/read-response round trip can never deadlock on pipe
+// buffers. stderr goes to a per-worker file in the scratch directory for
+// post-mortem diagnostics.
+//
+// Shutdown is EOF-driven: closing a worker's stdin makes its serve loop
+// exit 0; the pool then waitpid(2)s every child. A worker that survives
+// a grace period after EOF is killed rather than wedging the
+// orchestrator.
+//
+// The same file also hosts the one-shot spawn helper (`advm worker
+// --slice <file>` with redirected stdout/stderr) the corpus path uses —
+// the piece that retired the std::system string-quoting spawn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advm/exec/workplan.h"
+#include "advm/session.h"
+
+namespace advm::core::exec {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool() { shutdown(); }
+
+  /// Spawns `count` `exe worker --serve` processes. Per-worker stderr
+  /// lands in `scratch` as serve-<i>.err.txt. On failure the pool is left
+  /// empty (already-spawned workers are reaped).
+  [[nodiscard]] Status spawn(const std::string& exe,
+                             const std::string& scratch, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Writes one request line to worker `i` and reads one response line
+  /// into `response`. Not synchronized: callers drive each worker from
+  /// one thread at a time (the dispatch loop owns worker i). A typed
+  /// Status — with the tail of the worker's stderr folded in — when the
+  /// pipe breaks or the worker exits mid-request.
+  [[nodiscard]] Status roundtrip(std::size_t i, const std::string& request,
+                                 std::string* response);
+
+  /// Closes every worker's stdin (EOF = shutdown) and reaps the
+  /// processes, escalating to SIGKILL for a worker that ignores EOF.
+  /// Returns the first nonzero exit diagnostic, or OK. Idempotent.
+  Status shutdown();
+
+  /// Path of worker `i`'s stderr capture file.
+  [[nodiscard]] const std::string& stderr_path(std::size_t i) const {
+    return workers_[i].stderr_path;
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int stdin_fd = -1;
+    int stdout_fd = -1;
+    std::string stderr_path;
+    std::string read_buffer;  ///< bytes read past the last returned line
+  };
+
+  std::vector<Worker> workers_;
+};
+
+/// Writes `slice` as a JSON slice file at `path`, closing (and therefore
+/// flushing) before the stream state is checked — a full disk truncating
+/// the file must surface here as a typed Status, not later as a worker
+/// parse error.
+[[nodiscard]] Status write_slice_file(const std::string& path,
+                                      const WorkerSlice& slice);
+
+/// Spawns `exe worker --slice <slice_path>` with stdout/stderr redirected
+/// to the given files and waits for it. Returns the child's exit code, or
+/// -1 — with a diagnostic in `error` — when spawning or waiting itself
+/// failed (a wait status is only decoded via WIFEXITED when waitpid
+/// actually produced one).
+[[nodiscard]] int run_oneshot_worker(const std::string& exe,
+                                     const std::string& slice_path,
+                                     const std::string& stdout_path,
+                                     const std::string& stderr_path,
+                                     std::string* error);
+
+/// Effective per-worker pool size when `jobs` (0 = one per hardware
+/// thread) is divided across `workers` live worker processes:
+/// ⌊jobs/workers⌋ floored at 1, so the pool-wide total is at most
+/// max(jobs, workers) — never the old jobs×workers — and a worker is
+/// never handed a zero-thread pool. (With more shards than jobs the
+/// floor wins: the user's explicit --shards bounds the excess.)
+[[nodiscard]] std::size_t divide_jobs(std::size_t jobs, std::size_t workers);
+
+}  // namespace advm::core::exec

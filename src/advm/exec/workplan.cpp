@@ -215,4 +215,103 @@ std::optional<WorkerSlice> parse_worker_slice(std::string_view text,
   return slice;
 }
 
+std::string to_json(const ServeRequest& request) {
+  std::ostringstream os;
+  switch (request.kind) {
+    case ServeRequest::Kind::Init:
+      os << "{\"cmd\":\"init\",\"tree_dir\":\""
+         << json_escape(request.tree_dir) << "\",\"jobs\":" << request.jobs
+         << ",\"cache_dir\":\"" << json_escape(request.cache_dir)
+         << "\",\"cache_max_bytes\":" << request.cache_max_bytes << "}";
+      break;
+    case ServeRequest::Kind::Run:
+      os << "{\"cmd\":\"run\",\"max_instructions\":"
+         << request.max_instructions << ",\"cells\":[";
+      for (std::size_t i = 0; i < request.cells.size(); ++i) {
+        const PlannedCell& cell = request.cells[i];
+        if (i != 0) os << ",";
+        os << "{\"index\":" << cell.index << ",\"derivative\":\""
+           << json_escape(cell.derivative) << "\",\"platform\":\""
+           << json_escape(cell.platform) << "\"}";
+      }
+      os << "]}";
+      break;
+    case ServeRequest::Kind::Shutdown:
+      os << "{\"cmd\":\"shutdown\"}";
+      break;
+  }
+  return os.str();
+}
+
+std::optional<ServeRequest> parse_serve_request(std::string_view text,
+                                                std::string* error) {
+  const auto fail = [error](std::string what) -> std::optional<ServeRequest> {
+    if (error != nullptr) *error = std::move(what);
+    return std::nullopt;
+  };
+
+  auto doc = support::json::parse(text, error);
+  if (!doc) return std::nullopt;
+  if (!doc->is_object()) return fail("serve request is not a JSON object");
+
+  ServeRequest request;
+  const auto* cmd = doc->find("cmd");
+  const auto cmd_name = cmd ? cmd->as_string() : std::nullopt;
+  if (!cmd_name) return fail("missing serve command");
+  if (*cmd_name == "init") {
+    request.kind = ServeRequest::Kind::Init;
+  } else if (*cmd_name == "run") {
+    request.kind = ServeRequest::Kind::Run;
+  } else if (*cmd_name == "shutdown") {
+    request.kind = ServeRequest::Kind::Shutdown;
+  } else {
+    return fail("unknown serve command '" + *cmd_name + "'");
+  }
+
+  const auto string_field = [&](const char* key, std::string& out) {
+    const auto* value = doc->find(key);
+    const auto text_value = value ? value->as_string() : std::nullopt;
+    if (text_value) out = *text_value;
+  };
+  const auto uint_field = [&](const char* key, auto& out) {
+    const auto* value = doc->find(key);
+    const auto number = value ? value->as_uint64() : std::nullopt;
+    if (number) out = static_cast<std::decay_t<decltype(out)>>(*number);
+  };
+
+  if (request.kind == ServeRequest::Kind::Init) {
+    string_field("tree_dir", request.tree_dir);
+    uint_field("jobs", request.jobs);
+    string_field("cache_dir", request.cache_dir);
+    uint_field("cache_max_bytes", request.cache_max_bytes);
+    if (request.tree_dir.empty()) return fail("init without tree_dir");
+    return request;
+  }
+  if (request.kind == ServeRequest::Kind::Shutdown) return request;
+
+  uint_field("max_instructions", request.max_instructions);
+  if (const auto* cells = doc->find("cells"); cells && cells->is_array()) {
+    for (const auto& item : cells->items) {
+      PlannedCell cell;
+      const auto* index = item.find("index");
+      const auto* derivative = item.find("derivative");
+      const auto* platform = item.find("platform");
+      const auto index_value = index ? index->as_uint64() : std::nullopt;
+      const auto derivative_name =
+          derivative ? derivative->as_string() : std::nullopt;
+      const auto platform_name =
+          platform ? platform->as_string() : std::nullopt;
+      if (!index_value || !derivative_name || !platform_name) {
+        return fail("malformed cell in run request");
+      }
+      cell.index = static_cast<std::size_t>(*index_value);
+      cell.derivative = *derivative_name;
+      cell.platform = *platform_name;
+      request.cells.push_back(std::move(cell));
+    }
+  }
+  if (request.cells.empty()) return fail("run request has no cells");
+  return request;
+}
+
 }  // namespace advm::core::exec

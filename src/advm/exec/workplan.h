@@ -110,4 +110,39 @@ struct WorkerSlice {
 [[nodiscard]] std::optional<WorkerSlice> parse_worker_slice(
     std::string_view text, std::string* error = nullptr);
 
+// ------------------------------------------------- worker serve protocol --
+
+/// One request line of the `advm worker --serve` protocol: the
+/// orchestrator writes a single-line JSON request on the worker's stdin
+/// and reads a single-line JSON response from its stdout.
+///
+///   Init     — construct the worker's Session (jobs, cache) and import
+///              the exported tree; sent once per worker, before any Run.
+///   Run      — execute the listed cells on the resident Session and
+///              answer with the same {"ok":true,...,"cells":[...]} shard
+///              document the one-shot --slice verb emits.
+///   Shutdown — acknowledge and exit 0 (closing the worker's stdin is an
+///              equivalent, acknowledged-by-exit shutdown).
+struct ServeRequest {
+  enum class Kind : std::uint8_t { Init, Run, Shutdown };
+  Kind kind = Kind::Run;
+  // Init payload.
+  std::string tree_dir;
+  std::size_t jobs = 1;
+  std::string cache_dir;
+  std::uint64_t cache_max_bytes = 0;
+  // Run payload.
+  std::uint64_t max_instructions = 2'000'000;
+  std::vector<PlannedCell> cells;
+};
+
+/// Single-line JSON rendering of a serve request (the wire format — never
+/// contains a raw newline).
+[[nodiscard]] std::string to_json(const ServeRequest& request);
+
+/// Parses one request line. nullopt (with a diagnostic in `error` when
+/// non-null) on malformed JSON, unknown commands, or a Run without cells.
+[[nodiscard]] std::optional<ServeRequest> parse_serve_request(
+    std::string_view text, std::string* error = nullptr);
+
 }  // namespace advm::core::exec

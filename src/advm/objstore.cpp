@@ -290,23 +290,35 @@ bool PersistentObjectStore::store(std::uint64_t key,
   // Renaming over an existing entry replaces it: account the delta, not
   // the sum. Only once the lazy scan has grounded the counter — before
   // that, the first disk_bytes() scan will see this file anyway.
-  const std::uintmax_t replaced = fs::exists(target, ec)
-                                      ? fs::file_size(target, ec)
-                                      : 0;
-  const std::uint64_t old_size = ec ? 0 : replaced;
+  std::error_code exists_ec;
+  const bool existed = fs::exists(target, exists_ec);
+  std::error_code size_ec;
+  const std::uintmax_t replaced =
+      (!exists_ec && existed) ? fs::file_size(target, size_ec) : 0;
+  const bool replaced_known = !exists_ec && (!existed || !size_ec);
   fs::rename(tmp, target, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return false;
   }
   if (scanned_.load(std::memory_order_acquire)) {
-    bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
-    // Saturating subtract: the counter is advisory (trim_to re-grounds
-    // it), but it must never wrap.
-    std::uint64_t current = bytes_.load(std::memory_order_relaxed);
-    while (!bytes_.compare_exchange_weak(
-        current, current > old_size ? current - old_size : 0,
-        std::memory_order_relaxed)) {
+    if (!replaced_known) {
+      // The replaced entry's size is unknowable (file_size errored), so
+      // the delta is too: adding the new size with a replaced size of 0
+      // would drift the advisory counter upward on every such store.
+      // Drop the incremental total and let the next disk_bytes() call
+      // re-ground it with a fresh scan instead.
+      scanned_.store(false, std::memory_order_release);
+    } else {
+      const std::uint64_t old_size = replaced;
+      bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+      // Saturating subtract: the counter is advisory (trim_to re-grounds
+      // it), but it must never wrap.
+      std::uint64_t current = bytes_.load(std::memory_order_relaxed);
+      while (!bytes_.compare_exchange_weak(
+          current, current > old_size ? current - old_size : 0,
+          std::memory_order_relaxed)) {
+      }
     }
   }
   return true;

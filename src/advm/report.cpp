@@ -329,6 +329,21 @@ std::string to_json(const MatrixResult& result) {
   os << "{\"ok\":true,\"verb\":\"matrix\",\"backend\":";
   append_quoted(os, result.backend);
   os << ",\"shards\":" << result.shards;
+  // Pool bookkeeping exists only on the process backend; thread-backend
+  // documents keep their historical shape (and golden bytes).
+  if (!result.workers.empty()) {
+    os << ",\"jobs_per_worker\":" << result.jobs_per_worker;
+    os << ",\"worker_reuse\":" << result.worker_reuse();
+    os << ",\"workers\":[";
+    for (std::size_t i = 0; i < result.workers.size(); ++i) {
+      const MatrixWorkerStats& worker = result.workers[i];
+      if (i != 0) os << ",";
+      os << "{\"worker\":" << worker.worker
+         << ",\"requests\":" << worker.requests
+         << ",\"cells\":" << worker.cells << "}";
+    }
+    os << "]";
+  }
   os << ",\"cells\":[";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {
     if (i != 0) os << ",";

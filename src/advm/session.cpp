@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "advm/exec/backend.h"
+#include "advm/exec/workerpool.h"
 #include "advm/exec/workplan.h"
 #include "advm/random_globals.h"
 #include "soc/derivative.h"
@@ -30,6 +31,14 @@ bool MatrixResult::all_passed() const {
     if (!cell.all_passed()) return false;
   }
   return true;
+}
+
+std::size_t MatrixResult::worker_reuse() const {
+  std::size_t reuse = 0;
+  for (const MatrixWorkerStats& worker : workers) {
+    if (worker.requests > 1) reuse += worker.requests - 1;
+  }
+  return reuse;
 }
 
 namespace {
@@ -236,7 +245,11 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
     process_config.scratch_dir = config_.scratch_dir;
     process_config.cache_dir = config_.cache_dir;
     process_config.cache_max_bytes = config_.cache_max_bytes;
-    process_config.jobs_per_worker = config_.jobs;
+    // The --jobs budget is the whole session's, not each worker's:
+    // divide it across the live workers so `--shards S --jobs N` never
+    // oversubscribes N×S threads.
+    process_config.jobs_per_worker =
+        exec::divide_jobs(config_.jobs, plan.slices.size());
     backend =
         std::make_unique<exec::ProcessBackend>(vfs_, process_config);
   } else {
@@ -248,7 +261,15 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
   exec::MatrixExecution execution = backend->run_matrix(plan);
   result.status = std::move(execution.status);
   result.cells = std::move(execution.cells);
-  if (!result.status.ok()) result.cells.clear();
+  result.jobs_per_worker = execution.jobs_per_worker;
+  result.workers.reserve(execution.workers.size());
+  for (const exec::WorkerDispatchStats& worker : execution.workers) {
+    result.workers.push_back({worker.worker, worker.requests, worker.cells});
+  }
+  if (!result.status.ok()) {
+    result.cells.clear();
+    result.workers.clear();
+  }
   return result;
 }
 

@@ -104,13 +104,30 @@ struct MatrixRequest {
   std::uint64_t max_instructions = 2'000'000;
 };
 
+/// Per-worker dispatch counters of a pooled process-backend matrix run
+/// (mirrors exec::WorkerDispatchStats without pulling exec headers into
+/// the request surface).
+struct MatrixWorkerStats {
+  std::size_t worker = 0;
+  std::size_t requests = 0;  ///< serve Run round trips this worker served
+  std::size_t cells = 0;     ///< cells executed across those requests
+};
+
 struct MatrixResult {
   Status status;
   std::vector<RegressionReport> cells;  ///< derivative-major order
   std::string backend = "thread";  ///< execution backend that ran the cube
   std::size_t shards = 1;          ///< work-plan slices actually used
+  /// Pooled process backend only: per-worker dispatch counters (empty on
+  /// the thread backend) and the effective per-worker pool size after the
+  /// session's --jobs budget is divided across live workers.
+  std::vector<MatrixWorkerStats> workers;
+  std::size_t jobs_per_worker = 0;
 
   [[nodiscard]] bool all_passed() const;
+  /// Requests served beyond each worker's first — the spawn-amortization
+  /// the persistent pool exists for. 0 means every worker ran one slice.
+  [[nodiscard]] std::size_t worker_reuse() const;
 };
 
 /// `port`: retarget the tree in place to another derivative (abstraction

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "advm/exec/backend.h"
+#include "advm/exec/workerpool.h"
 #include "advm/exec/workplan.h"
 #include "advm/report.h"
 #include "advm/session.h"
@@ -177,6 +178,49 @@ TEST(WorkerSliceProtocol, MalformedSlicesAreRejectedWithADiagnostic) {
                    .has_value());
 }
 
+TEST(WorkerSliceProtocol, ServeRequestsRoundTripThroughJson) {
+  exec::ServeRequest init;
+  init.kind = exec::ServeRequest::Kind::Init;
+  init.tree_dir = "/tmp/tree with space";
+  init.jobs = 3;
+  init.cache_dir = "/tmp/cache";
+  init.cache_max_bytes = 1u << 20;
+  auto parsed = exec::parse_serve_request(exec::to_json(init));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, exec::ServeRequest::Kind::Init);
+  EXPECT_EQ(parsed->tree_dir, init.tree_dir);
+  EXPECT_EQ(parsed->jobs, 3u);
+  EXPECT_EQ(parsed->cache_dir, "/tmp/cache");
+  EXPECT_EQ(parsed->cache_max_bytes, 1u << 20);
+
+  exec::ServeRequest run;
+  run.kind = exec::ServeRequest::Kind::Run;
+  run.max_instructions = 777;
+  run.cells = {{4, "SC88-B", "hdl-rtl"}};
+  // The wire format is line-delimited: a request must never span lines.
+  EXPECT_EQ(exec::to_json(run).find('\n'), std::string::npos);
+  parsed = exec::parse_serve_request(exec::to_json(run));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, exec::ServeRequest::Kind::Run);
+  EXPECT_EQ(parsed->max_instructions, 777u);
+  ASSERT_EQ(parsed->cells.size(), 1u);
+  EXPECT_EQ(parsed->cells[0].index, 4u);
+
+  parsed = exec::parse_serve_request(R"({"cmd":"shutdown"})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, exec::ServeRequest::Kind::Shutdown);
+
+  std::string error;
+  EXPECT_FALSE(
+      exec::parse_serve_request(R"({"cmd":"dance"})", &error).has_value());
+  EXPECT_NE(error.find("dance"), std::string::npos);
+  EXPECT_FALSE(exec::parse_serve_request(R"({"cmd":"run","cells":[]})",
+                                         &error)
+                   .has_value());
+  EXPECT_FALSE(
+      exec::parse_serve_request(R"({"cmd":"init"})", &error).has_value());
+}
+
 TEST(ReportJson, ReportRoundTripsThroughJsonWithDigestIntact) {
   Session session;
   ASSERT_TRUE(build_small_system(session).status.ok());
@@ -312,6 +356,200 @@ TEST(ExecutionBackend, MissingWorkerBinaryIsATypedExecError) {
   MatrixResult result = session.run(small_cube());
   EXPECT_EQ(result.status.code, "advm.exec-spawn-failed");
   EXPECT_TRUE(result.cells.empty());
+}
+
+// ------------------------------------------------------ merge hardening ----
+
+/// A structurally valid one-record report for embedding in crafted shard
+/// documents.
+std::string tiny_report_json() {
+  RegressionReport report;
+  report.derivative = "SC88-A";
+  report.platform = sim::PlatformKind::GoldenModel;
+  TestRunRecord record;
+  record.environment = "MEM_MODULE";
+  record.test_id = "TEST_MEMORY_000";
+  record.build_ok = true;
+  record.verdict = soc::Verdict::Pass;
+  record.stop = sim::StopReason::Halted;
+  record.instructions = 10;
+  record.cycles = 10;
+  record.state_digest = 0x1234;
+  record.modeled_seconds = 1e-6;
+  report.records.push_back(std::move(record));
+  return report_to_json(report);
+}
+
+std::string shard_document(const std::vector<std::size_t>& indices) {
+  std::ostringstream os;
+  os << R"({"ok":true,"verb":"worker","kind":"matrix","cells":[)";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"index\":" << indices[i] << ",\"report\":"
+       << tiny_report_json() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+TEST(MergeShardReport, PositionsEveryExpectedCell) {
+  std::vector<RegressionReport> cells(4);
+  std::vector<bool> filled(4, false);
+  const Status status =
+      exec::merge_shard_report(shard_document({1, 3}), {1, 3}, cells,
+                               filled);
+  EXPECT_TRUE(status.ok()) << status.message;
+  EXPECT_FALSE(filled[0]);
+  EXPECT_TRUE(filled[1]);
+  EXPECT_TRUE(filled[3]);
+  EXPECT_EQ(cells[3].derivative, "SC88-A");
+}
+
+TEST(MergeShardReport, RejectsADuplicateIndexInsteadOfOverwriting) {
+  std::vector<RegressionReport> cells(4);
+  std::vector<bool> filled(4, false);
+  // Same index twice in one document.
+  Status status =
+      exec::merge_shard_report(shard_document({2, 2}), {2}, cells, filled);
+  EXPECT_EQ(status.code, "advm.exec-worker-failed");
+  EXPECT_NE(status.message.find("duplicate"), std::string::npos);
+
+  // Already filled by an earlier shard.
+  filled.assign(4, false);
+  cells.assign(4, RegressionReport{});
+  ASSERT_TRUE(exec::merge_shard_report(shard_document({2}), {2}, cells,
+                                       filled)
+                  .ok());
+  cells[2].derivative = "EARLIER-SHARD";
+  status =
+      exec::merge_shard_report(shard_document({2}), {2}, cells, filled);
+  EXPECT_EQ(status.code, "advm.exec-worker-failed");
+  // The earlier shard's report survives untouched.
+  EXPECT_EQ(cells[2].derivative, "EARLIER-SHARD");
+}
+
+TEST(MergeShardReport, RejectsForeignAndOutOfRangeIndices) {
+  std::vector<RegressionReport> cells(4);
+  std::vector<bool> filled(4, false);
+  // In range, but assigned to a different shard.
+  Status status =
+      exec::merge_shard_report(shard_document({0}), {1, 3}, cells, filled);
+  EXPECT_EQ(status.code, "advm.exec-worker-failed");
+  EXPECT_NE(status.message.find("not assigned"), std::string::npos);
+  EXPECT_FALSE(filled[0]);
+
+  // Outside the plan entirely.
+  status =
+      exec::merge_shard_report(shard_document({7}), {1}, cells, filled);
+  EXPECT_EQ(status.code, "advm.exec-worker-failed");
+  EXPECT_NE(status.message.find("outside the plan"), std::string::npos);
+}
+
+TEST(MergeShardReport, RejectsAnIncompleteShard) {
+  std::vector<RegressionReport> cells(4);
+  std::vector<bool> filled(4, false);
+  const Status status =
+      exec::merge_shard_report(shard_document({1}), {1, 3}, cells, filled);
+  EXPECT_EQ(status.code, "advm.exec-worker-failed");
+  EXPECT_NE(status.message.find("1 of 2"), std::string::npos);
+}
+
+TEST(MergeShardReport, SurfacesAWorkerErrorDocument) {
+  std::vector<RegressionReport> cells(1);
+  std::vector<bool> filled(1, false);
+  const Status status = exec::merge_shard_report(
+      R"({"ok":false,"verb":"worker","error":{"code":"advm.import-failed",)"
+      R"("message":"tree vanished"}})",
+      {0}, cells, filled);
+  EXPECT_EQ(status.code, "advm.exec-worker-failed");
+  EXPECT_NE(status.message.find("tree vanished"), std::string::npos);
+}
+
+// --------------------------------------------------- spawn-path hardening --
+
+TEST(WorkerSpawn, SliceWriteFailureIsATypedStatusNotAWorkerParseError) {
+  exec::WorkerSlice slice;
+  slice.kind = exec::WorkerSlice::Kind::Matrix;
+  slice.tree_dir = "/tmp/tree";
+  slice.cells = {{0, "SC88-A", "golden-model"}};
+  const Status status = exec::write_slice_file(
+      "/nonexistent-advm-dir/shard-0.slice.json", slice);
+  EXPECT_EQ(status.code, "advm.exec-spawn-failed");
+  EXPECT_NE(status.message.find("cannot write slice file"),
+            std::string::npos);
+
+  ScratchDir scratch("slice_write");
+  EXPECT_TRUE(
+      exec::write_slice_file(scratch.path() + "/ok.slice.json", slice)
+          .ok());
+}
+
+TEST(WorkerSpawn, OneshotSpawnFailureReportsInsteadOfDecodingGarbage) {
+  ScratchDir scratch("oneshot_spawn");
+  std::string error;
+  const int exit_code = exec::run_oneshot_worker(
+      "/nonexistent/advm-worker-binary", scratch.path() + "/s.json",
+      scratch.path() + "/out.json", scratch.path() + "/err.txt", &error);
+  EXPECT_EQ(exit_code, -1);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WorkerPool, DivideJobsNeverOversubscribesAndNeverStarves) {
+  EXPECT_EQ(exec::divide_jobs(8, 4), 2u);
+  EXPECT_EQ(exec::divide_jobs(8, 2), 4u);
+  // Fewer jobs than workers: every worker still gets one thread.
+  EXPECT_EQ(exec::divide_jobs(3, 4), 1u);
+  EXPECT_EQ(exec::divide_jobs(1, 8), 1u);
+  // jobs=0 = one per hardware thread, divided across workers.
+  EXPECT_GE(exec::divide_jobs(0, 2), 1u);
+  EXPECT_EQ(exec::divide_jobs(4, 0), 4u);
+}
+
+// --------------------------------------------------------- pooled workers --
+
+TEST(WorkerPool, TwoWorkersServeEightCellsWithReuseAndThreadParity) {
+  Session thread_session;
+  ASSERT_TRUE(build_small_system(thread_session).status.ok());
+
+  MatrixRequest cube;
+  cube.derivatives = {"SC88-A", "SC88-B", "SC88-C", "SC88-D"};
+  cube.platforms = {"golden-model", "hdl-rtl"};
+  MatrixResult thread_result = thread_session.run(cube);
+  ASSERT_TRUE(thread_result.status.ok());
+  EXPECT_TRUE(thread_result.workers.empty());
+  EXPECT_EQ(thread_result.worker_reuse(), 0u);
+
+  SessionConfig config;
+  config.backend = ExecBackendKind::Process;
+  config.shards = 2;
+  config.jobs = 4;
+  config.worker_exe = ADVM_CLI_PATH;
+  Session pool_session(std::move(config));
+  ASSERT_TRUE(build_small_system(pool_session).status.ok());
+  MatrixResult pooled = pool_session.run(cube);
+  ASSERT_TRUE(pooled.status.ok()) << pooled.status.message;
+
+  ASSERT_EQ(pooled.cells.size(), 8u);
+  // Two workers spawned once for the whole lap, each seeded with one
+  // cell and pulling the rest dynamically: every worker serves at least
+  // one request and the 8 single-cell requests amortize the 2 spawns.
+  ASSERT_EQ(pooled.workers.size(), 2u);
+  std::size_t total_requests = 0;
+  std::size_t total_cells = 0;
+  for (const MatrixWorkerStats& worker : pooled.workers) {
+    EXPECT_GE(worker.requests, 1u) << "worker " << worker.worker
+                                   << " never served a request";
+    total_requests += worker.requests;
+    total_cells += worker.cells;
+  }
+  EXPECT_EQ(total_cells, 8u);
+  EXPECT_EQ(total_requests, 8u);
+  EXPECT_EQ(pooled.worker_reuse(), 6u);
+  // --jobs 4 across 2 live workers: 2 threads each, never 4×2.
+  EXPECT_EQ(pooled.jobs_per_worker, 2u);
+
+  // The determinism contract is unchanged by pooling.
+  EXPECT_EQ(rollup_to_json(pooled), rollup_to_json(thread_result));
 }
 
 TEST(ExecutionBackend, CorpusWorkersGenerateTheTreeTheThreadPathBuilds) {

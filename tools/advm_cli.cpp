@@ -19,8 +19,13 @@
 //                                                        verify + regression
 //   advm random <dir> --seed K [--derivative D]          random Globals.inc
 //   advm worker --slice <file>                           execute one work-plan
-//                                                        slice (spawned by the
-//                                                        process backend)
+//                                                        slice (one-shot; used
+//                                                        by sharded init)
+//   advm worker --serve                                  persistent worker:
+//                                                        line-delimited JSON
+//                                                        requests on stdin
+//                                                        (spawned as a pool by
+//                                                        the process backend)
 //
 // Every verb is the same thin adapter: parse arguments into a typed
 // request, run it on one advm::Session (which owns the VFS, object cache,
@@ -49,6 +54,7 @@
 #include <vector>
 
 #include "advm/exec/backend.h"
+#include "advm/exec/workerpool.h"
 #include "advm/exec/workplan.h"
 #include "advm/report.h"
 #include "advm/session.h"
@@ -233,7 +239,8 @@ int init_with_process_backend(const Args& args, Session& session,
   const exec::CorpusPlan plan =
       exec::plan_corpus(request, session.config().shards);
   exec::ProcessBackendConfig process_config;
-  process_config.jobs_per_worker = session.config().jobs;
+  process_config.jobs_per_worker =
+      exec::divide_jobs(session.config().jobs, plan.slices.size());
   if (Status status =
           exec::generate_corpus_with_workers(plan, args.dir, process_config);
       !status.ok()) {
@@ -465,12 +472,113 @@ int cmd_random(const Args& args) {
   return 0;
 }
 
-/// `advm worker --slice <file>` — the shard protocol endpoint the process
-/// execution backend spawns. Output is always a JSON document on stdout
+/// Runs the planned cells on a resident session and renders the matrix
+/// shard document ({"ok":true,"verb":"worker","kind":"matrix","cells":
+/// [{"index":N,"report":{...}}]}) — the response shape shared by the
+/// one-shot --slice verb and the --serve Run command. nullopt (with the
+/// failing Status in `error`) when a cell request fails.
+std::optional<std::string> run_cells_document(
+    Session& session, const std::vector<exec::PlannedCell>& cells,
+    std::uint64_t max_instructions, Status* error) {
+  std::ostringstream os;
+  os << "{\"ok\":true,\"verb\":\"worker\",\"kind\":\"matrix\",\"cells\":[";
+  bool first = true;
+  for (const exec::PlannedCell& cell : cells) {
+    RunRequest request;
+    request.root = kVfsRoot;
+    request.derivative = cell.derivative;
+    request.platform = cell.platform;
+    request.max_instructions = max_instructions;
+    RunResult result = session.run(request);
+    if (!result.status.ok()) {
+      *error = result.status;
+      return std::nullopt;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "{\"index\":" << cell.index
+       << ",\"report\":" << report_to_json(result.report) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// `advm worker --serve` — the persistent-pool protocol endpoint. Reads
+/// line-delimited JSON serve requests (exec::ServeRequest) from stdin and
+/// answers each with a single-line JSON document on stdout: an Init
+/// constructs the resident Session and imports the exported tree, every
+/// Run executes its cells on that same session (warm cache, warm board
+/// pool — spawn and import are paid once per worker, not per slice), a
+/// Shutdown (or EOF on stdin) exits 0. A malformed request or a failed
+/// Run answers with the shared error document; the worker stays resident
+/// and lets the orchestrator decide.
+int cmd_worker_serve() {
+  const auto respond = [](const std::string& line) {
+    std::cout << line << "\n" << std::flush;
+  };
+  std::unique_ptr<Session> session;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string parse_error;
+    const auto request = exec::parse_serve_request(line, &parse_error);
+    if (!request) {
+      respond(error_to_json(
+          "worker", Status::error("advm.bad-serve-request", parse_error)));
+      continue;
+    }
+    switch (request->kind) {
+      case exec::ServeRequest::Kind::Init: {
+        SessionConfig config;
+        config.jobs = request->jobs;
+        config.cache_dir = request->cache_dir;
+        config.cache_max_bytes = request->cache_max_bytes;
+        auto fresh = std::make_unique<Session>(std::move(config));
+        try {
+          support::import_from_disk(fresh->vfs(), request->tree_dir,
+                                    kVfsRoot);
+        } catch (const std::exception& e) {
+          respond(error_to_json(
+              "worker", Status::error("advm.import-failed", e.what())));
+          break;
+        }
+        session = std::move(fresh);
+        respond("{\"ok\":true,\"verb\":\"worker\",\"kind\":\"serve-init\"}");
+        break;
+      }
+      case exec::ServeRequest::Kind::Run: {
+        if (!session) {
+          respond(error_to_json(
+              "worker", Status::error("advm.bad-serve-request",
+                                      "run before init")));
+          break;
+        }
+        Status error;
+        const auto document = run_cells_document(
+            *session, request->cells, request->max_instructions, &error);
+        if (!document) {
+          respond(error_to_json("worker", error));
+          break;
+        }
+        respond(*document);
+        break;
+      }
+      case exec::ServeRequest::Kind::Shutdown:
+        respond("{\"ok\":true,\"verb\":\"worker\",\"kind\":\"shutdown\"}");
+        return 0;
+    }
+  }
+  return 0;  // EOF on stdin is the orchestrator's shutdown signal.
+}
+
+/// `advm worker --slice <file>` (one-shot, kept for the corpus path and
+/// back-compat) or `advm worker --serve` (persistent pool endpoint).
+/// Output is always a JSON document on stdout
 /// ({"ok":true,"verb":"worker",...} or the shared error document), exit
 /// code 0 when the slice executed (test failures live inside the
 /// reports), 2 when it could not.
 int cmd_worker(const Args& args) {
+  if (args.options.count("serve")) return cmd_worker_serve();
   const auto slice_option = args.options.find("slice");
   if (slice_option == args.options.end()) {
     std::cout << error_to_json(
@@ -514,27 +622,14 @@ int cmd_worker(const Args& args) {
                 << "\n";
       return 2;
     }
-    std::ostringstream os;
-    os << "{\"ok\":true,\"verb\":\"worker\",\"kind\":\"matrix\",\"cells\":[";
-    bool first = true;
-    for (const exec::PlannedCell& cell : slice->cells) {
-      RunRequest request;
-      request.root = kVfsRoot;
-      request.derivative = cell.derivative;
-      request.platform = cell.platform;
-      request.max_instructions = slice->max_instructions;
-      RunResult result = session.run(request);
-      if (!result.status.ok()) {
-        std::cout << error_to_json("worker", result.status) << "\n";
-        return 2;
-      }
-      if (!first) os << ",";
-      first = false;
-      os << "{\"index\":" << cell.index
-         << ",\"report\":" << report_to_json(result.report) << "}";
+    Status error;
+    const auto document = run_cells_document(
+        session, slice->cells, slice->max_instructions, &error);
+    if (!document) {
+      std::cout << error_to_json("worker", error) << "\n";
+      return 2;
     }
-    os << "]}";
-    std::cout << os.str() << "\n";
+    std::cout << *document << "\n";
     return 0;
   }
 
@@ -593,7 +688,7 @@ int usage() {
          "  advm release <dir> [--name R1] [--derivative D] [--platform P]"
          " [--jobs N]\n"
          "  advm random <dir> --seed K [--derivative D]\n"
-         "  advm worker --slice <file>\n"
+         "  advm worker --slice <file> | --serve\n"
          "options: --format json renders any verb's result as JSON\n";
   return 2;
 }

@@ -47,7 +47,7 @@ print("json contract ok: %d cells, %d records" %
       (len(doc["cells"]), sum(c["total"] for c in doc["cells"])))
 PY
 
-echo "==> shard-determinism gate (thread vs process backend on the e10 cube)"
+echo "==> shard-determinism gate (thread vs pooled process backend on the e10 cube)"
 rm -rf build/shard-env build/shard-cache
 ./build/tools/advm init build/shard-env --tests 2 > /dev/null
 SHARD_AXES="--derivatives SC88-A,SC88-B,SC88-C,SC88-D --platforms golden-model,hdl-rtl"
@@ -56,10 +56,10 @@ SHARD_AXES="--derivatives SC88-A,SC88-B,SC88-C,SC88-D --platforms golden-model,h
 ./build/tools/advm matrix build/shard-env $SHARD_AXES \
   --format json > build/shard-thread.json || true
 ./build/tools/advm matrix build/shard-env $SHARD_AXES \
-  --backend process --shards 4 --cache-dir build/shard-cache \
+  --backend process --shards 4 --jobs 8 --cache-dir build/shard-cache \
   --format json > build/shard-process.json || true
 ./build/tools/advm matrix build/shard-env $SHARD_AXES \
-  --backend process --shards 4 --cache-dir build/shard-cache \
+  --backend process --shards 4 --jobs 8 --cache-dir build/shard-cache \
   --format json > build/shard-process-warm.json || true
 python3 - build/shard-thread.json build/shard-process.json \
   build/shard-process-warm.json <<'PY'
@@ -75,8 +75,19 @@ digests = [c["outcome_digest"] for c in thread["rollup"]]
 assert digests == [c["outcome_digest"] for c in process["rollup"]]
 hits = sum(c["cache"]["persistent_hits"] for c in warm["cells"])
 assert hits > 0, "second cold-process run had no persistent-cache hits"
+# Pooled dispatch: 4 resident workers serve the 8-cell cube — every
+# worker sees at least one request, the 8 requests amortize the 4
+# spawns (reuse > 0), and --jobs 8 is divided 2-per-worker, never 8x4.
+workers = process["workers"]
+assert len(workers) == 4, workers
+assert all(w["requests"] >= 1 for w in workers), workers
+assert sum(w["cells"] for w in workers) == len(process["cells"]), workers
+assert process["worker_reuse"] > 0, process["worker_reuse"]
+assert process["jobs_per_worker"] == 2, process["jobs_per_worker"]
+assert "workers" not in thread, "thread backend must not report a pool"
 print("shard determinism ok: %d cells byte-identical across backends, "
-      "%d persistent-cache hits on the warm rerun" % (len(digests), hits))
+      "%d persistent-cache hits on the warm rerun, worker reuse %d" %
+      (len(digests), hits, process["worker_reuse"]))
 PY
 
 echo "==> -Werror hygiene build"
