@@ -14,6 +14,7 @@
 // The assembly cost of the cached arm is cell-count-independent: its
 // wall-clock grows only with the (cheap) link+run work, which is the whole
 // point of the two-phase pipeline.
+#include <algorithm>
 #include <filesystem>
 #include <iostream>
 
@@ -226,6 +227,61 @@ int main() {
       const double oneshot_ms = oneshot_watch.millis();
       backends.add_row("process-oneshot", thread_run.cells.size(),
                        oneshot_ms, oneshot_match ? "yes" : "NO");
+
+      // Cost-model laps over the skewed cube (the 8 cells differ in cost
+      // by construction: golden-model vs RTL platforms, ported vs
+      // un-ported derivatives). Three pooled laps share one cache dir:
+      // cold (no cost-model file yet — dispatch seeds from test counts
+      // and records every cell's measured wall-clock), warm (dispatch
+      // seeded cost-descending from the measurements; tiny cells may
+      // batch under the auto threshold), and warm with the threshold
+      // forced high enough that every cell batches. The digests column
+      // is the invariant: batching must never change the roll-up.
+      const std::filesystem::path cost_cache =
+          std::filesystem::temp_directory_path() /
+          "advm-bench-e10-costmodel";
+      std::filesystem::remove_all(cost_cache);
+      bench::Table costs({"lap", "cost source", "seeded cells",
+                          "batched reqs", "wall ms", "digests match"});
+      const auto cost_lap = [&](const char* name,
+                                std::size_t threshold_ms) -> double {
+        core::exec::ProcessBackendConfig lap_config = config;
+        lap_config.cache_dir = cost_cache.string();
+        lap_config.batch_threshold_ms = threshold_ms;
+        core::exec::ProcessBackend backend(vfs, lap_config);
+        bench::Stopwatch watch;
+        const auto run = backend.run_matrix(plan);
+        const double ms = watch.millis();
+        bool ok = run.status.ok() &&
+                  run.cells.size() == thread_run.cells.size();
+        if (ok) {
+          for (std::size_t i = 0; i < run.cells.size(); ++i) {
+            ok = ok && run.cells[i].outcome_digest() ==
+                           thread_run.cells[i].outcome_digest();
+          }
+        }
+        costs.add_row(name, run.cost_model.source,
+                      run.cost_model.seeded_cells, run.batched_requests,
+                      ms, ok ? "yes" : "NO");
+        return ms;
+      };
+      const double cold_ms = cost_lap(
+          "cold", core::exec::ProcessBackendConfig::kAutoBatchThreshold);
+      const double warm_ms = cost_lap(
+          "warm", core::exec::ProcessBackendConfig::kAutoBatchThreshold);
+      const double batch_ms = cost_lap("warm+batch-all", 1'000'000);
+      std::filesystem::remove_all(cost_cache);
+      costs.print();
+      bench::emit_json("e10_matrix", "cost-model", costs);
+      // Informational, not exit-gated: single-lap wall-clock on a small
+      // cube is noisy, and the byte-identity column above is the gate.
+      const double best_warm = std::min(warm_ms, batch_ms);
+      std::cout << "claim: a warm cost model never dispatches worse than "
+                   "the cold test-count order.\nmeasured: best warm lap "
+                << best_warm << " ms vs cold " << cold_ms << " ms ("
+                << (best_warm <= cold_ms ? "warm <= cold"
+                                         : "warm > cold (noise)")
+                << ")\n\n";
     } else {
       std::cout << "(advm CLI not built; skipping the process-backend "
                    "datapoint)\n";

@@ -15,11 +15,13 @@
 #include <thread>
 #include <utility>
 
+#include "advm/exec/costmodel.h"
 #include "advm/exec/workerpool.h"
 #include "advm/regression.h"
 #include "advm/report.h"
 #include "soc/derivative.h"
 #include "support/disk.h"
+#include "support/hash.h"
 #include "support/json.h"
 
 namespace advm::core::exec {
@@ -190,7 +192,8 @@ Status check_serve_ack(std::size_t worker, std::string_view response) {
 Status merge_shard_report(std::string_view document,
                           const std::vector<std::size_t>& expected,
                           std::vector<RegressionReport>& cells,
-                          std::vector<bool>& filled) {
+                          std::vector<bool>& filled,
+                          std::vector<double>* cell_millis) {
   const auto reject = [](std::string detail) {
     return Status::error("advm.exec-worker-failed", std::move(detail));
   };
@@ -229,6 +232,12 @@ Status merge_shard_report(std::string_view document,
     // order workers finish in is irrelevant.
     cells[cell_index] = std::move(*parsed);
     filled[cell_index] = true;
+    if (cell_millis != nullptr && cell_index < cell_millis->size()) {
+      const auto* micros = item.find("micros");
+      if (const auto value = micros ? micros->as_uint64() : std::nullopt) {
+        (*cell_millis)[cell_index] = static_cast<double>(*value) / 1000.0;
+      }
+    }
     ++merged;
   }
   if (merged != expected.size()) {
@@ -275,19 +284,38 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
     return execution;
   }
 
-  // Dispatch queue, ordered by estimated cost (descending, ties broken by
-  // planned index so dispatch order is deterministic). Every matrix cell
-  // runs the same discovered test set over the shared tree, so today the
-  // estimate — the tree's test-cell count — ties across cells and the
-  // order degenerates to plan order; the cost hook is where a
-  // heterogeneous-corpus planner weighs cells differently.
-  std::vector<std::uint64_t> cost(plan.cells.size(), 0);
-  {
-    std::uint64_t tests = 0;
-    for (const std::string& env : discover_environments(vfs_, plan.root)) {
-      tests += discover_tests(vfs_, env).size();
+  // Dispatch queue, ordered by estimated cost (descending, ties broken
+  // by planned index so dispatch order is deterministic). When the
+  // persistent cost model has a measured wall-clock estimate for every
+  // cell — a previous lap over the same tree digest recorded one — the
+  // measured estimates seed the order. Cold, the fallback is the tree's
+  // discovered test-cell count, which ties across cells of one tree and
+  // degenerates to plan order.
+  const std::string tree_digest =
+      support::hash_to_string(support::hash_tree(vfs_, plan.root));
+  CostModel model(config_.cache_dir);
+  model.load();
+  std::vector<double> estimate_ms(plan.cells.size(), -1.0);
+  for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+    if (const auto est = model.estimate(plan.cells[i].derivative,
+                                        plan.cells[i].platform,
+                                        tree_digest)) {
+      estimate_ms[i] = *est;
+      execution.cost_model.seeded_cells += 1;
     }
-    for (std::uint64_t& c : cost) c = tests;
+  }
+  const bool measured =
+      execution.cost_model.seeded_cells == plan.cells.size();
+  execution.cost_model.source = measured ? "measured" : "estimate";
+  std::vector<double> cost(plan.cells.size(), 0);
+  if (measured) {
+    cost = estimate_ms;
+  } else {
+    double tests = 0;
+    for (const std::string& env : discover_environments(vfs_, plan.root)) {
+      tests += static_cast<double>(discover_tests(vfs_, env).size());
+    }
+    for (double& c : cost) c = tests;
   }
   std::vector<std::size_t> order(plan.cells.size());
   std::iota(order.begin(), order.end(), 0);
@@ -299,15 +327,47 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
                      });
   }
 
-  // One resident worker per plan slice (min(shards, cells) — never more
-  // workers than cells, so the seeded first deal below covers everyone).
-  const std::size_t worker_count = plan.slices.size();
+  // Request groups, in dispatch order. Default: one cell per Run round
+  // trip. With a fully-measured model, cells estimated under the batch
+  // threshold are tiny — the protocol round trip rivals the work — so
+  // consecutive tiny cells pack into one multi-cell request, closing a
+  // batch once its summed estimate reaches the threshold or
+  // kMaxBatchCells. Cost order puts the tiny cells at the queue's tail,
+  // after the heavy cells that set the critical path.
+  const double threshold =
+      config_.batch_threshold_ms ==
+              ProcessBackendConfig::kAutoBatchThreshold
+          ? static_cast<double>(
+                ProcessBackendConfig::kDefaultBatchThresholdMs)
+          : static_cast<double>(config_.batch_threshold_ms);
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(order.size());
+  for (std::size_t at = 0; at < order.size();) {
+    std::vector<std::size_t> group{order[at++]};
+    if (measured && threshold > 0 && estimate_ms[group[0]] < threshold) {
+      double sum = estimate_ms[group[0]];
+      while (at < order.size() &&
+             group.size() < ProcessBackendConfig::kMaxBatchCells &&
+             sum < threshold && estimate_ms[order[at]] < threshold) {
+        sum += estimate_ms[order[at]];
+        group.push_back(order[at++]);
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+
+  // One resident worker per plan slice, but never more workers than
+  // request groups — the seeded first deal below must cover every live
+  // worker with at least one request.
+  const std::size_t worker_count =
+      std::min(plan.slices.size(), groups.size());
   WorkerPool pool;
   if (Status status = pool.spawn(exe, scratch.dir, worker_count);
       !status.ok()) {
     execution.status = std::move(status);
     return execution;
   }
+  pool.set_request_timeout_ms(config_.request_timeout_ms);
 
   ServeRequest init;
   init.kind = ServeRequest::Kind::Init;
@@ -324,11 +384,12 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
     execution.workers[i].worker = i;
   }
   std::vector<bool> filled(plan.cells.size(), false);
+  std::vector<double> measured_ms(plan.cells.size(), -1.0);
 
-  // Dynamic dispatch: worker w is seeded with the w-th cell in cost
-  // order (guaranteeing every live worker serves at least one request),
-  // then pulls from the shared cursor whenever it goes idle — a heavy
-  // cell occupies one worker while the others drain the rest.
+  // Dynamic dispatch: worker w is seeded with the w-th request group in
+  // cost order (guaranteeing every live worker serves at least one
+  // request), then pulls from the shared cursor whenever it goes idle —
+  // a heavy cell occupies one worker while the others drain the rest.
   std::atomic<std::size_t> cursor{worker_count};
   std::atomic<bool> abort{false};
   std::mutex merge_mutex;
@@ -353,14 +414,17 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
       fail(std::move(status));
       return;
     }
-    for (std::size_t next = w; next < order.size();
+    for (std::size_t next = w; next < groups.size();
          next = cursor.fetch_add(1, std::memory_order_relaxed)) {
       if (abort.load(std::memory_order_relaxed)) return;
-      const std::size_t cell_index = order[next];
+      const std::vector<std::size_t>& group = groups[next];
       ServeRequest run;
       run.kind = ServeRequest::Kind::Run;
       run.max_instructions = plan.max_instructions;
-      run.cells = {plan.cells[cell_index]};
+      run.cells.reserve(group.size());
+      for (const std::size_t cell_index : group) {
+        run.cells.push_back(plan.cells[cell_index]);
+      }
       if (Status status = pool.roundtrip(w, to_json(run), &response);
           !status.ok()) {
         fail(std::move(status));
@@ -368,8 +432,8 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
       }
       const std::lock_guard<std::mutex> lock(merge_mutex);
       if (Status status =
-              merge_shard_report(response, {cell_index}, execution.cells,
-                                 filled);
+              merge_shard_report(response, group, execution.cells,
+                                 filled, &measured_ms);
           !status.ok()) {
         if (failure.ok()) {
           failure = Status::error(
@@ -380,7 +444,8 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
         return;
       }
       execution.workers[w].requests += 1;
-      execution.workers[w].cells += 1;
+      execution.workers[w].cells += group.size();
+      if (group.size() > 1) execution.batched_requests += 1;
     }
   };
   std::vector<std::thread> drivers;
@@ -424,6 +489,16 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
       return execution;
     }
   }
+
+  // Feedback: a fully-successful run's measured wall-clocks become the
+  // next lap's seed order. Partial or failed runs record nothing —
+  // their timings are contaminated by the failure.
+  for (std::size_t i = 0; i < measured_ms.size(); ++i) {
+    if (measured_ms[i] < 0) continue;
+    model.record({plan.cells[i].derivative, plan.cells[i].platform,
+                  tree_digest, measured_ms[i]});
+  }
+  execution.cost_model.recorded = model.publish();
   return execution;
 }
 

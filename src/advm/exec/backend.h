@@ -11,10 +11,14 @@
 //    --serve` subprocesses (one per plan slice) against an exported copy
 //    of the tree, speaks the line-delimited JSON serve protocol over
 //    stdin/stdout pipes (src/advm/exec/workerpool.h), and dispatches
-//    cells *dynamically*: a shared queue ordered by estimated cost
-//    (discovered test-cell counts), each worker pulling its next cell
-//    when idle, so a heavy cell never serializes a lap behind a bad
-//    static deal. Each worker is a thin advm::Session resident across
+//    cells *dynamically*: a shared queue ordered by estimated cost —
+//    measured per-cell wall-clock from the persistent cost model
+//    (src/advm/exec/costmodel.h) when a previous lap over the same tree
+//    recorded one, discovered test-cell counts cold — each worker
+//    pulling its next cell when idle, so a heavy cell never serializes
+//    a lap behind a bad static deal. Cells the model estimates under
+//    the batch threshold are packed into one multi-cell ServeRequest.
+//    Each worker is a thin advm::Session resident across
 //    requests; pointing every worker at one SessionConfig::cache_dir
 //    makes them share the persistent object cache by construction.
 //
@@ -47,16 +51,30 @@ struct WorkerDispatchStats {
   std::size_t cells = 0;
 };
 
+/// How the process backend seeded its dispatch queue and what it fed
+/// back into the persistent cost model (src/advm/exec/costmodel.h).
+/// `source` is "measured" when every cell had a decay-averaged estimate
+/// from a previous lap over the same tree digest, "estimate" on the
+/// cold-cache test-count fallback.
+struct CostModelStats {
+  std::string source = "estimate";
+  std::size_t seeded_cells = 0;  ///< cells with a measured estimate
+  std::size_t recorded = 0;      ///< observations persisted after the run
+};
+
 /// Outcome of executing a plan: per-cell reports in cube order on
 /// success, a typed Status (advm.exec-* codes) when orchestration itself
 /// failed. Test failures are *not* an execution failure — they come back
-/// inside the reports. `workers`/`jobs_per_worker` are filled by the
-/// process backend only (empty/0 on the thread backend).
+/// inside the reports. `workers`/`jobs_per_worker`/`cost_model`/
+/// `batched_requests` are filled by the process backend only (empty/0 on
+/// the thread backend).
 struct MatrixExecution {
   Status status;
   std::vector<RegressionReport> cells;
   std::vector<WorkerDispatchStats> workers;
   std::size_t jobs_per_worker = 0;
+  CostModelStats cost_model;
+  std::size_t batched_requests = 0;  ///< Run requests carrying > 1 cell
 };
 
 class ExecutionBackend {
@@ -93,6 +111,27 @@ struct ProcessBackendConfig {
   /// its --jobs budget across the live workers (divide_jobs) so
   /// `--shards S --jobs N` never oversubscribes N×S threads.
   std::size_t jobs_per_worker = 1;
+  /// Tiny-cell batching threshold in milliseconds: when the cost model
+  /// has a measured estimate for every cell, cells estimated under the
+  /// threshold are packed (in cost order, up to kMaxBatchCells, closing
+  /// a batch once its summed estimate reaches the threshold) into one
+  /// multi-cell ServeRequest, so protocol round trips stop dominating
+  /// cubes of sub-millisecond cells. kAutoBatchThreshold picks the
+  /// default (kDefaultBatchThresholdMs); 0 disables batching. Batching
+  /// never happens on a cold cost model — test-count estimates carry no
+  /// time unit to compare against the threshold.
+  std::size_t batch_threshold_ms = kAutoBatchThreshold;
+  /// Per-request deadline handed to WorkerPool::roundtrip (0 = wait
+  /// forever). The default is generous — a cell legitimately simulates
+  /// millions of instructions — but finite, so a wedged worker surfaces
+  /// as a typed advm.exec-worker-timeout instead of hanging the
+  /// orchestrator.
+  std::size_t request_timeout_ms = 600'000;
+
+  static constexpr std::size_t kAutoBatchThreshold =
+      static_cast<std::size_t>(-1);
+  static constexpr std::size_t kDefaultBatchThresholdMs = 5;
+  static constexpr std::size_t kMaxBatchCells = 4;
 };
 
 /// Multi-process execution over `advm worker` subprocesses. Reads the tree
@@ -118,10 +157,15 @@ class ProcessBackend final : public ExecutionBackend {
 /// outside the plan, an index not in `expected` (foreign — another
 /// shard's cell), or an index already `filled` (duplicate) is rejected
 /// with a typed Status instead of silently overwriting another shard's
-/// report. On success every expected index is filled. Exposed for tests.
+/// report. On success every expected index is filled. When `cell_millis`
+/// is non-null, each cell's optional measured wall-clock ("micros" in
+/// the shard document) lands at its planned index, converted to
+/// milliseconds — the feedback the persistent cost model records; cells
+/// without the field leave their slot untouched. Exposed for tests.
 [[nodiscard]] Status merge_shard_report(
     std::string_view document, const std::vector<std::size_t>& expected,
-    std::vector<RegressionReport>& cells, std::vector<bool>& filled);
+    std::vector<RegressionReport>& cells, std::vector<bool>& filled,
+    std::vector<double>* cell_millis = nullptr);
 
 /// Corpus half of the process backend: spawns one worker per corpus slice,
 /// each generating its environments directly into `out_dir` (disjoint

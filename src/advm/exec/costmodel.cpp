@@ -1,0 +1,168 @@
+#include "advm/exec/costmodel.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "support/json.h"
+
+namespace advm::core::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// \x1f (unit separator) cannot appear in derivative/platform names or a
+/// hex digest, so the joined key never collides across components.
+std::string make_key(const std::string& derivative,
+                     const std::string& platform,
+                     const std::string& tree_digest) {
+  return derivative + '\x1f' + platform + '\x1f' + tree_digest;
+}
+
+/// Doubles print locale-independently and with enough digits to
+/// round-trip — the same contract the report writer uses.
+std::ostringstream make_stream() {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(12);
+  return os;
+}
+
+/// Minimal string escaping for the record lines: derivative/platform
+/// names are identifier-like today, but a quote or backslash in one must
+/// not corrupt the file.
+std::string escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+CostModel::CostModel(std::string cache_dir) : dir_(std::move(cache_dir)) {}
+
+std::string CostModel::path() const {
+  if (dir_.empty()) return {};
+  return (fs::path(dir_) / "cost-model.jsonl").string();
+}
+
+void CostModel::load() {
+  history_.clear();
+  if (!enabled()) return;
+  std::ifstream in(path(), std::ios::binary);
+  if (!in) return;  // cold model: no records yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto doc = support::json::parse(line);
+    if (!doc) continue;  // a torn/corrupt line fails closed to "skip"
+    const auto* derivative = doc->find("derivative");
+    const auto* platform = doc->find("platform");
+    const auto* tree = doc->find("tree");
+    const auto* millis = doc->find("millis");
+    const auto d = derivative ? derivative->as_string() : std::nullopt;
+    const auto p = platform ? platform->as_string() : std::nullopt;
+    const auto t = tree ? tree->as_string() : std::nullopt;
+    const auto m = millis ? millis->as_double() : std::nullopt;
+    const double value = m.value_or(-1.0);
+    if (!d || !p || !t || value < 0) continue;
+    absorb({*d, *p, *t, value});
+  }
+}
+
+void CostModel::absorb(CostObservation observation) {
+  const std::string key = make_key(observation.derivative,
+                                   observation.platform,
+                                   observation.tree_digest);
+  Entry& entry = history_[key];
+  if (entry.millis.empty()) {
+    entry.derivative = std::move(observation.derivative);
+    entry.platform = std::move(observation.platform);
+    entry.tree_digest = std::move(observation.tree_digest);
+  }
+  entry.millis.push_back(observation.millis);
+  if (entry.millis.size() > kMaxHistoryPerKey) {
+    entry.millis.erase(entry.millis.begin());
+  }
+}
+
+std::optional<double> CostModel::estimate(
+    const std::string& derivative, const std::string& platform,
+    const std::string& tree_digest) const {
+  const auto it =
+      history_.find(make_key(derivative, platform, tree_digest));
+  if (it == history_.end() || it->second.millis.empty()) {
+    return std::nullopt;
+  }
+  // Decay average, oldest → newest: each newer observation pulls the
+  // running value toward itself with weight (1 - kDecay).
+  double value = it->second.millis.front();
+  for (std::size_t i = 1; i < it->second.millis.size(); ++i) {
+    value = kDecay * value + (1.0 - kDecay) * it->second.millis[i];
+  }
+  return value;
+}
+
+void CostModel::record(CostObservation observation) {
+  if (!enabled()) return;
+  pending_.push_back(std::move(observation));
+}
+
+std::size_t CostModel::publish() {
+  if (!enabled() || pending_.empty()) return 0;
+  const std::size_t folded = pending_.size();
+  for (CostObservation& observation : pending_) {
+    absorb(std::move(observation));
+  }
+  pending_.clear();
+
+  auto os = make_stream();
+  for (const auto& [key, entry] : history_) {
+    for (const double millis : entry.millis) {
+      os << "{\"derivative\":\"" << escaped(entry.derivative)
+         << "\",\"platform\":\"" << escaped(entry.platform)
+         << "\",\"tree\":\"" << escaped(entry.tree_digest)
+         << "\",\"millis\":" << millis << "}\n";
+    }
+  }
+
+  // Private temp name in the same directory, then an atomic rename —
+  // the objstore publish idiom, so a concurrent reader never sees a
+  // torn file and racing writers resolve to last-writer-wins.
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const fs::path target(path());
+  std::ostringstream tmp_name;
+  tmp_name << target.filename().string() << ".tmp." << ::getpid() << "."
+           << reinterpret_cast<std::uintptr_t>(&tmp_name);
+  const fs::path tmp = target.parent_path() / tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << os.str();
+    out.close();
+    if (!out.good()) {
+      fs::remove(tmp, ec);
+      return 0;  // advisory data: a full disk must not fail the run
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return 0;
+  }
+  return folded;
+}
+
+}  // namespace advm::core::exec

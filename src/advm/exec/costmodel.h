@@ -1,0 +1,97 @@
+// Measured per-cell cost model — the feedback half of dynamic dispatch.
+//
+// PR 5's dispatch queue orders matrix cells by *estimated* cost, and the
+// only estimate available cold (the tree's discovered test-cell count)
+// ties across every cell of the same tree, degenerating to plan order. A
+// CostModel closes the loop: after a pooled process-backend run, the
+// orchestrator persists each cell's measured wall-clock into the cache
+// directory, and the next run over the same tree seeds its queue from
+// those measurements — heavy cells dispatch first, and the pooled lap
+// approaches the critical-path bound on skewed cubes.
+//
+// Storage is one line-delimited JSON file (`cost-model.jsonl`) in the
+// persistent-cache directory, records keyed by derivative × platform ×
+// tree digest:
+//
+//   {"derivative":"SC88-A","platform":"hdl-rtl",
+//    "tree":"0123456789abcdef","millis":12.5}
+//
+// Oldest records come first; per key the history is bounded at
+// kMaxHistoryPerKey observations (oldest dropped) and the estimate is a
+// decay average — newest observation weighted (1 - kDecay) against the
+// running average — so a one-off slow lap fades instead of pinning the
+// schedule. Publishing rewrites the whole file through a private temp
+// name and an atomic same-directory rename, the objstore.cpp idiom:
+// concurrent orchestrations race to last-writer-wins, and a torn write
+// can never be observed. A missing/corrupt file or line fails closed to
+// a cold (no-estimate) model — cost records are advisory, never
+// load-bearing for correctness.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace advm::core::exec {
+
+/// One measured cell wall-clock, as recorded after a run.
+struct CostObservation {
+  std::string derivative;
+  std::string platform;
+  std::string tree_digest;  ///< support::hash_to_string of the tree hash
+  double millis = 0;
+};
+
+class CostModel {
+ public:
+  /// `cache_dir` is the persistent-cache directory the records live in;
+  /// empty disables the model (enabled() false, no estimates, publish a
+  /// no-op) — mirroring how an empty cache_dir disables the object store.
+  explicit CostModel(std::string cache_dir);
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  /// Path of the record file (`<cache_dir>/cost-model.jsonl`).
+  [[nodiscard]] std::string path() const;
+
+  /// Reads the record file into the in-memory history. Best-effort:
+  /// malformed lines are skipped, a missing file is simply a cold model.
+  void load();
+
+  /// Decay-averaged estimate for one cell key, or nullopt when the model
+  /// has no history for it (cold cache, new tree digest).
+  [[nodiscard]] std::optional<double> estimate(
+      const std::string& derivative, const std::string& platform,
+      const std::string& tree_digest) const;
+
+  /// Queues one measured observation; nothing touches disk until
+  /// publish().
+  void record(CostObservation observation);
+
+  /// Folds the queued observations into the history (bounded per key),
+  /// rewrites the record file via temp-name + atomic rename, and clears
+  /// the queue. Returns the number of observations folded in, 0 when
+  /// disabled, the queue is empty, or the write failed (advisory data:
+  /// a full disk must not fail the run that produced it).
+  std::size_t publish();
+
+  static constexpr std::size_t kMaxHistoryPerKey = 8;
+  /// Weight of the running average against each newer observation.
+  static constexpr double kDecay = 0.5;
+
+ private:
+  struct Entry {
+    std::string derivative;
+    std::string platform;
+    std::string tree_digest;
+    std::vector<double> millis;  ///< oldest first
+  };
+
+  void absorb(CostObservation observation);
+
+  std::string dir_;
+  std::map<std::string, Entry> history_;  ///< key → bounded observations
+  std::vector<CostObservation> pending_;
+};
+
+}  // namespace advm::core::exec

@@ -1,6 +1,7 @@
 #include "advm/exec/workerpool.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <spawn.h>
 #include <sys/wait.h>
@@ -9,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -182,12 +184,47 @@ Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
     return fail("request write failed (" +
                 std::string(std::strerror(errno)) + ")");
   }
+  // Per-request deadline: a worker wedged mid-response (an infinite loop
+  // in the simulated test, a deadlocked child) must surface as a typed
+  // Status, never hang the orchestrator in a blocking read(2). poll(2)
+  // bounds each wait; on expiry the worker is killed on the spot — the
+  // same SIGKILL escalation shutdown() applies to EOF-ignoring workers,
+  // which then reaps the corpse.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(request_timeout_ms_);
   for (;;) {
     const std::size_t newline = worker.read_buffer.find('\n');
     if (newline != std::string::npos) {
       *response = worker.read_buffer.substr(0, newline);
       worker.read_buffer.erase(0, newline + 1);
       return {};
+    }
+    if (request_timeout_ms_ != 0) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) {
+        if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
+        std::string message = "serve worker " + std::to_string(i) +
+                              ": no response within " +
+                              std::to_string(request_timeout_ms_) +
+                              "ms (worker killed)";
+        const std::string tail = stderr_tail(worker.stderr_path);
+        if (!tail.empty()) message += " [worker stderr: " + tail + "]";
+        return Status::error("advm.exec-worker-timeout",
+                             std::move(message));
+      }
+      struct pollfd pfd = {worker.stdout_fd, POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1,
+          static_cast<int>(std::min<long long>(remaining, 60'000)));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return fail("response poll failed (" +
+                    std::string(std::strerror(errno)) + ")");
+      }
+      if (ready == 0) continue;  // re-check the deadline
     }
     char chunk[4096];
     const ssize_t n = ::read(worker.stdout_fd, chunk, sizeof chunk);
@@ -245,6 +282,15 @@ Status WorkerPool::shutdown() {
       }
     }
     worker.pid = -1;
+    // The stderr capture served its purpose (the tail above); without
+    // this unlink every successful orchestration leaks one file per
+    // worker. ADVM_EXEC_KEEP_SCRATCH=1 keeps them alongside the rest of
+    // the scratch tree for post-mortem debugging.
+    const char* keep = std::getenv("ADVM_EXEC_KEEP_SCRATCH");
+    if ((keep == nullptr || keep[0] != '1') &&
+        !worker.stderr_path.empty()) {
+      ::unlink(worker.stderr_path.c_str());
+    }
   }
   workers_.clear();
   return first_failure;

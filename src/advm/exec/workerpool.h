@@ -44,17 +44,29 @@ class WorkerPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Per-request response deadline for roundtrip(), in milliseconds;
+  /// 0 waits forever. Applies to requests issued after the call.
+  void set_request_timeout_ms(std::size_t ms) { request_timeout_ms_ = ms; }
+
   /// Writes one request line to worker `i` and reads one response line
   /// into `response`. Not synchronized: callers drive each worker from
   /// one thread at a time (the dispatch loop owns worker i). A typed
   /// Status — with the tail of the worker's stderr folded in — when the
-  /// pipe breaks or the worker exits mid-request.
+  /// pipe breaks or the worker exits mid-request. A worker that produces
+  /// no response line within the request deadline (a wedged simulated
+  /// test, an infinite loop) is SIGKILLed on the spot — shutdown() then
+  /// reaps it like any other escalated worker — and the call returns a
+  /// typed advm.exec-worker-timeout Status instead of blocking the
+  /// orchestrator forever in read(2).
   [[nodiscard]] Status roundtrip(std::size_t i, const std::string& request,
                                  std::string* response);
 
   /// Closes every worker's stdin (EOF = shutdown) and reaps the
   /// processes, escalating to SIGKILL for a worker that ignores EOF.
-  /// Returns the first nonzero exit diagnostic, or OK. Idempotent.
+  /// Each worker's stderr capture file is removed after its tail is
+  /// folded into any diagnostic (kept on ADVM_EXEC_KEEP_SCRATCH=1, with
+  /// the rest of the scratch tree). Returns the first nonzero exit
+  /// diagnostic, or OK. Idempotent.
   Status shutdown();
 
   /// Path of worker `i`'s stderr capture file.
@@ -72,6 +84,7 @@ class WorkerPool {
   };
 
   std::vector<Worker> workers_;
+  std::size_t request_timeout_ms_ = 600'000;  ///< 0 = no deadline
 };
 
 /// Writes `slice` as a JSON slice file at `path`, closing (and therefore

@@ -343,6 +343,11 @@ std::string to_json(const MatrixResult& result) {
          << ",\"cells\":" << worker.cells << "}";
     }
     os << "]";
+    os << ",\"cost_model\":{\"source\":";
+    append_quoted(os, result.cost_model.source);
+    os << ",\"seeded_cells\":" << result.cost_model.seeded_cells
+       << ",\"recorded\":" << result.cost_model.recorded << "}";
+    os << ",\"batched_requests\":" << result.batched_requests;
   }
   os << ",\"cells\":[";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {

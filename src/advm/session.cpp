@@ -250,6 +250,9 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
     // oversubscribes N×S threads.
     process_config.jobs_per_worker =
         exec::divide_jobs(config_.jobs, plan.slices.size());
+    // Both use the same "auto" sentinel value, so the session default
+    // passes through unchanged.
+    process_config.batch_threshold_ms = config_.batch_threshold_ms;
     backend =
         std::make_unique<exec::ProcessBackend>(vfs_, process_config);
   } else {
@@ -266,6 +269,10 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
   for (const exec::WorkerDispatchStats& worker : execution.workers) {
     result.workers.push_back({worker.worker, worker.requests, worker.cells});
   }
+  result.cost_model = {execution.cost_model.source,
+                       execution.cost_model.seeded_cells,
+                       execution.cost_model.recorded};
+  result.batched_requests = execution.batched_requests;
   if (!result.status.ok()) {
     result.cells.clear();
     result.workers.clear();

@@ -113,16 +113,31 @@ struct MatrixWorkerStats {
   std::size_t cells = 0;     ///< cells executed across those requests
 };
 
+/// How the process backend's dispatch queue was seeded (mirrors
+/// exec::CostModelStats): "measured" when the persistent cost model had
+/// a wall-clock estimate for every cell, "estimate" on the cold
+/// test-count fallback. `recorded` counts the observations this run
+/// persisted for the next lap.
+struct MatrixCostModelStats {
+  std::string source = "estimate";
+  std::size_t seeded_cells = 0;
+  std::size_t recorded = 0;
+};
+
 struct MatrixResult {
   Status status;
   std::vector<RegressionReport> cells;  ///< derivative-major order
   std::string backend = "thread";  ///< execution backend that ran the cube
   std::size_t shards = 1;          ///< work-plan slices actually used
   /// Pooled process backend only: per-worker dispatch counters (empty on
-  /// the thread backend) and the effective per-worker pool size after the
-  /// session's --jobs budget is divided across live workers.
+  /// the thread backend), the effective per-worker pool size after the
+  /// session's --jobs budget is divided across live workers, the
+  /// cost-model seed/feedback counters, and how many Run requests
+  /// carried more than one (tiny) cell.
   std::vector<MatrixWorkerStats> workers;
   std::size_t jobs_per_worker = 0;
+  MatrixCostModelStats cost_model;
+  std::size_t batched_requests = 0;
 
   [[nodiscard]] bool all_passed() const;
   /// Requests served beyond each worker's first — the spawn-amortization
@@ -230,11 +245,19 @@ struct SessionConfig {
   /// Process backend: scratch directory for the exported tree and the
   /// slice/report files; empty = the system temp directory.
   std::string scratch_dir;
+  /// Process backend: tiny-cell batching threshold in milliseconds.
+  /// Cells the persistent cost model estimates under the threshold are
+  /// packed into one multi-cell serve request. kAutoBatchThreshold (the
+  /// default) lets the backend pick its default; 0 disables batching.
+  std::size_t batch_threshold_ms = kAutoBatchThreshold;
 
   /// Upper bounds request validation enforces (guards against a typo'd
   /// --jobs/--shards silently fanning out the whole machine).
   static constexpr std::size_t kMaxJobs = 1'000'000;
   static constexpr std::size_t kMaxShards = 4096;
+  /// Sentinel for batch_threshold_ms: backend-chosen default.
+  static constexpr std::size_t kAutoBatchThreshold =
+      static_cast<std::size_t>(-1);
 
   /// Pool-size/shard-count sanity, applied by every verb that fans work
   /// out: a degenerate value fails as a typed Status, never silently

@@ -197,36 +197,69 @@ class Parser {
           out += '\t';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
-            return std::nullopt;
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape");
+          const auto hex4 = [&]() -> std::optional<unsigned> {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
               return std::nullopt;
             }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            return code;
+          };
+          auto code = hex4();
+          if (!code) return std::nullopt;
+          unsigned cp = *code;
+          // Surrogate halves are not scalar values: a high half must be
+          // followed by an escaped low half (together they name one
+          // astral code point); either half alone would UTF-8-encode to
+          // an invalid 3-byte sequence, so unpaired halves are rejected.
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+            return std::nullopt;
           }
-          // UTF-8 encode the code point. Surrogate pairs are not combined
-          // (the report writer never emits them); each half encodes alone.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+              return std::nullopt;
+            }
+            pos_ += 2;
+            const auto low = hex4();
+            if (!low) return std::nullopt;
+            if (*low < 0xDC00 || *low > 0xDFFF) {
+              fail("unpaired high surrogate in \\u escape");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (*low - 0xDC00);
+          }
+          // UTF-8 encode the (now scalar) code point.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
           } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
           }
           break;
         }

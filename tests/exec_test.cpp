@@ -11,12 +11,14 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "advm/exec/backend.h"
+#include "advm/exec/costmodel.h"
 #include "advm/exec/workerpool.h"
 #include "advm/exec/workplan.h"
 #include "advm/report.h"
@@ -454,6 +456,27 @@ TEST(MergeShardReport, RejectsAnIncompleteShard) {
   EXPECT_NE(status.message.find("1 of 2"), std::string::npos);
 }
 
+TEST(MergeShardReport, ExtractsPerCellWallClockForTheCostModel) {
+  std::vector<RegressionReport> cells(3);
+  std::vector<bool> filled(3, false);
+  std::vector<double> millis(3, -1.0);
+  std::ostringstream os;
+  os << R"({"ok":true,"verb":"worker","kind":"matrix","cells":[)"
+     << R"({"index":0,"micros":2500,"report":)" << tiny_report_json()
+     << "},"
+     // No micros field: an older worker binary answering a newer
+     // orchestrator must merge fine, just without feedback.
+     << R"({"index":2,"report":)" << tiny_report_json() << "}]}";
+  const Status status =
+      exec::merge_shard_report(os.str(), {0, 2}, cells, filled, &millis);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_DOUBLE_EQ(millis[0], 2.5);
+  EXPECT_DOUBLE_EQ(millis[1], -1.0);
+  EXPECT_DOUBLE_EQ(millis[2], -1.0);
+  EXPECT_TRUE(filled[0]);
+  EXPECT_TRUE(filled[2]);
+}
+
 TEST(MergeShardReport, SurfacesAWorkerErrorDocument) {
   std::vector<RegressionReport> cells(1);
   std::vector<bool> filled(1, false);
@@ -463,6 +486,82 @@ TEST(MergeShardReport, SurfacesAWorkerErrorDocument) {
       {0}, cells, filled);
   EXPECT_EQ(status.code, "advm.exec-worker-failed");
   EXPECT_NE(status.message.find("tree vanished"), std::string::npos);
+}
+
+// ------------------------------------------------------------ cost model --
+
+TEST(CostModel, RecordsPublishAndReloadAcrossInstances) {
+  ScratchDir cache("costmodel_roundtrip");
+  {
+    exec::CostModel model(cache.path());
+    EXPECT_TRUE(model.enabled());
+    model.load();
+    EXPECT_FALSE(
+        model.estimate("SC88-A", "golden-model", "digest1").has_value());
+    model.record({"SC88-A", "golden-model", "digest1", 12.5});
+    model.record({"SC88-B", "hdl-rtl", "digest1", 80.0});
+    EXPECT_EQ(model.publish(), 2u);
+  }
+  exec::CostModel reloaded(cache.path());
+  reloaded.load();
+  EXPECT_EQ(reloaded.estimate("SC88-A", "golden-model", "digest1"), 12.5);
+  EXPECT_EQ(reloaded.estimate("SC88-B", "hdl-rtl", "digest1"), 80.0);
+  // A different tree digest is a different key: no estimate.
+  EXPECT_FALSE(
+      reloaded.estimate("SC88-A", "golden-model", "digest2").has_value());
+}
+
+TEST(CostModel, EstimateDecaysTowardNewerObservations) {
+  ScratchDir cache("costmodel_decay");
+  exec::CostModel model(cache.path());
+  model.load();
+  model.record({"SC88-A", "golden-model", "t", 100.0});
+  model.record({"SC88-A", "golden-model", "t", 10.0});
+  model.publish();
+  // One decay step: 0.5·100 + 0.5·10.
+  EXPECT_DOUBLE_EQ(*model.estimate("SC88-A", "golden-model", "t"), 55.0);
+  // A third observation pulls the average further toward the present.
+  model.record({"SC88-A", "golden-model", "t", 10.0});
+  model.publish();
+  EXPECT_DOUBLE_EQ(*model.estimate("SC88-A", "golden-model", "t"), 32.5);
+}
+
+TEST(CostModel, HistoryIsBoundedPerKey) {
+  ScratchDir cache("costmodel_bounded");
+  exec::CostModel model(cache.path());
+  model.load();
+  for (int i = 0; i < 20; ++i) {
+    model.record({"SC88-A", "golden-model", "t", 7.0});
+    model.publish();
+  }
+  std::ifstream in(model.path());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, exec::CostModel::kMaxHistoryPerKey);
+}
+
+TEST(CostModel, CorruptLinesFailClosedToAColdModel) {
+  ScratchDir cache("costmodel_corrupt");
+  exec::CostModel model(cache.path());
+  {
+    std::ofstream out(model.path());
+    out << "this is not json\n"
+        << R"({"derivative":"SC88-A","platform":"golden-model"})" << "\n"
+        << R"({"derivative":"SC88-A","platform":"golden-model",)"
+        << R"("tree":"t","millis":4.0})" << "\n";
+  }
+  model.load();
+  // Only the well-formed line survives.
+  EXPECT_EQ(model.estimate("SC88-A", "golden-model", "t"), 4.0);
+}
+
+TEST(CostModel, EmptyCacheDirDisablesTheModel) {
+  exec::CostModel model("");
+  EXPECT_FALSE(model.enabled());
+  model.load();
+  model.record({"SC88-A", "golden-model", "t", 1.0});
+  EXPECT_EQ(model.publish(), 0u);
+  EXPECT_FALSE(model.estimate("SC88-A", "golden-model", "t").has_value());
 }
 
 // --------------------------------------------------- spawn-path hardening --
@@ -506,6 +605,103 @@ TEST(WorkerPool, DivideJobsNeverOversubscribesAndNeverStarves) {
 }
 
 // --------------------------------------------------------- pooled workers --
+
+TEST(WorkerPool, WedgedWorkerTimesOutWithATypedStatus) {
+  // A worker that never answers (here: a script that just sleeps, the
+  // stand-in for an infinite loop in a simulated test) must surface as a
+  // typed timeout within the per-request deadline — the orchestrator
+  // used to block forever in read(2).
+  ScratchDir scratch("wedged_worker");
+  const std::string script = scratch.path() + "/wedged.sh";
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\nexec sleep 30\n";
+  }
+  std::filesystem::permissions(script,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::others_read);
+  exec::WorkerPool pool;
+  pool.set_request_timeout_ms(250);
+  ASSERT_TRUE(pool.spawn(script, scratch.path(), 1).ok());
+  std::string response;
+  const auto started = std::chrono::steady_clock::now();
+  const Status status =
+      pool.roundtrip(0, R"({"cmd":"shutdown"})", &response);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_EQ(status.code, "advm.exec-worker-timeout");
+  EXPECT_NE(status.message.find("no response within"), std::string::npos);
+  // Generous bound: the point is "deadline", not "30 seconds".
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  // The wedged worker was killed on the spot; shutdown reaps the corpse
+  // and reports the signal, which must not wedge either.
+  const Status reaped = pool.shutdown();
+  EXPECT_NE(reaped.message.find("signal"), std::string::npos);
+}
+
+TEST(WorkerPool, ShutdownRemovesTheStderrCaptureFiles) {
+  ScratchDir scratch("stderr_cleanup");
+  exec::WorkerPool pool;
+  ASSERT_TRUE(pool.spawn(ADVM_CLI_PATH, scratch.path(), 2).ok());
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    paths.push_back(pool.stderr_path(i));
+    EXPECT_TRUE(std::filesystem::exists(paths.back())) << paths.back();
+  }
+  const Status status = pool.shutdown();
+  EXPECT_TRUE(status.ok()) << status.message;
+  // A successful orchestration must not leak one file per worker.
+  for (const std::string& path : paths) {
+    EXPECT_FALSE(std::filesystem::exists(path)) << path;
+  }
+}
+
+TEST(ExecutionBackend, WarmCostModelSeedsDispatchAndBatchesTinyCells) {
+  ScratchDir cache("cost_feedback");
+  const auto run_once = [&](std::size_t batch_threshold_ms) {
+    SessionConfig config;
+    config.backend = ExecBackendKind::Process;
+    config.shards = 2;
+    config.worker_exe = ADVM_CLI_PATH;
+    config.cache_dir = cache.path();
+    config.batch_threshold_ms = batch_threshold_ms;
+    Session session(std::move(config));
+    EXPECT_TRUE(build_small_system(session).status.ok());
+    return session.run(small_cube());
+  };
+
+  // Lap 1: cold model — test-count estimates, no batching possible.
+  MatrixResult cold = run_once(SessionConfig::kAutoBatchThreshold);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.message;
+  EXPECT_EQ(cold.cost_model.source, "estimate");
+  EXPECT_EQ(cold.cost_model.seeded_cells, 0u);
+  // Every cell's measured wall-clock fed the model for the next lap.
+  EXPECT_EQ(cold.cost_model.recorded, cold.cells.size());
+  EXPECT_EQ(cold.batched_requests, 0u);
+
+  // Lap 2: warm model, threshold far above any cell's runtime — all four
+  // cells are "tiny" and pack into one multi-cell request batch.
+  MatrixResult batched = run_once(1'000'000);
+  ASSERT_TRUE(batched.status.ok()) << batched.status.message;
+  EXPECT_EQ(batched.cost_model.source, "measured");
+  EXPECT_EQ(batched.cost_model.seeded_cells, batched.cells.size());
+  EXPECT_GT(batched.batched_requests, 0u);
+  std::size_t requests = 0;
+  for (const MatrixWorkerStats& worker : batched.workers) {
+    requests += worker.requests;
+  }
+  EXPECT_LT(requests, batched.cells.size());
+
+  // Lap 3: batching disabled — warm seed order, one request per cell.
+  MatrixResult unbatched = run_once(0);
+  ASSERT_TRUE(unbatched.status.ok()) << unbatched.status.message;
+  EXPECT_EQ(unbatched.cost_model.source, "measured");
+  EXPECT_EQ(unbatched.batched_requests, 0u);
+
+  // The determinism contract is unchanged by seeding or batching.
+  EXPECT_EQ(rollup_to_json(batched), rollup_to_json(cold));
+  EXPECT_EQ(rollup_to_json(unbatched), rollup_to_json(cold));
+}
 
 TEST(WorkerPool, TwoWorkersServeEightCellsWithReuseAndThreadParity) {
   Session thread_session;

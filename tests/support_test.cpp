@@ -11,6 +11,7 @@
 #include "support/diagnostics.h"
 #include "support/disk.h"
 #include "support/hash.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/text.h"
 #include "support/vfs.h"
@@ -314,6 +315,58 @@ TEST_F(DiskTest, ExportOverwritesStaleFiles) {
   VirtualFileSystem back;
   import_from_disk(back, dir_.string(), "/env");
   EXPECT_EQ(back.read("/env/file.txt"), "v2-longer-content");
+}
+
+// ---------------------------------------------------------------- json ----
+
+TEST(Json, BmpEscapesDecodeToUtf8) {
+  const auto ascii = json::parse(R"("A")");
+  ASSERT_TRUE(ascii.has_value());
+  EXPECT_EQ(ascii->as_string(), "A");
+  const auto two_byte = json::parse(R"("\u00E9")");
+  ASSERT_TRUE(two_byte.has_value());
+  EXPECT_EQ(two_byte->as_string(), "\xC3\xA9");  // é
+  const auto three_byte = json::parse(R"("\u20ac")");
+  ASSERT_TRUE(three_byte.has_value());
+  EXPECT_EQ(three_byte->as_string(), "\xE2\x82\xAC");  // €
+}
+
+TEST(Json, SurrogatePairCombinesIntoTheAstralCodePoint) {
+  // U+1F600 as its escaped surrogate pair must decode to the 4-byte
+  // UTF-8 sequence, not two lone 3-byte halves (invalid UTF-8).
+  const auto doc = json::parse(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "\xF0\x9F\x98\x80");
+  // Lowercase hex and a pair inside surrounding text both work.
+  const auto mixed = json::parse(R"("ok \ud83d\ude00!")");
+  ASSERT_TRUE(mixed.has_value());
+  EXPECT_EQ(mixed->as_string(), "ok \xF0\x9F\x98\x80!");
+}
+
+TEST(Json, SurrogatePairRoundTripsWithTheRawUtf8Form) {
+  // The writer side never escapes non-ASCII (raw UTF-8 passes through),
+  // so the escaped-pair spelling and the raw spelling of the same code
+  // point must parse to identical bytes.
+  const auto escaped = json::parse(R"("\uD83D\uDE00")");
+  const auto raw = json::parse("\"\xF0\x9F\x98\x80\"");
+  ASSERT_TRUE(escaped.has_value());
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(escaped->as_string(), raw->as_string());
+}
+
+TEST(Json, UnpairedSurrogateHalvesAreATypedParseError) {
+  std::string error;
+  EXPECT_FALSE(json::parse(R"("\uD83D")", &error).has_value());
+  EXPECT_NE(error.find("unpaired high surrogate"), std::string::npos);
+  EXPECT_FALSE(json::parse(R"("\uDE00")", &error).has_value());
+  EXPECT_NE(error.find("unpaired low surrogate"), std::string::npos);
+  // High half followed by a non-escape, a non-\u escape, or another
+  // high half: all unpaired.
+  EXPECT_FALSE(json::parse(R"("\uD83Dxyz")", &error).has_value());
+  EXPECT_FALSE(json::parse(R"("\uD83D\n")", &error).has_value());
+  EXPECT_FALSE(json::parse(R"("\uD83D\uD83D")", &error).has_value());
+  // Truncated low half.
+  EXPECT_FALSE(json::parse(R"("\uD83D\uDE")", &error).has_value());
 }
 
 }  // namespace

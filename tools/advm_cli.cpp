@@ -42,6 +42,7 @@
 // Environments are imported from disk into the session's VFS, transformed,
 // and written back — so `port` literally edits only the abstraction layer
 // files in your working copy.
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -155,6 +156,18 @@ Status config_from_args(const Args& args, SessionConfig* config) {
                              "' (expected thread or process)");
   }
   config->cache_dir = option_or(args, "cache-dir", "");
+  // --batch-threshold MS|auto|0: tiny-cell batching on the process
+  // backend. "auto" (the default) lets the backend pick; 0 disables.
+  const std::string batch = option_or(args, "batch-threshold", "auto");
+  if (batch != "auto") {
+    if (Status status =
+            parse_count(args, "batch-threshold",
+                        "advm.bad-batch-threshold",
+                        &config->batch_threshold_ms);
+        !status.ok()) {
+      return status;
+    }
+  }
   return {};
 }
 
@@ -474,9 +487,12 @@ int cmd_random(const Args& args) {
 
 /// Runs the planned cells on a resident session and renders the matrix
 /// shard document ({"ok":true,"verb":"worker","kind":"matrix","cells":
-/// [{"index":N,"report":{...}}]}) — the response shape shared by the
-/// one-shot --slice verb and the --serve Run command. nullopt (with the
-/// failing Status in `error`) when a cell request fails.
+/// [{"index":N,"micros":U,"report":{...}}]}) — the response shape shared
+/// by the one-shot --slice verb and the --serve Run command. `micros` is
+/// the cell's measured wall-clock (what the orchestrator's cost model
+/// records); an integer so the wire format has no locale/precision
+/// pitfalls. nullopt (with the failing Status in `error`) when a cell
+/// request fails.
 std::optional<std::string> run_cells_document(
     Session& session, const std::vector<exec::PlannedCell>& cells,
     std::uint64_t max_instructions, Status* error) {
@@ -489,14 +505,19 @@ std::optional<std::string> run_cells_document(
     request.derivative = cell.derivative;
     request.platform = cell.platform;
     request.max_instructions = max_instructions;
+    const auto started = std::chrono::steady_clock::now();
     RunResult result = session.run(request);
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
     if (!result.status.ok()) {
       *error = result.status;
       return std::nullopt;
     }
     if (!first) os << ",";
     first = false;
-    os << "{\"index\":" << cell.index
+    os << "{\"index\":" << cell.index << ",\"micros\":" << micros
        << ",\"report\":" << report_to_json(result.report) << "}";
   }
   os << "]}";
@@ -683,6 +704,7 @@ int usage() {
          " [--jobs N]\n"
          "             [--backend thread|process] [--shards N]"
          " [--cache-dir DIR]\n"
+         "             [--batch-threshold MS|auto]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
          "  advm release <dir> [--name R1] [--derivative D] [--platform P]"

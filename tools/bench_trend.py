@@ -93,6 +93,12 @@ def main() -> int:
         lines = [l for l in history_path.read_text().splitlines() if l.strip()]
         if lines:
             previous = json.loads(lines[-1]).get("metrics", {})
+    if not previous:
+        # Say so loudly: a missing baseline means the gate compares nothing
+        # this lap, and a *persistently* empty history means the records are
+        # being written somewhere transient (the bug this message caught).
+        print(f"bench-trend: no baseline in {history_path}; "
+              "recording first lap")
 
     regressions = []
     for key, value in sorted(current.items()):

@@ -3,9 +3,11 @@
 #
 #   1. tier-1: the exact ROADMAP verify command (configure, build, ctest).
 #   2. hygiene: a -Werror configure preset must compile warning-clean.
-#   3. perf:   build the bench harnesses and record BENCH_*.json so the
-#              perf trajectory of every revision is on disk (skippable with
-#              ADVM_CI_SKIP_BENCH=1 for quick gates).
+#   3. perf:   build the bench harnesses and record BENCH_*.json under
+#              bench/records/ — a *committed* directory, unlike build/ —
+#              so the perf trajectory of consecutive revisions actually
+#              survives in git history (skippable with ADVM_CI_SKIP_BENCH=1
+#              for quick gates).
 #
 # Run from anywhere: the script cds to the repo root first.
 set -euo pipefail
@@ -61,16 +63,25 @@ SHARD_AXES="--derivatives SC88-A,SC88-B,SC88-C,SC88-D --platforms golden-model,h
 ./build/tools/advm matrix build/shard-env $SHARD_AXES \
   --backend process --shards 4 --jobs 8 --cache-dir build/shard-cache \
   --format json > build/shard-process-warm.json || true
+# Fourth lap: the cost model is warm now, so force every cell under the
+# batching threshold and prove the multi-cell request path merges to the
+# same bytes as everything above.
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --backend process --shards 4 --jobs 8 --cache-dir build/shard-cache \
+  --batch-threshold 1000000 \
+  --format json > build/shard-process-batched.json || true
 python3 - build/shard-thread.json build/shard-process.json \
-  build/shard-process-warm.json <<'PY'
+  build/shard-process-warm.json build/shard-process-batched.json <<'PY'
 import json, sys
-thread, process, warm = (json.load(open(p)) for p in sys.argv[1:4])
+thread, process, warm, batched = (json.load(open(p)) for p in sys.argv[1:5])
 assert process["backend"] == "process" and process["shards"] == 4, process
 roll_thread = json.dumps(thread["rollup"], sort_keys=True)
 roll_process = json.dumps(process["rollup"], sort_keys=True)
 roll_warm = json.dumps(warm["rollup"], sort_keys=True)
+roll_batched = json.dumps(batched["rollup"], sort_keys=True)
 assert roll_thread == roll_process, "thread vs process roll-up mismatch"
 assert roll_thread == roll_warm, "warm-cache roll-up mismatch"
+assert roll_thread == roll_batched, "batched-request roll-up mismatch"
 digests = [c["outcome_digest"] for c in thread["rollup"]]
 assert digests == [c["outcome_digest"] for c in process["rollup"]]
 hits = sum(c["cache"]["persistent_hits"] for c in warm["cells"])
@@ -85,9 +96,31 @@ assert sum(w["cells"] for w in workers) == len(process["cells"]), workers
 assert process["worker_reuse"] > 0, process["worker_reuse"]
 assert process["jobs_per_worker"] == 2, process["jobs_per_worker"]
 assert "workers" not in thread, "thread backend must not report a pool"
+# Cost model: the first process lap runs against an empty cache dir, so
+# dispatch seeds from test-count estimates and every cell's measured
+# wall-clock gets recorded; the warm lap must then seed from those
+# measurements. Both counters are process-backend-only.
+cold_cm = process["cost_model"]
+assert cold_cm["source"] == "estimate", cold_cm
+assert cold_cm["seeded_cells"] == 0, cold_cm
+assert cold_cm["recorded"] == len(process["cells"]), cold_cm
+warm_cm = warm["cost_model"]
+assert warm_cm["source"] == "measured", warm_cm
+assert warm_cm["seeded_cells"] == len(warm["cells"]), warm_cm
+assert "cost_model" not in thread, "thread backend must not report a cost model"
+assert "batched_requests" not in thread, thread.keys()
+# Forced batching: with every estimate under the threshold, tiny cells
+# coalesce into multi-cell requests — fewer round trips than cells, at
+# least one batched request, and (asserted above) identical roll-up bytes.
+assert batched["cost_model"]["source"] == "measured", batched["cost_model"]
+assert batched["batched_requests"] > 0, batched["batched_requests"]
+batched_reqs = sum(w["requests"] for w in batched["workers"])
+assert batched_reqs < len(batched["cells"]), (batched_reqs, len(batched["cells"]))
 print("shard determinism ok: %d cells byte-identical across backends, "
-      "%d persistent-cache hits on the warm rerun, worker reuse %d" %
-      (len(digests), hits, process["worker_reuse"]))
+      "%d persistent-cache hits on the warm rerun, worker reuse %d, "
+      "warm cost model seeded %d cells, %d batched request(s)" %
+      (len(digests), hits, process["worker_reuse"],
+       warm_cm["seeded_cells"], batched["batched_requests"]))
 PY
 
 echo "==> -Werror hygiene build"
@@ -97,21 +130,26 @@ cmake --build build-werror -j
 if [[ "${ADVM_CI_SKIP_BENCH:-0}" != "1" ]]; then
   echo "==> bench harnesses (BENCH_*.json)"
   cmake --build build -t benches -j
-  mkdir -p build/bench-json
-  export ADVM_BENCH_JSON_DIR="$PWD/build/bench-json"
+  # Records land in bench/records/ — tracked by git, NOT under build/ and
+  # NOT matched by the root-level /BENCH_*.json ignore — so the trajectory
+  # the trend gate diffs against survives clean checkouts and build wipes.
+  # (The old build/bench-json destination was wiped with build/, which left
+  # the >N% drop gate comparing against an empty history: vacuously green.)
+  mkdir -p bench/records build/bench-logs
+  export ADVM_BENCH_JSON_DIR="$PWD/bench/records"
   # Table-based experiment harnesses; e9 (google-benchmark) reports its own
   # JSON natively when wanted and is too slow for a default CI lap.
   for bench in ablation e1_structure e2_spec_change e3_wrapper e4_platforms \
                e5_devtime e6_porting e7_random e8_labels e10_matrix; do
-    "./build/bench/bench_${bench}" > "build/bench-json/bench_${bench}.log"
+    "./build/bench/bench_${bench}" > "build/bench-logs/bench_${bench}.log"
   done
-  echo "bench records: $(ls "$ADVM_BENCH_JSON_DIR"/BENCH_*.json | wc -l) files in build/bench-json/"
+  echo "bench records: $(ls "$ADVM_BENCH_JSON_DIR"/BENCH_*.json | wc -l) files in bench/records/"
 
   echo "==> perf trend gate (fails on >${ADVM_TREND_MAX_DROP:-15}% throughput drop)"
-  # History lives outside bench-json so wiping the record dir does not
-  # lose the baseline; consecutive CI laps diff against each other.
-  python3 tools/bench_trend.py build/bench-json \
-    --history build/bench-trend-history.jsonl \
+  # The history file sits next to the records and is committed with them;
+  # consecutive CI laps (= consecutive revisions) diff against each other.
+  python3 tools/bench_trend.py bench/records \
+    --history bench/records/bench-trend-history.jsonl \
     --max-drop "${ADVM_TREND_MAX_DROP:-15}"
 fi
 
