@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -187,7 +189,54 @@ Status check_serve_ack(std::size_t worker, std::string_view response) {
   return {};
 }
 
+/// True when a worker answered a well-formed {"ok":false} error document:
+/// the *request* failed but the worker itself is sane — no reason to kill
+/// and respawn it, the requeued group just lands on the next idle worker.
+bool is_clean_error_document(std::string_view response) {
+  const auto doc = support::json::parse(response, nullptr);
+  const auto* ok = doc ? doc->find("ok") : nullptr;
+  return ok != nullptr && ok->as_bool() == std::optional<bool>(false);
+}
+
+/// The synthetic report a quarantined cell contributes to the roll-up: one
+/// build-failure record whose test id is the typed poisoned-cell outcome.
+/// The outcome digest hashes (test id, verdict, state digest) only, so the
+/// roll-up stays deterministic even though `detail` names whichever worker
+/// died last.
+RegressionReport poisoned_cell_report(const PlannedCell& cell,
+                                      const Status& cause) {
+  RegressionReport report;
+  report.derivative = cell.derivative;
+  if (const auto platform = sim::platform_from_name(cell.platform)) {
+    report.platform = *platform;
+  }
+  TestRunRecord record;
+  record.environment = "EXEC";
+  record.test_id = std::string(kPoisonedCellOutcome);
+  record.build_ok = false;
+  record.detail = "cell quarantined after killing " +
+                  std::to_string(kMaxGroupAttempts) + " workers; last: " +
+                  cause.message;
+  report.records.push_back(std::move(record));
+  return report;
+}
+
+/// One dispatchable unit: a request group (planned cell indices) plus how
+/// many attempts have already failed.
+struct DispatchGroup {
+  std::vector<std::size_t> cells;
+  std::size_t attempts = 0;
+};
+
 }  // namespace
+
+GroupFate fate_after_failure(std::size_t cells, std::size_t attempts) {
+  if (attempts < kMaxGroupAttempts) return GroupFate::Retry;
+  // Budget exhausted: a batch gets the benefit of the doubt — maybe only
+  // one of its cells is the killer — and is split into single-cell groups
+  // with a fresh budget each. A single cell is the killer by elimination.
+  return cells > 1 ? GroupFate::Split : GroupFate::Poison;
+}
 
 Status merge_shard_report(std::string_view document,
                           const std::vector<std::size_t>& expected,
@@ -375,7 +424,12 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
   init.jobs = config_.jobs_per_worker;
   init.cache_dir = config_.cache_dir;
   init.cache_max_bytes = config_.cache_max_bytes;
-  const std::string init_line = to_json(init);
+  const auto init_line_for = [&](std::size_t w, bool first_incarnation) {
+    ServeRequest request = init;
+    request.fault_plan =
+        fault_plan_for_worker(config_.fault_plan, w, first_incarnation);
+    return to_json(request);
+  };
 
   execution.cells.resize(plan.cells.size());
   execution.jobs_per_worker = config_.jobs_per_worker;
@@ -386,66 +440,174 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
   std::vector<bool> filled(plan.cells.size(), false);
   std::vector<double> measured_ms(plan.cells.size(), -1.0);
 
-  // Dynamic dispatch: worker w is seeded with the w-th request group in
-  // cost order (guaranteeing every live worker serves at least one
-  // request), then pulls from the shared cursor whenever it goes idle —
-  // a heavy cell occupies one worker while the others drain the rest.
-  std::atomic<std::size_t> cursor{worker_count};
-  std::atomic<bool> abort{false};
-  std::mutex merge_mutex;
-  Status failure;  // guarded by merge_mutex
+  // Dynamic, fault-tolerant dispatch. Worker w is seeded with the w-th
+  // request group in cost order (guaranteeing every live worker serves at
+  // least one request); the remaining groups sit in a shared requeueing
+  // queue each driver pulls from when idle. A group whose worker dies
+  // mid-request goes *back* on the queue (bounded by kMaxGroupAttempts,
+  // then split/quarantined — fate_after_failure), so one crash loses one
+  // round trip, not the lap. `in_flight` counts claimed-but-unresolved
+  // groups: the lap is drained when the queue is empty AND nothing is in
+  // flight — an empty queue alone proves nothing, a dying worker may be
+  // about to put its group back.
+  struct DispatchState {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<DispatchGroup> queue;
+    std::size_t in_flight = 0;
+    std::vector<std::size_t> respawns_used;
+    FaultStats stats;
+    Status fatal;  ///< orchestrator bug (driver exception), not a worker fault
+    bool abort = false;
+  } state;
+  state.respawns_used.assign(worker_count, 0);
+  state.in_flight = worker_count;  // the seeds, claimed before any driver runs
+  for (std::size_t g = worker_count; g < groups.size(); ++g) {
+    state.queue.push_back({groups[g], 0});
+  }
+
+  // Blocks until a group is available or the lap is drained/aborted;
+  // false means "no more work for this driver".
+  const auto take = [&](DispatchGroup* out) {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.ready.wait(lock, [&] {
+      return state.abort || !state.queue.empty() || state.in_flight == 0;
+    });
+    if (state.abort || state.queue.empty()) return false;
+    *out = std::move(state.queue.front());
+    state.queue.pop_front();
+    state.in_flight += 1;
+    return true;
+  };
+
+  // Returns an unattempted group (its driver never reached the worker —
+  // init failed) to the queue without charging its retry budget.
+  const auto release = [&](DispatchGroup group) {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.queue.push_back(std::move(group));
+    state.in_flight -= 1;
+    state.ready.notify_all();
+  };
+
+  // Applies the retry policy to a group whose attempt just failed:
+  // requeue, split into singles, or quarantine the cell with a synthetic
+  // poisoned report.
+  const auto fail_group = [&](DispatchGroup group, const Status& cause) {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    group.attempts += 1;
+    switch (fate_after_failure(group.cells.size(), group.attempts)) {
+      case GroupFate::Retry:
+        state.stats.retries += 1;
+        state.stats.requeued_cells += group.cells.size();
+        state.queue.push_back(std::move(group));
+        break;
+      case GroupFate::Split:
+        state.stats.retries += 1;
+        state.stats.requeued_cells += group.cells.size();
+        for (const std::size_t cell : group.cells) {
+          state.queue.push_back({{cell}, 0});
+        }
+        break;
+      case GroupFate::Poison: {
+        const std::size_t index = group.cells.front();
+        execution.cells[index] =
+            poisoned_cell_report(plan.cells[index], cause);
+        filled[index] = true;
+        state.stats.quarantined_cells += 1;
+        break;
+      }
+    }
+    state.in_flight -= 1;
+    state.ready.notify_all();
+  };
+
+  const auto init_worker = [&](std::size_t w, bool first_incarnation) {
+    std::string response;
+    Status status =
+        pool.roundtrip(w, init_line_for(w, first_incarnation), &response);
+    if (status.ok()) status = check_serve_ack(w, response);
+    return status.ok();
+  };
+
+  // Retires a faulted slot and, budget permitting, replaces it with a
+  // fresh re-Inited worker. False = the slot is gone for good.
+  const auto try_respawn = [&](std::size_t w) {
+    pool.retire(w);
+    {
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.respawns_used[w] >= config_.max_respawns) return false;
+      state.respawns_used[w] += 1;
+    }
+    if (!pool.respawn(w).ok()) return false;
+    if (!init_worker(w, /*first_incarnation=*/false)) {
+      pool.retire(w);
+      return false;
+    }
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.stats.respawns += 1;
+    return true;
+  };
 
   // One driving thread per worker (the work happens in the subprocesses;
   // these threads only shuttle protocol lines): a pooled worker must
   // never wait for a sibling's dispatch loop to finish.
   const auto drive_worker = [&](std::size_t w) {
-    const auto fail = [&](Status status) {
-      const std::lock_guard<std::mutex> lock(merge_mutex);
-      if (failure.ok()) failure = std::move(status);
-      abort.store(true, std::memory_order_relaxed);
-    };
-    std::string response;
-    if (Status status = pool.roundtrip(w, init_line, &response);
-        !status.ok()) {
-      fail(std::move(status));
+    DispatchGroup held{groups[w], 0};
+    bool has_held = true;
+    const bool live = init_worker(w, /*first_incarnation=*/true) ||
+                      try_respawn(w);
+    if (!live) {
+      release(std::move(held));
       return;
     }
-    if (Status status = check_serve_ack(w, response); !status.ok()) {
-      fail(std::move(status));
-      return;
-    }
-    for (std::size_t next = w; next < groups.size();
-         next = cursor.fetch_add(1, std::memory_order_relaxed)) {
-      if (abort.load(std::memory_order_relaxed)) return;
-      const std::vector<std::size_t>& group = groups[next];
+    while (true) {
+      if (!has_held) {
+        if (!take(&held)) return;
+        has_held = true;
+      }
       ServeRequest run;
       run.kind = ServeRequest::Kind::Run;
       run.max_instructions = plan.max_instructions;
-      run.cells.reserve(group.size());
-      for (const std::size_t cell_index : group) {
+      run.cells.reserve(held.cells.size());
+      for (const std::size_t cell_index : held.cells) {
         run.cells.push_back(plan.cells[cell_index]);
       }
-      if (Status status = pool.roundtrip(w, to_json(run), &response);
-          !status.ok()) {
-        fail(std::move(status));
-        return;
-      }
-      const std::lock_guard<std::mutex> lock(merge_mutex);
-      if (Status status =
-              merge_shard_report(response, group, execution.cells,
-                                 filled, &measured_ms);
-          !status.ok()) {
-        if (failure.ok()) {
-          failure = Status::error(
-              status.code,
-              "serve worker " + std::to_string(w) + ": " + status.message);
+      std::string response;
+      Status status = pool.roundtrip(w, to_json(run), &response);
+      bool worker_suspect = true;
+      if (status.ok()) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        Status merged = merge_shard_report(response, held.cells,
+                                           execution.cells, filled,
+                                           &measured_ms);
+        if (merged.ok()) {
+          execution.workers[w].requests += 1;
+          execution.workers[w].cells += held.cells.size();
+          if (held.cells.size() > 1) execution.batched_requests += 1;
+          state.in_flight -= 1;
+          state.ready.notify_all();
+          has_held = false;
+          continue;
         }
-        abort.store(true, std::memory_order_relaxed);
-        return;
+        status = Status::error(merged.code, "serve worker " +
+                                                std::to_string(w) + ": " +
+                                                merged.message);
+        worker_suspect = !is_clean_error_document(response);
+        // Roll back whatever the rejected document managed to fill before
+        // the reject fired: the group is retried whole, and a stale fill
+        // would turn the retry into a spurious duplicate (merge only ever
+        // fills indices in `expected`, so the group bounds the rollback).
+        for (const std::size_t cell_index : held.cells) {
+          filled[cell_index] = false;
+          measured_ms[cell_index] = -1.0;
+        }
       }
-      execution.workers[w].requests += 1;
-      execution.workers[w].cells += group.size();
-      if (group.size() > 1) execution.batched_requests += 1;
+      fail_group(std::move(held), status);
+      has_held = false;
+      // A worker that broke the protocol (EOF, timeout, garbage bytes,
+      // duplicate/foreign indices) is untrustworthy: kill it and try to
+      // refill the slot. A clean error document keeps its worker.
+      if (worker_suspect && !try_respawn(w)) return;
     }
   };
   std::vector<std::thread> drivers;
@@ -455,13 +617,14 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
       try {
         drive_worker(w);
       } catch (const std::exception& e) {
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        if (failure.ok()) {
-          failure = Status::error("advm.exec-worker-failed",
-                                  "serve worker " + std::to_string(w) +
-                                      ": " + e.what());
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.fatal.ok()) {
+          state.fatal = Status::error("advm.exec-worker-failed",
+                                      "serve worker " + std::to_string(w) +
+                                          ": " + e.what());
         }
-        abort.store(true, std::memory_order_relaxed);
+        state.abort = true;
+        state.ready.notify_all();
       }
     });
   }
@@ -473,22 +636,54 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
   // positioned, so the reap status only matters when results are missing
   // — where the dispatch loop has the better diagnostic anyway.
   (void)pool.shutdown();
-  if (!failure.ok()) {
-    execution.status = std::move(failure);
+  if (!state.fatal.ok()) {
+    execution.status = std::move(state.fatal);
     execution.cells.clear();
     return execution;
   }
+
+  // Cells still unfilled here mean every worker slot died with work
+  // remaining (any surviving driver would have drained the queue). With a
+  // degrade context the lap still completes: the remainder runs
+  // in-process on a ThreadBackend and the report says so. Quarantined
+  // cells are NOT retried in-process — a cell that killed
+  // kMaxGroupAttempts isolated workers would take the orchestrator down
+  // with it.
+  std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < filled.size(); ++i) {
-    if (!filled[i]) {
+    if (!filled[i]) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    if (!degrade_) {
       execution.status = Status::error(
           "advm.exec-worker-failed",
-          "no shard reported cell " + std::to_string(i) + " (" +
-              plan.cells[i].derivative + " on " + plan.cells[i].platform +
-              ")");
+          "every serve worker died; " + std::to_string(missing.size()) +
+              " cell(s) unfinished, first: " + std::to_string(missing[0]) +
+              " (" + plan.cells[missing[0]].derivative + " on " +
+              plan.cells[missing[0]].platform + ")");
       execution.cells.clear();
       return execution;
     }
+    MatrixPlan remainder;
+    remainder.root = plan.root;
+    remainder.max_instructions = plan.max_instructions;
+    for (const std::size_t i : missing) {
+      remainder.cells.push_back(plan.cells[i]);
+    }
+    ThreadBackend fallback(*degrade_);
+    MatrixExecution recovered = fallback.run_matrix(remainder);
+    if (!recovered.status.ok()) {
+      execution.status = std::move(recovered.status);
+      execution.cells.clear();
+      return execution;
+    }
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      execution.cells[missing[j]] = std::move(recovered.cells[j]);
+      filled[missing[j]] = true;
+    }
+    state.stats.degraded = true;
   }
+  execution.fault = state.stats;
 
   // Feedback: a fully-successful run's measured wall-clocks become the
   // next lap's seed order. Partial or failed runs record nothing —

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,12 +63,22 @@ struct CostModelStats {
   std::size_t recorded = 0;      ///< observations persisted after the run
 };
 
+/// Fault-tolerance bookkeeping of a pooled process-backend run. All zero
+/// / false on a lap where nothing died.
+struct FaultStats {
+  std::size_t retries = 0;           ///< requeued groups (incl. splits)
+  std::size_t requeued_cells = 0;    ///< cells across those groups
+  std::size_t respawns = 0;          ///< dead slots replaced with a fresh worker
+  std::size_t quarantined_cells = 0; ///< cells poisoned after the retry budget
+  bool degraded = false;  ///< remainder finished in-process (all workers dead)
+};
+
 /// Outcome of executing a plan: per-cell reports in cube order on
 /// success, a typed Status (advm.exec-* codes) when orchestration itself
 /// failed. Test failures are *not* an execution failure — they come back
 /// inside the reports. `workers`/`jobs_per_worker`/`cost_model`/
-/// `batched_requests` are filled by the process backend only (empty/0 on
-/// the thread backend).
+/// `batched_requests`/`fault` are filled by the process backend only
+/// (empty/0 on the thread backend).
 struct MatrixExecution {
   Status status;
   std::vector<RegressionReport> cells;
@@ -75,6 +86,7 @@ struct MatrixExecution {
   std::size_t jobs_per_worker = 0;
   CostModelStats cost_model;
   std::size_t batched_requests = 0;  ///< Run requests carrying > 1 cell
+  FaultStats fault;
 };
 
 class ExecutionBackend {
@@ -127,6 +139,13 @@ struct ProcessBackendConfig {
   /// as a typed advm.exec-worker-timeout instead of hanging the
   /// orchestrator.
   std::size_t request_timeout_ms = 600'000;
+  /// How many times a dead worker slot may be replaced with a fresh
+  /// process. 0 = never respawn; the lap then runs on the survivors.
+  std::size_t max_respawns = 1;
+  /// Deterministic fault injection (tests, the ci.sh chaos gate): each
+  /// clause is forwarded to its target worker's Init request and fires
+  /// inside the worker's serve loop. Empty in production.
+  std::vector<FaultClause> fault_plan;
 
   static constexpr std::size_t kAutoBatchThreshold =
       static_cast<std::size_t>(-1);
@@ -137,18 +156,48 @@ struct ProcessBackendConfig {
 /// Multi-process execution over `advm worker` subprocesses. Reads the tree
 /// from the VFS it is constructed over; the VFS must stay alive and
 /// unmodified for the duration of run_matrix.
+///
+/// Fault tolerance: a worker that dies, wedges past the request deadline,
+/// or answers garbage only loses its own in-flight request group. The
+/// group is requeued (kMaxGroupAttempts attempts; a multi-cell batch that
+/// exhausts them is first split back into single-cell groups), the dead
+/// slot is optionally respawned (max_respawns), and a single cell that
+/// keeps killing workers is quarantined as a typed advm.exec-cell-poisoned
+/// per-cell outcome instead of failing the lap. If every slot dies with
+/// work remaining and a `degrade` context was provided, the remainder
+/// finishes in-process on a ThreadBackend and the run is marked degraded.
 class ProcessBackend final : public ExecutionBackend {
  public:
   ProcessBackend(const support::VirtualFileSystem& vfs,
-                 ProcessBackendConfig config)
-      : vfs_(vfs), config_(std::move(config)) {}
+                 ProcessBackendConfig config,
+                 std::optional<SessionContext> degrade = std::nullopt)
+      : vfs_(vfs), config_(std::move(config)), degrade_(std::move(degrade)) {}
   [[nodiscard]] std::string_view name() const override { return "process"; }
   [[nodiscard]] MatrixExecution run_matrix(const MatrixPlan& plan) override;
 
  private:
   const support::VirtualFileSystem& vfs_;
   ProcessBackendConfig config_;
+  std::optional<SessionContext> degrade_;
 };
+
+// --------------------------------------------------------- fault policy --
+
+/// Per-cell outcome test id of a quarantined cell: the cell's report
+/// carries one synthetic build-failure record with this id instead of the
+/// run that never happened.
+inline constexpr std::string_view kPoisonedCellOutcome =
+    "advm.exec-cell-poisoned";
+
+/// How many times one request group may take down a worker before the
+/// retry budget is exhausted (split if batched, quarantine if single).
+inline constexpr std::size_t kMaxGroupAttempts = 2;
+
+/// What happens to a `cells`-cell request group after its `attempts`-th
+/// failed attempt. Pure policy, exposed for tests.
+enum class GroupFate { Retry, Split, Poison };
+[[nodiscard]] GroupFate fate_after_failure(std::size_t cells,
+                                           std::size_t attempts);
 
 /// Merges one worker shard-report document
 /// ({"ok":true,...,"cells":[{"index":N,"report":{...}}]}) into `cells`,

@@ -117,55 +117,89 @@ int spawn_process(const std::string& exe,
 Status WorkerPool::spawn(const std::string& exe, const std::string& scratch,
                          std::size_t count) {
   shutdown();
-  workers_.reserve(count);
+  exe_ = exe;
+  scratch_ = scratch;
+  workers_.assign(count, Worker{});
   for (std::size_t i = 0; i < count; ++i) {
-    // O_CLOEXEC everywhere: a later-spawned worker must not inherit an
-    // earlier worker's pipe ends, or a surviving copy of a sibling's
-    // stdin write end would keep EOF-driven shutdown from ever arriving.
-    // The child's own ends survive its exec via the dup2 file actions
-    // below (the duplicates to fds 0/1 are not close-on-exec).
-    int to_worker[2] = {-1, -1};    // orchestrator writes → worker stdin
-    int from_worker[2] = {-1, -1};  // worker stdout → orchestrator reads
-    if (::pipe2(to_worker, O_CLOEXEC) != 0 ||
-        ::pipe2(from_worker, O_CLOEXEC) != 0) {
-      if (to_worker[0] != -1) {
-        ::close(to_worker[0]);
-        ::close(to_worker[1]);
-      }
-      const Status status =
-          spawn_error(std::string("pipe: ") + std::strerror(errno));
+    if (Status status = spawn_slot(i); !status.ok()) {
       shutdown();
       return status;
     }
-
-    Worker worker;
-    worker.stderr_path =
-        scratch + "/serve-" + std::to_string(i) + ".err.txt";
-
-    FileActions fa;
-    posix_spawn_file_actions_adddup2(&fa.actions, to_worker[0], 0);
-    posix_spawn_file_actions_adddup2(&fa.actions, from_worker[1], 1);
-    posix_spawn_file_actions_addopen(
-        &fa.actions, 2, worker.stderr_path.c_str(),
-        O_WRONLY | O_CREAT | O_TRUNC, 0644);
-
-    const int rc = spawn_process(exe, {"worker", "--serve"}, &fa.actions,
-                                 &worker.pid);
-    ::close(to_worker[0]);
-    ::close(from_worker[1]);
-    if (rc != 0) {
-      ::close(to_worker[1]);
-      ::close(from_worker[0]);
-      const Status status = spawn_error(std::string("posix_spawn ") + exe +
-                                        ": " + std::strerror(rc));
-      shutdown();
-      return status;
-    }
-    worker.stdin_fd = to_worker[1];
-    worker.stdout_fd = from_worker[0];
-    workers_.push_back(std::move(worker));
   }
   return {};
+}
+
+Status WorkerPool::spawn_slot(std::size_t i) {
+  Worker& worker = workers_[i];
+  worker.stderr_path = scratch_ + "/serve-" + std::to_string(i) + ".err.txt";
+  worker.read_buffer.clear();
+
+  // O_CLOEXEC everywhere: a later-spawned worker must not inherit an
+  // earlier worker's pipe ends, or a surviving copy of a sibling's
+  // stdin write end would keep EOF-driven shutdown from ever arriving.
+  // The child's own ends survive its exec via the dup2 file actions
+  // below (the duplicates to fds 0/1 are not close-on-exec).
+  int to_worker[2] = {-1, -1};    // orchestrator writes → worker stdin
+  int from_worker[2] = {-1, -1};  // worker stdout → orchestrator reads
+  if (::pipe2(to_worker, O_CLOEXEC) != 0 ||
+      ::pipe2(from_worker, O_CLOEXEC) != 0) {
+    // Captured before ::close below gets a chance to clobber it — the
+    // diagnostic must name the pipe2 failure, not a cleanup errno.
+    const int pipe_errno = errno;
+    if (to_worker[0] != -1) {
+      ::close(to_worker[0]);
+      ::close(to_worker[1]);
+    }
+    return spawn_error(std::string("pipe: ") + std::strerror(pipe_errno));
+  }
+
+  FileActions fa;
+  posix_spawn_file_actions_adddup2(&fa.actions, to_worker[0], 0);
+  posix_spawn_file_actions_adddup2(&fa.actions, from_worker[1], 1);
+  posix_spawn_file_actions_addopen(&fa.actions, 2,
+                                   worker.stderr_path.c_str(),
+                                   O_WRONLY | O_CREAT | O_TRUNC, 0644);
+
+  const int rc = spawn_process(exe_, {"worker", "--serve"}, &fa.actions,
+                               &worker.pid);
+  ::close(to_worker[0]);
+  ::close(from_worker[1]);
+  if (rc != 0) {
+    worker.pid = -1;
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    return spawn_error(std::string("posix_spawn ") + exe_ + ": " +
+                       std::strerror(rc));
+  }
+  worker.stdin_fd = to_worker[1];
+  worker.stdout_fd = from_worker[0];
+  return {};
+}
+
+void WorkerPool::retire(std::size_t i) {
+  if (i >= workers_.size()) return;
+  Worker& worker = workers_[i];
+  if (worker.stdin_fd != -1) ::close(worker.stdin_fd);
+  if (worker.stdout_fd != -1) ::close(worker.stdout_fd);
+  worker.stdin_fd = worker.stdout_fd = -1;
+  worker.read_buffer.clear();
+  if (worker.pid > 0) {
+    ::kill(worker.pid, SIGKILL);
+    pid_t reaped;
+    int status = 0;
+    do {
+      reaped = ::waitpid(worker.pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    worker.pid = -1;
+  }
+}
+
+Status WorkerPool::respawn(std::size_t i) {
+  if (exe_.empty() || i >= workers_.size()) {
+    return spawn_error("respawn before spawn");
+  }
+  retire(i);
+  return spawn_slot(i);
 }
 
 Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
@@ -179,10 +213,16 @@ Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
     return Status::error("advm.exec-worker-failed", std::move(message));
   };
 
+  if (worker.pid <= 0 || worker.stdin_fd == -1) {
+    return fail("is not running");
+  }
   if (!write_all(worker.stdin_fd, request) ||
       !write_all(worker.stdin_fd, "\n")) {
+    // Captured immediately: fail() tails the stderr capture file, and
+    // that file I/O would otherwise overwrite the write's errno.
+    const int write_errno = errno;
     return fail("request write failed (" +
-                std::string(std::strerror(errno)) + ")");
+                std::string(std::strerror(write_errno)) + ")");
   }
   // Per-request deadline: a worker wedged mid-response (an infinite loop
   // in the simulated test, a deadlocked child) must surface as a typed
@@ -220,18 +260,20 @@ Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
           &pfd, 1,
           static_cast<int>(std::min<long long>(remaining, 60'000)));
       if (ready < 0) {
-        if (errno == EINTR) continue;
+        const int poll_errno = errno;
+        if (poll_errno == EINTR) continue;
         return fail("response poll failed (" +
-                    std::string(std::strerror(errno)) + ")");
+                    std::string(std::strerror(poll_errno)) + ")");
       }
       if (ready == 0) continue;  // re-check the deadline
     }
     char chunk[4096];
     const ssize_t n = ::read(worker.stdout_fd, chunk, sizeof chunk);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      const int read_errno = errno;
+      if (read_errno == EINTR) continue;
       return fail("response read failed (" +
-                  std::string(std::strerror(errno)) + ")");
+                  std::string(std::strerror(read_errno)) + ")");
     }
     if (n == 0) return fail("exited before answering");
     worker.read_buffer.append(chunk, static_cast<std::size_t>(n));
@@ -247,45 +289,49 @@ Status WorkerPool::shutdown() {
   }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& worker = workers_[i];
-    if (worker.pid < 0) continue;
-    int status = 0;
-    pid_t reaped = -1;
-    // EOF-driven exit is prompt; poll briefly before escalating so a
-    // wedged worker cannot hang the orchestrator.
-    for (int attempt = 0; attempt < 200; ++attempt) {
-      reaped = ::waitpid(worker.pid, &status, WNOHANG);
-      if (reaped != 0) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    if (reaped == 0) {
-      ::kill(worker.pid, SIGKILL);
-      reaped = ::waitpid(worker.pid, &status, 0);
-    }
-    if (reaped < 0) {
-      if (first_failure.ok()) {
-        first_failure = Status::error(
-            "advm.exec-worker-failed",
-            "serve worker " + std::to_string(i) + ": waitpid failed (" +
-                std::strerror(errno) + ")");
+    if (worker.pid > 0) {
+      int status = 0;
+      pid_t reaped = -1;
+      // EOF-driven exit is prompt; poll briefly before escalating so a
+      // wedged worker cannot hang the orchestrator.
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        reaped = ::waitpid(worker.pid, &status, WNOHANG);
+        if (reaped != 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
-    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      if (first_failure.ok()) {
-        std::string message = "serve worker " + std::to_string(i) +
-                              (WIFEXITED(status)
-                                   ? ": exit code " +
-                                         std::to_string(WEXITSTATUS(status))
-                                   : ": killed by signal");
-        const std::string tail = stderr_tail(worker.stderr_path);
-        if (!tail.empty()) message += " [worker stderr: " + tail + "]";
-        first_failure =
-            Status::error("advm.exec-worker-failed", std::move(message));
+      if (reaped == 0) {
+        ::kill(worker.pid, SIGKILL);
+        reaped = ::waitpid(worker.pid, &status, 0);
       }
+      if (reaped < 0) {
+        const int wait_errno = errno;
+        if (first_failure.ok()) {
+          first_failure = Status::error(
+              "advm.exec-worker-failed",
+              "serve worker " + std::to_string(i) + ": waitpid failed (" +
+                  std::strerror(wait_errno) + ")");
+        }
+      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        if (first_failure.ok()) {
+          std::string message =
+              "serve worker " + std::to_string(i) +
+              (WIFEXITED(status)
+                   ? ": exit code " + std::to_string(WEXITSTATUS(status))
+                   : ": killed by signal");
+          const std::string tail = stderr_tail(worker.stderr_path);
+          if (!tail.empty()) message += " [worker stderr: " + tail + "]";
+          first_failure =
+              Status::error("advm.exec-worker-failed", std::move(message));
+        }
+      }
+      worker.pid = -1;
     }
-    worker.pid = -1;
     // The stderr capture served its purpose (the tail above); without
     // this unlink every successful orchestration leaks one file per
-    // worker. ADVM_EXEC_KEEP_SCRATCH=1 keeps them alongside the rest of
-    // the scratch tree for post-mortem debugging.
+    // worker — including retired slots whose pid is already gone, which
+    // is why the unlink sits outside the reap branch.
+    // ADVM_EXEC_KEEP_SCRATCH=1 keeps them alongside the rest of the
+    // scratch tree for post-mortem debugging.
     const char* keep = std::getenv("ADVM_EXEC_KEEP_SCRATCH");
     if ((keep == nullptr || keep[0] != '1') &&
         !worker.stderr_path.empty()) {

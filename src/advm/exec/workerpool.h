@@ -44,6 +44,25 @@ class WorkerPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// True while slot `i` holds a live (well, unretired — the process may
+  /// have died on its own) worker with open pipes.
+  [[nodiscard]] bool alive(std::size_t i) const {
+    return i < workers_.size() && workers_[i].pid > 0;
+  }
+
+  /// Forcibly ends slot `i`'s worker: SIGKILL, reap, close both pipe
+  /// ends. Idempotent, and safe on a worker that already exited (the kill
+  /// is a no-op on the zombie; the reap collects it). The stderr capture
+  /// file is kept for diagnostics until shutdown() or a respawn truncates
+  /// it.
+  void retire(std::size_t i);
+
+  /// Replaces slot `i`'s (retired or dead) worker with a freshly spawned
+  /// process reusing the slot's stderr path. The new worker is blank — the
+  /// caller re-Inits it. On failure the slot stays retired and the rest of
+  /// the pool is untouched.
+  [[nodiscard]] Status respawn(std::size_t i);
+
   /// Per-request response deadline for roundtrip(), in milliseconds;
   /// 0 waits forever. Applies to requests issued after the call.
   void set_request_timeout_ms(std::size_t ms) { request_timeout_ms_ = ms; }
@@ -83,7 +102,11 @@ class WorkerPool {
     std::string read_buffer;  ///< bytes read past the last returned line
   };
 
+  [[nodiscard]] Status spawn_slot(std::size_t i);
+
   std::vector<Worker> workers_;
+  std::string exe_;      ///< remembered by spawn() for respawn()
+  std::string scratch_;
   std::size_t request_timeout_ms_ = 600'000;  ///< 0 = no deadline
 };
 

@@ -131,6 +131,7 @@ struct ServeRequest {
   std::size_t jobs = 1;
   std::string cache_dir;
   std::uint64_t cache_max_bytes = 0;
+  std::string fault_plan;  ///< worker-local fault actions; "" = none
   // Run payload.
   std::uint64_t max_instructions = 2'000'000;
   std::vector<PlannedCell> cells;
@@ -144,5 +145,50 @@ struct ServeRequest {
 /// non-null) on malformed JSON, unknown commands, or a Run without cells.
 [[nodiscard]] std::optional<ServeRequest> parse_serve_request(
     std::string_view text, std::string* error = nullptr);
+
+// --------------------------------------------------------- fault injection --
+
+/// One clause of a deterministic fault plan (hidden `--fault-plan` /
+/// `ADVM_FAULT_PLAN`). The full plan is `;`-separated clauses of the form
+///
+///   <worker|*>:<action>@<trigger>
+///
+/// where `action` is one of crash (die before replying), wedge (sleep past
+/// any request deadline before replying), garbage (answer a non-JSON line),
+/// or exit (clean _Exit with a non-zero code before replying), and
+/// `trigger` is either `N` (the Nth Run request the worker serves, 1-based,
+/// first incarnation of the slot only) or `cell=I` (any Run request that
+/// contains planned cell index I — re-armed across respawns, which is what
+/// makes a cell *poisoned* rather than merely unlucky).
+struct FaultClause {
+  enum class Action : std::uint8_t { Crash, Wedge, Garbage, Exit };
+  static constexpr std::size_t kAnyWorker = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+  std::size_t worker = kAnyWorker;  ///< slot index, or kAnyWorker for '*'
+  Action action = Action::Crash;
+  std::size_t request = 0;    ///< 1-based Run count trigger; 0 when cell-based
+  std::size_t cell = kNoCell; ///< planned-index trigger, or kNoCell
+};
+
+[[nodiscard]] std::string_view to_string(FaultClause::Action action);
+
+/// Parses a full orchestrator-side fault plan. nullopt (with a diagnostic
+/// in `error` when non-null) on malformed clauses. An empty/blank plan
+/// parses to an empty vector.
+[[nodiscard]] std::optional<std::vector<FaultClause>> parse_fault_plan(
+    std::string_view text, std::string* error = nullptr);
+
+/// Renders the subset of `plan` addressed to worker slot `worker` as the
+/// comma-separated `action@trigger` list carried by an Init request.
+/// Request-count clauses target the slot's first incarnation only, so they
+/// are dropped when `first_incarnation` is false; cell clauses are re-sent
+/// to respawned workers (a poisoned cell must keep killing its hosts).
+[[nodiscard]] std::string fault_plan_for_worker(
+    const std::vector<FaultClause>& plan, std::size_t worker,
+    bool first_incarnation);
+
+/// Parses the worker-side `action@trigger` list from an Init payload.
+[[nodiscard]] std::optional<std::vector<FaultClause>>
+parse_worker_fault_actions(std::string_view text, std::string* error = nullptr);
 
 }  // namespace advm::core::exec

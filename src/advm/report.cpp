@@ -348,6 +348,13 @@ std::string to_json(const MatrixResult& result) {
     os << ",\"seeded_cells\":" << result.cost_model.seeded_cells
        << ",\"recorded\":" << result.cost_model.recorded << "}";
     os << ",\"batched_requests\":" << result.batched_requests;
+    os << ",\"request_timeout_ms\":" << result.request_timeout_ms;
+    os << ",\"fault\":{\"retries\":" << result.fault.retries
+       << ",\"requeued_cells\":" << result.fault.requeued_cells
+       << ",\"respawns\":" << result.fault.respawns
+       << ",\"quarantined_cells\":" << result.fault.quarantined_cells
+       << ",\"degraded\":" << (result.fault.degraded ? "true" : "false")
+       << "}";
   }
   os << ",\"cells\":[";
   for (std::size_t i = 0; i < result.cells.size(); ++i) {

@@ -108,6 +108,19 @@ Status SessionConfig::validate() const {
                              " out of range [1, " +
                              std::to_string(kMaxShards) + "]");
   }
+  if (request_timeout_ms > kMaxRequestTimeoutMs) {
+    return Status::error(
+        "advm.bad-timeout",
+        "request timeout " + std::to_string(request_timeout_ms) +
+            "ms exceeds the limit " + std::to_string(kMaxRequestTimeoutMs) +
+            "ms (0 = wait forever)");
+  }
+  if (!fault_plan.empty()) {
+    std::string parse_error;
+    if (!exec::parse_fault_plan(fault_plan, &parse_error)) {
+      return Status::error("advm.bad-fault-plan", parse_error);
+    }
+  }
   return {};
 }
 
@@ -253,8 +266,22 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
     // Both use the same "auto" sentinel value, so the session default
     // passes through unchanged.
     process_config.batch_threshold_ms = config_.batch_threshold_ms;
-    backend =
-        std::make_unique<exec::ProcessBackend>(vfs_, process_config);
+    process_config.request_timeout_ms = config_.request_timeout_ms;
+    process_config.max_respawns = config_.max_respawns;
+    if (!config_.fault_plan.empty()) {
+      // Validated (advm.bad-fault-plan) before any verb runs; a plan that
+      // stopped parsing between validate() and here would be a bug, so
+      // the empty fallback is fine.
+      if (auto plan = exec::parse_fault_plan(config_.fault_plan)) {
+        process_config.fault_plan = std::move(*plan);
+      }
+    }
+    result.request_timeout_ms = config_.request_timeout_ms;
+    // The session's own context doubles as the degradation fallback: if
+    // every worker dies, the backend finishes the remaining cells
+    // in-process instead of failing the lap.
+    backend = std::make_unique<exec::ProcessBackend>(vfs_, process_config,
+                                                     context());
   } else {
     backend = std::make_unique<exec::ThreadBackend>(context());
   }
@@ -273,6 +300,10 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
                        execution.cost_model.seeded_cells,
                        execution.cost_model.recorded};
   result.batched_requests = execution.batched_requests;
+  result.fault = {execution.fault.retries, execution.fault.requeued_cells,
+                  execution.fault.respawns,
+                  execution.fault.quarantined_cells,
+                  execution.fault.degraded};
   if (!result.status.ok()) {
     result.cells.clear();
     result.workers.clear();

@@ -124,6 +124,16 @@ struct MatrixCostModelStats {
   std::size_t recorded = 0;
 };
 
+/// Fault-tolerance counters of a pooled process-backend matrix run
+/// (mirrors exec::FaultStats). All zero / false when nothing died.
+struct MatrixFaultStats {
+  std::size_t retries = 0;           ///< requeued request groups
+  std::size_t requeued_cells = 0;    ///< cells across those groups
+  std::size_t respawns = 0;          ///< dead worker slots refilled
+  std::size_t quarantined_cells = 0; ///< advm.exec-cell-poisoned outcomes
+  bool degraded = false;  ///< remainder ran in-process (all workers died)
+};
+
 struct MatrixResult {
   Status status;
   std::vector<RegressionReport> cells;  ///< derivative-major order
@@ -138,6 +148,8 @@ struct MatrixResult {
   std::size_t jobs_per_worker = 0;
   MatrixCostModelStats cost_model;
   std::size_t batched_requests = 0;
+  MatrixFaultStats fault;
+  std::size_t request_timeout_ms = 0;  ///< effective per-request deadline
 
   [[nodiscard]] bool all_passed() const;
   /// Requests served beyond each worker's first — the spawn-amortization
@@ -250,6 +262,17 @@ struct SessionConfig {
   /// packed into one multi-cell serve request. kAutoBatchThreshold (the
   /// default) lets the backend pick its default; 0 disables batching.
   std::size_t batch_threshold_ms = kAutoBatchThreshold;
+  /// Process backend: per-request response deadline in milliseconds
+  /// (`--request-timeout-ms`); 0 waits forever. A worker that misses it
+  /// is killed and its cells are requeued on the survivors.
+  std::size_t request_timeout_ms = kDefaultRequestTimeoutMs;
+  /// Process backend: how many times each dead worker slot may be
+  /// replaced with a fresh process (`--max-respawns`); 0 never respawns.
+  std::size_t max_respawns = 1;
+  /// Process backend: deterministic fault-injection plan (hidden
+  /// `--fault-plan` / ADVM_FAULT_PLAN; see exec::FaultClause for the
+  /// clause grammar). Empty in production; validated as advm.bad-fault-plan.
+  std::string fault_plan;
 
   /// Upper bounds request validation enforces (guards against a typo'd
   /// --jobs/--shards silently fanning out the whole machine).
@@ -258,6 +281,10 @@ struct SessionConfig {
   /// Sentinel for batch_threshold_ms: backend-chosen default.
   static constexpr std::size_t kAutoBatchThreshold =
       static_cast<std::size_t>(-1);
+  static constexpr std::size_t kDefaultRequestTimeoutMs = 600'000;
+  /// 24 hours — anything beyond this is a typo'd --request-timeout-ms,
+  /// not a deadline (advm.bad-timeout).
+  static constexpr std::size_t kMaxRequestTimeoutMs = 86'400'000;
 
   /// Pool-size/shard-count sanity, applied by every verb that fans work
   /// out: a degenerate value fails as a typed Status, never silently

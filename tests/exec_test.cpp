@@ -748,6 +748,263 @@ TEST(WorkerPool, TwoWorkersServeEightCellsWithReuseAndThreadParity) {
   EXPECT_EQ(rollup_to_json(pooled), rollup_to_json(thread_result));
 }
 
+// ------------------------------------------------------- fault tolerance --
+
+TEST(FaultPlan, ParsesClausesAndRendersPerWorkerIncarnation) {
+  std::string error;
+  const auto plan = exec::parse_fault_plan(
+      "0:crash@1; *:garbage@cell=2 ;1:exit@3;0:wedge@cell=0", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->size(), 4u);
+  EXPECT_EQ((*plan)[0].worker, 0u);
+  EXPECT_EQ((*plan)[0].action, exec::FaultClause::Action::Crash);
+  EXPECT_EQ((*plan)[0].request, 1u);
+  EXPECT_EQ((*plan)[0].cell, exec::FaultClause::kNoCell);
+  EXPECT_EQ((*plan)[1].worker, exec::FaultClause::kAnyWorker);
+  EXPECT_EQ((*plan)[1].action, exec::FaultClause::Action::Garbage);
+  EXPECT_EQ((*plan)[1].cell, 2u);
+
+  // Worker 0, first incarnation: its own clauses plus the wildcard.
+  EXPECT_EQ(exec::fault_plan_for_worker(*plan, 0, true),
+            "crash@1,garbage@cell=2,wedge@cell=0");
+  // After a respawn, request-count clauses have already fired in the dead
+  // incarnation; only cell-addressed clauses survive (poisoned-cell
+  // semantics: the fault follows the cell, not the process).
+  EXPECT_EQ(exec::fault_plan_for_worker(*plan, 0, false),
+            "garbage@cell=2,wedge@cell=0");
+  EXPECT_EQ(exec::fault_plan_for_worker(*plan, 1, true),
+            "garbage@cell=2,exit@3");
+  // A slot nothing addresses directly still inherits the wildcard clause.
+  EXPECT_EQ(exec::fault_plan_for_worker(*plan, 7, true), "garbage@cell=2");
+
+  // The rendered worker-side list parses back to the same faults.
+  const auto actions = exec::parse_worker_fault_actions(
+      exec::fault_plan_for_worker(*plan, 0, true), &error);
+  ASSERT_TRUE(actions.has_value()) << error;
+  ASSERT_EQ(actions->size(), 3u);
+  EXPECT_EQ((*actions)[0].action, exec::FaultClause::Action::Crash);
+  EXPECT_EQ((*actions)[0].request, 1u);
+  EXPECT_EQ((*actions)[2].cell, 0u);
+
+  // Blank plans are legal no-ops on both sides of the wire.
+  EXPECT_TRUE(exec::parse_fault_plan("")->empty());
+  EXPECT_TRUE(exec::parse_worker_fault_actions("")->empty());
+}
+
+TEST(FaultPlan, MalformedClausesAreRejectedWithADiagnostic) {
+  const auto expect_bad = [](std::string_view text) {
+    std::string error;
+    EXPECT_FALSE(exec::parse_fault_plan(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  };
+  expect_bad("crash@1");        // missing '<worker|*>:' prefix
+  expect_bad("0:crash");        // missing '@<trigger>'
+  expect_bad("0:melt@1");       // unknown action
+  expect_bad("0:crash@0");      // run requests are numbered from 1
+  expect_bad("x:crash@1");      // non-numeric worker slot
+  expect_bad("0:crash@cell=");  // empty cell index
+  expect_bad("0:crash@cell=x");
+}
+
+TEST(FaultPolicy, GroupsRetryThenSplitThenPoison) {
+  // First failure of any group: requeue as-is.
+  EXPECT_EQ(exec::fate_after_failure(4, 1), exec::GroupFate::Retry);
+  EXPECT_EQ(exec::fate_after_failure(1, 1), exec::GroupFate::Retry);
+  // Budget exhausted: a batch splits so one bad cell cannot condemn its
+  // neighbours; a single cell has nowhere left to hide and is poisoned.
+  EXPECT_EQ(exec::fate_after_failure(4, exec::kMaxGroupAttempts),
+            exec::GroupFate::Split);
+  EXPECT_EQ(exec::fate_after_failure(1, exec::kMaxGroupAttempts),
+            exec::GroupFate::Poison);
+}
+
+/// A process-backend session wired for fault injection against the small
+/// cube, next to an identical thread-backend reference.
+struct ChaosLab {
+  MatrixResult thread_result;
+
+  ChaosLab() {
+    Session reference;
+    EXPECT_TRUE(build_small_system(reference).status.ok());
+    thread_result = reference.run(small_cube());
+    EXPECT_TRUE(thread_result.status.ok());
+  }
+
+  MatrixResult run(const std::string& fault_plan, std::size_t max_respawns,
+                   std::size_t request_timeout_ms = 0) {
+    SessionConfig config;
+    config.backend = ExecBackendKind::Process;
+    config.shards = 2;
+    config.worker_exe = ADVM_CLI_PATH;
+    config.fault_plan = fault_plan;
+    config.max_respawns = max_respawns;
+    if (request_timeout_ms != 0) {
+      config.request_timeout_ms = request_timeout_ms;
+    }
+    Session session(std::move(config));
+    EXPECT_TRUE(build_small_system(session).status.ok());
+    return session.run(small_cube());
+  }
+};
+
+TEST(FaultTolerance, CrashedWorkerCellsAreRequeuedWithThreadParity) {
+  ChaosLab lab;
+  // Worker 0 dies on its first request; no respawn budget. Its seed cell
+  // must migrate to the surviving worker and the lap must stay green.
+  MatrixResult result = lab.run("0:crash@1", /*max_respawns=*/0);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_GE(result.fault.retries, 1u);
+  EXPECT_GE(result.fault.requeued_cells, 1u);
+  EXPECT_EQ(result.fault.respawns, 0u);
+  EXPECT_EQ(result.fault.quarantined_cells, 0u);
+  EXPECT_FALSE(result.fault.degraded);
+  // The dead slot served nothing; the survivor carried the whole cube.
+  ASSERT_EQ(result.workers.size(), 2u);
+  EXPECT_EQ(result.workers[0].requests, 0u);
+  EXPECT_EQ(result.workers[1].cells, result.cells.size());
+  EXPECT_EQ(rollup_to_json(result), rollup_to_json(lab.thread_result));
+}
+
+TEST(FaultTolerance, RespawnBudgetRestoresACrashedSlot) {
+  ChaosLab lab;
+  MatrixResult result = lab.run("0:crash@1", /*max_respawns=*/1);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_EQ(result.fault.respawns, 1u);
+  EXPECT_GE(result.fault.retries, 1u);
+  EXPECT_EQ(result.fault.quarantined_cells, 0u);
+  EXPECT_FALSE(result.fault.degraded);
+  EXPECT_EQ(rollup_to_json(result), rollup_to_json(lab.thread_result));
+}
+
+TEST(FaultTolerance, GarbageReplyRetiresTheWorkerAndRequeues) {
+  ChaosLab lab;
+  // A worker whose reply is not a protocol document cannot be trusted
+  // with further requests even though its process is still alive.
+  MatrixResult result = lab.run("1:garbage@1", /*max_respawns=*/1);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_GE(result.fault.retries, 1u);
+  EXPECT_EQ(result.fault.respawns, 1u);
+  EXPECT_EQ(result.fault.quarantined_cells, 0u);
+  EXPECT_EQ(rollup_to_json(result), rollup_to_json(lab.thread_result));
+}
+
+TEST(FaultTolerance, WedgedWorkerIsTimedOutAndItsCellsRequeued) {
+  ChaosLab lab;
+  // The wedge burns one request deadline, then the cell is re-run
+  // elsewhere; keep the timeout short so the test stays fast.
+  MatrixResult result = lab.run("0:wedge@1", /*max_respawns=*/0,
+                                /*request_timeout_ms=*/1500);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_EQ(result.request_timeout_ms, 1500u);
+  EXPECT_GE(result.fault.retries, 1u);
+  EXPECT_FALSE(result.fault.degraded);
+  EXPECT_EQ(rollup_to_json(result), rollup_to_json(lab.thread_result));
+}
+
+TEST(FaultTolerance, PoisonedCellIsQuarantinedWithATypedOutcome) {
+  ChaosLab lab;
+  // Cell 1 kills every incarnation that touches it. After the retry
+  // budget it must be quarantined — a typed per-cell outcome, not a
+  // failed run — and every other cell must still match the reference.
+  MatrixResult result = lab.run("*:crash@cell=1", /*max_respawns=*/1);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_EQ(result.fault.quarantined_cells, 1u);
+  EXPECT_GE(result.fault.respawns, 1u);
+  EXPECT_FALSE(result.fault.degraded);
+
+  ASSERT_EQ(result.cells.size(), lab.thread_result.cells.size());
+  const RegressionReport& poisoned = result.cells[1];
+  ASSERT_EQ(poisoned.records.size(), 1u);
+  EXPECT_EQ(poisoned.records[0].test_id, exec::kPoisonedCellOutcome);
+  EXPECT_FALSE(poisoned.records[0].build_ok);
+  EXPECT_NE(poisoned.records[0].detail.find("quarantined"),
+            std::string::npos);
+  EXPECT_FALSE(poisoned.all_passed());
+  // The quarantine is surgical: the healthy cells are untouched.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2},
+                              std::size_t{3}}) {
+    EXPECT_EQ(result.cells[i].outcome_digest(),
+              lab.thread_result.cells[i].outcome_digest())
+        << "cell " << i;
+  }
+}
+
+TEST(FaultTolerance, AllWorkersDeadDegradesToTheThreadBackend) {
+  ChaosLab lab;
+  // Every incarnation dies on its first request and there is no respawn
+  // budget: the orchestrator must finish the lap in-process rather than
+  // fail it, and must say so.
+  MatrixResult result = lab.run("*:crash@1", /*max_respawns=*/0);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  EXPECT_TRUE(result.fault.degraded);
+  EXPECT_EQ(result.fault.quarantined_cells, 0u);
+  EXPECT_GE(result.fault.retries, 2u);
+  EXPECT_EQ(rollup_to_json(result), rollup_to_json(lab.thread_result));
+}
+
+TEST(FaultTolerance, ABatchSplitsBeforeAnyCellIsCondemned) {
+  // Warm the cost model so the next lap packs all four tiny cells into a
+  // single multi-cell batch, then poison one cell inside that batch: the
+  // batch must split into singles so only the bad cell is quarantined.
+  ScratchDir cache("chaos_batch");
+  const auto run_once = [&](std::size_t batch_threshold_ms,
+                            const std::string& fault_plan) {
+    SessionConfig config;
+    config.backend = ExecBackendKind::Process;
+    config.shards = 2;
+    config.worker_exe = ADVM_CLI_PATH;
+    config.cache_dir = cache.path();
+    config.batch_threshold_ms = batch_threshold_ms;
+    config.fault_plan = fault_plan;
+    config.max_respawns = 5;
+    Session session(std::move(config));
+    EXPECT_TRUE(build_small_system(session).status.ok());
+    return session.run(small_cube());
+  };
+
+  MatrixResult cold = run_once(SessionConfig::kAutoBatchThreshold, "");
+  ASSERT_TRUE(cold.status.ok()) << cold.status.message;
+
+  MatrixResult split = run_once(1'000'000, "*:crash@cell=2");
+  ASSERT_TRUE(split.status.ok()) << split.status.message;
+  EXPECT_EQ(split.fault.quarantined_cells, 1u);
+  // The multi-cell batch was requeued whole at least once before the
+  // split — more cells requeued than the lone poisoned cell explains.
+  EXPECT_GT(split.fault.requeued_cells, split.cells.size());
+  ASSERT_EQ(split.cells.size(), cold.cells.size());
+  for (std::size_t i = 0; i < split.cells.size(); ++i) {
+    if (i == 2) {
+      ASSERT_EQ(split.cells[i].records.size(), 1u);
+      EXPECT_EQ(split.cells[i].records[0].test_id,
+                exec::kPoisonedCellOutcome);
+      continue;
+    }
+    EXPECT_EQ(split.cells[i].outcome_digest(),
+              cold.cells[i].outcome_digest())
+        << "cell " << i;
+  }
+}
+
+TEST(FaultTolerance, CrashLapKeepsTheMatrixJsonContract) {
+  // The chaos counters ride the same document the CI gates diff; pin the
+  // process-only fields so a rename cannot slip through the gates.
+  ChaosLab lab;
+  MatrixResult result = lab.run("0:crash@1", /*max_respawns=*/1);
+  ASSERT_TRUE(result.status.ok()) << result.status.message;
+  const std::string json = to_json(result);
+  for (const char* needle :
+       {"\"fault\":{\"retries\":", "\"requeued_cells\":", "\"respawns\":",
+        "\"quarantined_cells\":", "\"degraded\":false",
+        "\"request_timeout_ms\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  // Thread documents carry no fault block — goldens must not churn.
+  const std::string thread_json =
+      to_json(lab.thread_result);
+  EXPECT_EQ(thread_json.find("\"fault\""), std::string::npos);
+  EXPECT_EQ(thread_json.find("request_timeout_ms"), std::string::npos);
+}
+
 TEST(ExecutionBackend, CorpusWorkersGenerateTheTreeTheThreadPathBuilds) {
   // Shard the canonical corpus across workers and diff the result against
   // an in-process build: byte-identical trees, or sharded init is broken.

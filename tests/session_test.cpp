@@ -156,6 +156,31 @@ TEST(SessionValidation, ShardAndJobLimitsAreTypedErrors) {
   }
 }
 
+TEST(SessionValidation, OversizedRequestTimeoutIsATypedError) {
+  SessionConfig config;
+  config.request_timeout_ms = SessionConfig::kMaxRequestTimeoutMs + 1;
+  Session session(std::move(config));
+  MatrixResult matrix = session.run(MatrixRequest{});
+  EXPECT_EQ(matrix.status.code, "advm.bad-timeout");
+  EXPECT_TRUE(matrix.cells.empty());
+  // 0 stays legal: it means wait forever (the pre-deadline behaviour).
+  SessionConfig forever;
+  forever.request_timeout_ms = 0;
+  Session patient(std::move(forever));
+  ASSERT_TRUE(build_small_system(patient).status.ok());
+  EXPECT_TRUE(patient.run(RunRequest{}).status.ok());
+}
+
+TEST(SessionValidation, MalformedFaultPlanIsATypedError) {
+  SessionConfig config;
+  config.fault_plan = "0:melt@1";
+  Session session(std::move(config));
+  MatrixResult matrix = session.run(MatrixRequest{});
+  EXPECT_EQ(matrix.status.code, "advm.bad-fault-plan");
+  EXPECT_NE(matrix.status.message.find("melt"), std::string::npos);
+  EXPECT_TRUE(matrix.cells.empty());
+}
+
 // ------------------------------------------------------------ happy paths --
 
 TEST(Session, BuildRunCheckPortReleaseEndToEnd) {

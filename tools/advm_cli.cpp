@@ -43,6 +43,7 @@
 // and written back — so `port` literally edits only the abstraction layer
 // files in your working copy.
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +53,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "advm/exec/backend.h"
@@ -166,6 +168,28 @@ Status config_from_args(const Args& args, SessionConfig* config) {
                         &config->batch_threshold_ms);
         !status.ok()) {
       return status;
+    }
+  }
+  // --request-timeout-ms MS: per-request worker deadline on the process
+  // backend (0 = wait forever). Range-checked by SessionConfig::validate.
+  if (Status status = parse_count(args, "request-timeout-ms",
+                                  "advm.bad-timeout",
+                                  &config->request_timeout_ms);
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = parse_count(args, "max-respawns",
+                                  "advm.bad-respawns",
+                                  &config->max_respawns);
+      !status.ok()) {
+    return status;
+  }
+  // Hidden fault-injection seam (tests, the ci.sh chaos gate): the flag
+  // wins over the environment so a wrapper script can still override.
+  config->fault_plan = option_or(args, "fault-plan", "");
+  if (config->fault_plan.empty()) {
+    if (const char* env = std::getenv("ADVM_FAULT_PLAN")) {
+      config->fault_plan = env;
     }
   }
   return {};
@@ -538,6 +562,25 @@ int cmd_worker_serve() {
     std::cout << line << "\n" << std::flush;
   };
   std::unique_ptr<Session> session;
+  // Injected faults (Init's fault_plan; empty in production). A
+  // request-count clause matches exactly one value of `run_count`; a
+  // cell clause matches every Run request naming its planned index.
+  std::vector<exec::FaultClause> faults;
+  std::size_t run_count = 0;
+  const auto match_fault =
+      [&](const std::vector<exec::PlannedCell>& cells)
+      -> const exec::FaultClause* {
+    for (const exec::FaultClause& fault : faults) {
+      if (fault.cell != exec::FaultClause::kNoCell) {
+        for (const exec::PlannedCell& cell : cells) {
+          if (cell.index == fault.cell) return &fault;
+        }
+      } else if (fault.request == run_count) {
+        return &fault;
+      }
+    }
+    return nullptr;
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -550,6 +593,14 @@ int cmd_worker_serve() {
     }
     switch (request->kind) {
       case exec::ServeRequest::Kind::Init: {
+        auto parsed = exec::parse_worker_fault_actions(request->fault_plan,
+                                                       &parse_error);
+        if (!parsed) {
+          respond(error_to_json(
+              "worker",
+              Status::error("advm.bad-serve-request", parse_error)));
+          break;
+        }
         SessionConfig config;
         config.jobs = request->jobs;
         config.cache_dir = request->cache_dir;
@@ -564,6 +615,8 @@ int cmd_worker_serve() {
           break;
         }
         session = std::move(fresh);
+        faults = std::move(*parsed);
+        run_count = 0;
         respond("{\"ok\":true,\"verb\":\"worker\",\"kind\":\"serve-init\"}");
         break;
       }
@@ -573,6 +626,27 @@ int cmd_worker_serve() {
               "worker", Status::error("advm.bad-serve-request",
                                       "run before init")));
           break;
+        }
+        run_count += 1;
+        if (const exec::FaultClause* fault = match_fault(request->cells)) {
+          switch (fault->action) {
+            case exec::FaultClause::Action::Crash:
+              // Die without a reply — the orchestrator sees EOF
+              // mid-request, exactly like a segfaulting simulated test.
+              std::raise(SIGKILL);
+              break;
+            case exec::FaultClause::Action::Exit:
+              std::_Exit(3);
+              break;
+            case exec::FaultClause::Action::Garbage:
+              respond("@@fault-injected-garbage@@");
+              continue;
+            case exec::FaultClause::Action::Wedge:
+              // Outlive any sane request deadline; the orchestrator's
+              // poll(2) timeout fires and SIGKILLs this process.
+              std::this_thread::sleep_for(std::chrono::hours(1));
+              break;
+          }
         }
         Status error;
         const auto document = run_cells_document(
@@ -704,7 +778,8 @@ int usage() {
          " [--jobs N]\n"
          "             [--backend thread|process] [--shards N]"
          " [--cache-dir DIR]\n"
-         "             [--batch-threshold MS|auto]\n"
+         "             [--batch-threshold MS|auto]"
+         " [--request-timeout-ms MS] [--max-respawns N]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
          "  advm release <dir> [--name R1] [--derivative D] [--platform P]"

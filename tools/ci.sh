@@ -123,6 +123,80 @@ print("shard determinism ok: %d cells byte-identical across backends, "
        warm_cm["seeded_cells"], batched["batched_requests"]))
 PY
 
+echo "==> chaos gate (fault-injected process backend vs the thread reference)"
+# Reuses the e10 cube from the shard gate above. Faults are injected with
+# the hidden --fault-plan serve-loop seam; the gate is that a lap that
+# loses workers still produces the same roll-up bytes as the undisturbed
+# thread lap — recovery must be invisible in the report, visible only in
+# the fault counters.
+#
+# Lap 1: worker 0 is SIGKILLed on its first request, no respawn budget —
+# its cells must requeue onto the survivors.
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --backend process --shards 4 --jobs 8 --cache-dir build/shard-cache \
+  --fault-plan "0:crash@1" --max-respawns 0 --request-timeout-ms 120000 \
+  --format json > build/chaos-crash.json || true
+# Lap 2: every incarnation dies on its first request and nothing may
+# respawn — the orchestrator must degrade to the in-process backend.
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --backend process --shards 4 --jobs 8 --cache-dir build/shard-cache \
+  --fault-plan "*:crash@1" --max-respawns 0 \
+  --format json > build/chaos-degraded.json || true
+python3 - build/shard-thread.json build/chaos-crash.json \
+  build/chaos-degraded.json <<'PY'
+import json, sys
+thread, crash, degraded = (json.load(open(p)) for p in sys.argv[1:4])
+roll_thread = json.dumps(thread["rollup"], sort_keys=True)
+assert roll_thread == json.dumps(crash["rollup"], sort_keys=True), \
+    "crash-lap roll-up diverged from the thread reference"
+assert roll_thread == json.dumps(degraded["rollup"], sort_keys=True), \
+    "degraded-lap roll-up diverged from the thread reference"
+fault = crash["fault"]
+assert fault["retries"] >= 1, fault
+assert fault["requeued_cells"] >= 1, fault
+assert fault["respawns"] == 0, fault
+assert fault["quarantined_cells"] == 0, fault
+assert fault["degraded"] is False, fault
+assert crash["request_timeout_ms"] == 120000, crash["request_timeout_ms"]
+assert degraded["fault"]["degraded"] is True, degraded["fault"]
+assert degraded["fault"]["quarantined_cells"] == 0, degraded["fault"]
+assert "fault" not in thread, "thread backend must not report fault stats"
+print("chaos ok: crash lap requeued %d cell(s) over %d retri(es), "
+      "all-dead lap degraded cleanly, roll-ups byte-identical" %
+      (fault["requeued_cells"], fault["retries"]))
+PY
+
+echo "==> quarantine gate (a poisoned cell is a typed outcome, not a failed run)"
+# A green 2-cell cube where cell 1 kills every worker that touches it:
+# the run must finish with a non-zero exit (a quarantined cell is a
+# failure), exactly one poisoned cell, and the other cell intact.
+if ./build/tools/advm matrix build/json-contract-env \
+  --derivatives SC88-A,SC88-B --platforms golden-model \
+  --backend process --shards 2 \
+  --fault-plan "*:crash@cell=1" \
+  --format json > build/chaos-poison.json; then
+  echo "quarantine lap exited 0 despite a poisoned cell" >&2
+  exit 1
+fi
+python3 - build/chaos-poison.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] is True, "the run itself must complete"
+assert doc["all_passed"] is False, "a poisoned cell cannot count as green"
+fault = doc["fault"]
+assert fault["quarantined_cells"] == 1, fault
+poisoned = [c for c in doc["cells"]
+            if any(r["test"] == "advm.exec-cell-poisoned"
+                   for r in c["records"])]
+assert len(poisoned) == 1, "expected exactly one poisoned cell"
+assert poisoned[0]["derivative"] == "SC88-B", poisoned[0]["derivative"]
+healthy = [c for c in doc["cells"] if c is not poisoned[0]]
+assert all(c["all_passed"] for c in healthy), "healthy cells were damaged"
+print("quarantine ok: cell (%s, %s) poisoned after %d respawn(s), "
+      "neighbours green" % (poisoned[0]["derivative"],
+                            poisoned[0]["platform"], fault["respawns"]))
+PY
+
 echo "==> -Werror hygiene build"
 cmake --preset werror
 cmake --build build-werror -j
