@@ -342,8 +342,14 @@ MatrixExecution ProcessBackend::run_matrix(const MatrixPlan& plan) {
   // degenerates to plan order.
   const std::string tree_digest =
       support::hash_to_string(support::hash_tree(vfs_, plan.root));
-  CostModel model(config_.cache_dir);
-  model.load();
+  // A resident model (the serve daemon's warm Session) is shared across
+  // laps — already loaded, internally locked, and accumulating history
+  // in memory so the second attached lap seeds "measured" even before
+  // any publish hits disk. Without one, the lap loads its own.
+  CostModel local_model(config_.cache_dir);
+  CostModel& model =
+      config_.cost_model != nullptr ? *config_.cost_model : local_model;
+  if (config_.cost_model == nullptr) model.load();
   std::vector<double> estimate_ms(plan.cells.size(), -1.0);
   for (std::size_t i = 0; i < plan.cells.size(); ++i) {
     if (const auto est = model.estimate(plan.cells[i].derivative,

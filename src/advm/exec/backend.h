@@ -43,6 +43,8 @@
 
 namespace advm::core::exec {
 
+class CostModel;  // src/advm/exec/costmodel.h
+
 /// Per-worker dispatch bookkeeping of a pooled process-backend run.
 /// `requests` counts the Run round trips the worker served — anything
 /// past the first is spawn-amortizing reuse.
@@ -146,6 +148,12 @@ struct ProcessBackendConfig {
   /// clause is forwarded to its target worker's Init request and fires
   /// inside the worker's serve loop. Empty in production.
   std::vector<FaultClause> fault_plan;
+  /// Resident cost model to seed dispatch from and feed measurements
+  /// back into (the owner is responsible for load() and thread safety —
+  /// Session::cost_model() provides a loaded, internally locked one).
+  /// nullptr = construct and load a lap-local model from `cache_dir`,
+  /// the pre-daemon behaviour.
+  CostModel* cost_model = nullptr;
 
   static constexpr std::size_t kAutoBatchThreshold =
       static_cast<std::size_t>(-1);

@@ -59,6 +59,7 @@ std::string CostModel::path() const {
 }
 
 void CostModel::load() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   history_.clear();
   if (!enabled()) return;
   std::ifstream in(path(), std::ios::binary);
@@ -98,9 +99,15 @@ void CostModel::absorb(CostObservation observation) {
   }
 }
 
+std::size_t CostModel::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return history_.size();
+}
+
 std::optional<double> CostModel::estimate(
     const std::string& derivative, const std::string& platform,
     const std::string& tree_digest) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it =
       history_.find(make_key(derivative, platform, tree_digest));
   if (it == history_.end() || it->second.millis.empty()) {
@@ -117,11 +124,14 @@ std::optional<double> CostModel::estimate(
 
 void CostModel::record(CostObservation observation) {
   if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
   pending_.push_back(std::move(observation));
 }
 
 std::size_t CostModel::publish() {
-  if (!enabled() || pending_.empty()) return 0;
+  if (!enabled()) return 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return 0;
   const std::size_t folded = pending_.size();
   for (CostObservation& observation : pending_) {
     absorb(std::move(observation));

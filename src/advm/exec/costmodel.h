@@ -29,6 +29,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -57,6 +58,10 @@ class CostModel {
   /// Reads the record file into the in-memory history. Best-effort:
   /// malformed lines are skipped, a missing file is simply a cold model.
   void load();
+
+  /// Distinct (derivative × platform × tree digest) keys with history —
+  /// what the serve daemon's stats document reports.
+  [[nodiscard]] std::size_t keys() const;
 
   /// Decay-averaged estimate for one cell key, or nullopt when the model
   /// has no history for it (cold cache, new tree digest).
@@ -90,6 +95,12 @@ class CostModel {
   void absorb(CostObservation observation);
 
   std::string dir_;
+  /// One resident model may be shared by concurrent matrix laps (the
+  /// serve daemon's Session); every history/pending access is serialized
+  /// under this lock. Estimates stay cheap — the critical sections are
+  /// map lookups, not file I/O (publish builds its document under the
+  /// lock but that is one lap-end event, not a hot path).
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> history_;  ///< key → bounded observations
   std::vector<CostObservation> pending_;
 };

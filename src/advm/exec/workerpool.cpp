@@ -74,21 +74,6 @@ class SigPipeGuard {
   bool blocked_ = false;
 };
 
-bool write_all(int fd, std::string_view bytes) {
-  const SigPipeGuard guard;
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 /// RAII wrapper so every early return releases the file actions.
 struct FileActions {
   posix_spawn_file_actions_t actions;
@@ -113,6 +98,102 @@ int spawn_process(const std::string& exe,
 }
 
 }  // namespace
+
+bool write_all_fd(int fd, std::string_view bytes) {
+  const SigPipeGuard guard;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ReapOutcome kill_and_reap(pid_t pid, std::size_t grace_ms) {
+  ReapOutcome outcome;
+  if (pid <= 0) return outcome;
+  int status = 0;
+  pid_t reaped = 0;
+  // A cooperating process (EOF-driven worker exit, a daemon honouring
+  // --stop) exits promptly; poll for the grace window before escalating
+  // so it never hangs the caller.
+  const std::size_t attempts = grace_ms / 10;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped < 0 && errno == EINTR) {
+      reaped = 0;
+      continue;
+    }
+    if (reaped != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (reaped == 0) {
+    outcome.escalated = true;
+    ::kill(pid, SIGKILL);
+    do {
+      reaped = ::waitpid(pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+  }
+  if (reaped < 0) {
+    // Captured immediately: callers fold this into diagnostics whose
+    // construction may itself do file I/O.
+    outcome.error = errno;
+  } else if (reaped > 0) {
+    outcome.reaped = true;
+    outcome.status = status;
+  }
+  return outcome;
+}
+
+LineRead read_line_deadline(int fd, std::string* carry, std::string* line,
+                            std::size_t timeout_ms, int* io_errno) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t newline = carry->find('\n');
+    if (newline != std::string::npos) {
+      *line = carry->substr(0, newline);
+      carry->erase(0, newline + 1);
+      return LineRead::Line;
+    }
+    // Bound each wait with poll(2): 60s chunks re-check the deadline (and
+    // keep an infinite wait interruptible at the same cadence).
+    int wait_ms = 60'000;
+    if (timeout_ms != 0) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) return LineRead::Timeout;
+      wait_ms = static_cast<int>(std::min<long long>(remaining, 60'000));
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      const int poll_errno = errno;
+      if (poll_errno == EINTR) continue;
+      if (io_errno != nullptr) *io_errno = poll_errno;
+      return LineRead::Error;
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      const int read_errno = errno;
+      if (read_errno == EINTR) continue;
+      if (read_errno == EAGAIN || read_errno == EWOULDBLOCK) continue;
+      if (io_errno != nullptr) *io_errno = read_errno;
+      return LineRead::Error;
+    }
+    if (n == 0) return LineRead::Eof;
+    carry->append(chunk, static_cast<std::size_t>(n));
+  }
+}
 
 Status WorkerPool::spawn(const std::string& exe, const std::string& scratch,
                          std::size_t count) {
@@ -184,12 +265,7 @@ void WorkerPool::retire(std::size_t i) {
   worker.stdin_fd = worker.stdout_fd = -1;
   worker.read_buffer.clear();
   if (worker.pid > 0) {
-    ::kill(worker.pid, SIGKILL);
-    pid_t reaped;
-    int status = 0;
-    do {
-      reaped = ::waitpid(worker.pid, &status, 0);
-    } while (reaped < 0 && errno == EINTR);
+    (void)kill_and_reap(worker.pid, 0);  // no grace: retire is forcible
     worker.pid = -1;
   }
 }
@@ -216,8 +292,8 @@ Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
   if (worker.pid <= 0 || worker.stdin_fd == -1) {
     return fail("is not running");
   }
-  if (!write_all(worker.stdin_fd, request) ||
-      !write_all(worker.stdin_fd, "\n")) {
+  if (!write_all_fd(worker.stdin_fd, request) ||
+      !write_all_fd(worker.stdin_fd, "\n")) {
     // Captured immediately: fail() tails the stderr capture file, and
     // that file I/O would otherwise overwrite the write's errno.
     const int write_errno = errno;
@@ -226,58 +302,32 @@ Status WorkerPool::roundtrip(std::size_t i, const std::string& request,
   }
   // Per-request deadline: a worker wedged mid-response (an infinite loop
   // in the simulated test, a deadlocked child) must surface as a typed
-  // Status, never hang the orchestrator in a blocking read(2). poll(2)
-  // bounds each wait; on expiry the worker is killed on the spot — the
-  // same SIGKILL escalation shutdown() applies to EOF-ignoring workers,
-  // which then reaps the corpse.
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(request_timeout_ms_);
-  for (;;) {
-    const std::size_t newline = worker.read_buffer.find('\n');
-    if (newline != std::string::npos) {
-      *response = worker.read_buffer.substr(0, newline);
-      worker.read_buffer.erase(0, newline + 1);
+  // Status, never hang the orchestrator in a blocking read(2). On expiry
+  // the worker is killed on the spot — the same SIGKILL escalation
+  // shutdown() applies to EOF-ignoring workers, which then reaps the
+  // corpse.
+  int io_errno = 0;
+  switch (read_line_deadline(worker.stdout_fd, &worker.read_buffer,
+                             response, request_timeout_ms_, &io_errno)) {
+    case LineRead::Line:
       return {};
+    case LineRead::Eof:
+      return fail("exited before answering");
+    case LineRead::Timeout: {
+      if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
+      std::string message = "serve worker " + std::to_string(i) +
+                            ": no response within " +
+                            std::to_string(request_timeout_ms_) +
+                            "ms (worker killed)";
+      const std::string tail = stderr_tail(worker.stderr_path);
+      if (!tail.empty()) message += " [worker stderr: " + tail + "]";
+      return Status::error("advm.exec-worker-timeout", std::move(message));
     }
-    if (request_timeout_ms_ != 0) {
-      const auto remaining =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              deadline - std::chrono::steady_clock::now())
-              .count();
-      if (remaining <= 0) {
-        if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
-        std::string message = "serve worker " + std::to_string(i) +
-                              ": no response within " +
-                              std::to_string(request_timeout_ms_) +
-                              "ms (worker killed)";
-        const std::string tail = stderr_tail(worker.stderr_path);
-        if (!tail.empty()) message += " [worker stderr: " + tail + "]";
-        return Status::error("advm.exec-worker-timeout",
-                             std::move(message));
-      }
-      struct pollfd pfd = {worker.stdout_fd, POLLIN, 0};
-      const int ready = ::poll(
-          &pfd, 1,
-          static_cast<int>(std::min<long long>(remaining, 60'000)));
-      if (ready < 0) {
-        const int poll_errno = errno;
-        if (poll_errno == EINTR) continue;
-        return fail("response poll failed (" +
-                    std::string(std::strerror(poll_errno)) + ")");
-      }
-      if (ready == 0) continue;  // re-check the deadline
-    }
-    char chunk[4096];
-    const ssize_t n = ::read(worker.stdout_fd, chunk, sizeof chunk);
-    if (n < 0) {
-      const int read_errno = errno;
-      if (read_errno == EINTR) continue;
+    case LineRead::Error:
       return fail("response read failed (" +
-                  std::string(std::strerror(read_errno)) + ")");
-    }
-    if (n == 0) return fail("exited before answering");
-    worker.read_buffer.append(chunk, static_cast<std::size_t>(n));
+                  std::string(std::strerror(io_errno)) + ")");
   }
+  return fail("response read failed");
 }
 
 Status WorkerPool::shutdown() {
@@ -290,33 +340,25 @@ Status WorkerPool::shutdown() {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& worker = workers_[i];
     if (worker.pid > 0) {
-      int status = 0;
-      pid_t reaped = -1;
-      // EOF-driven exit is prompt; poll briefly before escalating so a
-      // wedged worker cannot hang the orchestrator.
-      for (int attempt = 0; attempt < 200; ++attempt) {
-        reaped = ::waitpid(worker.pid, &status, WNOHANG);
-        if (reaped != 0) break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
-      if (reaped == 0) {
-        ::kill(worker.pid, SIGKILL);
-        reaped = ::waitpid(worker.pid, &status, 0);
-      }
-      if (reaped < 0) {
-        const int wait_errno = errno;
+      // EOF-driven exit is prompt; the shared escalation helper polls for
+      // a 2s grace before SIGKILLing, so a wedged worker cannot hang the
+      // orchestrator.
+      const ReapOutcome outcome = kill_and_reap(worker.pid, 2'000);
+      if (!outcome.reaped) {
         if (first_failure.ok()) {
           first_failure = Status::error(
               "advm.exec-worker-failed",
               "serve worker " + std::to_string(i) + ": waitpid failed (" +
-                  std::strerror(wait_errno) + ")");
+                  std::strerror(outcome.error) + ")");
         }
-      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      } else if (!WIFEXITED(outcome.status) ||
+                 WEXITSTATUS(outcome.status) != 0) {
         if (first_failure.ok()) {
           std::string message =
               "serve worker " + std::to_string(i) +
-              (WIFEXITED(status)
-                   ? ": exit code " + std::to_string(WEXITSTATUS(status))
+              (WIFEXITED(outcome.status)
+                   ? ": exit code " +
+                         std::to_string(WEXITSTATUS(outcome.status))
                    : ": killed by signal");
           const std::string tail = stderr_tail(worker.stderr_path);
           if (!tail.empty()) message += " [worker stderr: " + tail + "]";

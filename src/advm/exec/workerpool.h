@@ -20,8 +20,11 @@
 // the piece that retired the std::system string-quoting spawn.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "advm/exec/workplan.h"
@@ -109,6 +112,58 @@ class WorkerPool {
   std::string scratch_;
   std::size_t request_timeout_ms_ = 600'000;  ///< 0 = no deadline
 };
+
+// ------------------------------------------------ process/pipe helpers --
+//
+// The kill/reap escalation and the poll-deadline line reader are shared
+// by WorkerPool (retire/shutdown/roundtrip) and the serve daemon + attach
+// client (src/advm/serve/): one escalation policy, one errno-capture
+// discipline, instead of three divergent copies.
+
+/// Outcome of kill_and_reap. `error` is the waitpid errno, captured
+/// before any cleanup I/O gets a chance to clobber it.
+struct ReapOutcome {
+  bool reaped = false;     ///< waitpid produced a wait status
+  bool escalated = false;  ///< SIGKILL was needed (grace expired, or 0)
+  int status = 0;          ///< raw wait status when `reaped`
+  int error = 0;           ///< captured waitpid errno when !reaped
+};
+
+/// Ends a child process with the pool's escalation policy: poll
+/// waitpid(WNOHANG) in 10ms steps for `grace_ms` (a process shutting
+/// down on its own — EOF-driven worker exit, a daemon honouring --stop —
+/// is reaped without a signal), then SIGKILL and reap unconditionally.
+/// `grace_ms` 0 kills immediately (the retire path). EINTR-safe; safe on
+/// a process that already exited (the kill hits a zombie, the reap
+/// collects it).
+ReapOutcome kill_and_reap(pid_t pid, std::size_t grace_ms);
+
+/// What read_line_deadline produced.
+enum class LineRead : std::uint8_t {
+  Line,     ///< one full line is in *line (newline stripped)
+  Eof,      ///< the peer closed before completing a line
+  Timeout,  ///< the deadline expired mid-line
+  Error,    ///< poll/read failed; errno in *io_errno
+};
+
+/// Reads one '\n'-terminated line from `fd` with a poll(2) deadline —
+/// the liveness primitive behind WorkerPool::roundtrip's per-request
+/// timeout, reused by the serve daemon/client for attach deadlines.
+/// `carry` holds bytes read past the last returned line and must persist
+/// across calls on the same stream; `timeout_ms` 0 waits forever. On
+/// Error the failing errno is captured into *io_errno (when non-null)
+/// before returning, so callers can fold it into a diagnostic without
+/// racing their own cleanup I/O.
+[[nodiscard]] LineRead read_line_deadline(int fd, std::string* carry,
+                                          std::string* line,
+                                          std::size_t timeout_ms,
+                                          int* io_errno = nullptr);
+
+/// write(2)s all of `bytes` to `fd`, with SIGPIPE blocked and swallowed
+/// for the duration so a vanished peer surfaces as EPIPE (a typed Status
+/// upstream), never a process kill. On failure errno identifies the
+/// write error.
+[[nodiscard]] bool write_all_fd(int fd, std::string_view bytes);
 
 /// Writes `slice` as a JSON slice file at `path`, closing (and therefore
 /// flushing) before the stream state is checked — a full disk truncating

@@ -81,11 +81,7 @@ void append_report(std::ostringstream& os, const RegressionReport& report) {
   os << ",\"total_modeled_seconds\":" << report.total_modeled_seconds();
   os << ",\"outcome_digest\":";
   append_quoted(os, support::hash_to_string(report.outcome_digest()));
-  os << ",\"cache\":{\"hits\":" << report.cache.hits
-     << ",\"misses\":" << report.cache.misses
-     << ",\"bytes\":" << report.cache.bytes
-     << ",\"evictions\":" << report.cache.evictions
-     << ",\"persistent_hits\":" << report.cache.persistent_hits << "}}";
+  os << ",\"cache\":" << cache_counters_to_json(report.cache) << "}";
 }
 
 void append_rollup(std::ostringstream& os, const MatrixResult& result) {
@@ -153,6 +149,14 @@ std::string json_escape(std::string_view s) {
 std::string report_to_json(const RegressionReport& report) {
   auto os = make_stream();
   append_report(os, report);
+  return os.str();
+}
+
+std::string cache_counters_to_json(const ObjectCacheStats& stats) {
+  auto os = make_stream();
+  os << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+     << ",\"bytes\":" << stats.bytes << ",\"evictions\":" << stats.evictions
+     << ",\"persistent_hits\":" << stats.persistent_hits << "}";
   return os.str();
 }
 

@@ -48,6 +48,13 @@ namespace advm::core {
 [[nodiscard]] std::optional<RegressionReport> report_from_json(
     const support::json::Value& value);
 
+/// The five-key cache-counter object every report document embeds
+/// ({"hits":...,"misses":...,"bytes":...,"evictions":...,
+/// "persistent_hits":...}) — exposed so the serve daemon's stats document
+/// renders its cumulative session counters through the identical
+/// contract instead of a divergent hand-rolled copy.
+[[nodiscard]] std::string cache_counters_to_json(const ObjectCacheStats& stats);
+
 /// The {"ok":false,"verb":...,"error":{code,message}} document every verb
 /// shares — exposed so the CLI can render pre-request failures (bad
 /// --jobs/--shards, unreadable slice files) through the same contract.

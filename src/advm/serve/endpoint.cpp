@@ -1,0 +1,146 @@
+#include "advm/serve/endpoint.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace advm::core::serve {
+
+namespace {
+
+/// Fills a sockaddr_un, rejecting paths that do not fit sun_path — a
+/// truncated socket path would silently bind somewhere else.
+Status make_address(const std::string& path, sockaddr_un* address) {
+  *address = {};
+  address->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address->sun_path)) {
+    return Status::error(
+        "advm.serve-socket-path",
+        "socket path '" + path + "' is empty or longer than " +
+            std::to_string(sizeof(address->sun_path) - 1) + " bytes");
+  }
+  std::memcpy(address->sun_path, path.c_str(), path.size() + 1);
+  return {};
+}
+
+int open_socket() {
+  return ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+
+/// Non-blocking connect with a poll(2) deadline. 0 on success, the
+/// failing errno otherwise (ETIMEDOUT when the deadline expired).
+int connect_deadline(int fd, const sockaddr_un& address,
+                     std::size_t timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                     sizeof(address));
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int wait_ms =
+        timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms);
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready == 0) {
+      ::fcntl(fd, F_SETFL, flags);
+      return ETIMEDOUT;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (ready < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+      const int saved = errno;
+      ::fcntl(fd, F_SETFL, flags);
+      return saved != 0 ? saved : EIO;
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    return soerr;
+  }
+  const int saved = rc == 0 ? 0 : errno;
+  ::fcntl(fd, F_SETFL, flags);
+  return saved;
+}
+
+}  // namespace
+
+Status listen_endpoint(const std::string& path, int backlog, int* fd) {
+  sockaddr_un address;
+  if (Status status = make_address(path, &address); !status.ok()) {
+    return status;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int sock = open_socket();
+    if (sock < 0) {
+      const int sock_errno = errno;
+      return Status::error("advm.serve-socket-failed",
+                           std::string("socket: ") +
+                               std::strerror(sock_errno));
+    }
+    if (::bind(sock, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) == 0) {
+      if (::listen(sock, backlog) != 0) {
+        const int listen_errno = errno;
+        ::close(sock);
+        return Status::error("advm.serve-socket-failed",
+                             std::string("listen: ") +
+                                 std::strerror(listen_errno));
+      }
+      *fd = sock;
+      return {};
+    }
+    const int bind_errno = errno;
+    ::close(sock);
+    if (bind_errno != EADDRINUSE || attempt != 0) {
+      return Status::error(
+          "advm.serve-socket-failed",
+          "bind " + path + ": " + std::strerror(bind_errno));
+    }
+    // The address is taken. Probe it: a live daemon accepts the connect
+    // and keeps the path; the corpse of a SIGKILLed one refuses (or
+    // errors), which licenses unlink + rebind on the second attempt.
+    const int probe = open_socket();
+    if (probe >= 0) {
+      const int probe_errno = connect_deadline(probe, address, 1'000);
+      ::close(probe);
+      if (probe_errno == 0) {
+        return Status::error("advm.serve-socket-busy",
+                             "a live daemon already serves " + path +
+                                 " (attach to it, or --stop it first)");
+      }
+    }
+    ::unlink(path.c_str());
+  }
+  return Status::error("advm.serve-socket-failed",
+                       "bind " + path + ": address stayed busy");
+}
+
+Status connect_endpoint(const std::string& path, std::size_t timeout_ms,
+                        int* fd) {
+  sockaddr_un address;
+  if (Status status = make_address(path, &address); !status.ok()) {
+    return status;
+  }
+  const int sock = open_socket();
+  if (sock < 0) {
+    const int sock_errno = errno;
+    return Status::error("advm.serve-unreachable",
+                         std::string("socket: ") +
+                             std::strerror(sock_errno));
+  }
+  const int connect_errno = connect_deadline(sock, address, timeout_ms);
+  if (connect_errno != 0) {
+    ::close(sock);
+    return Status::error("advm.serve-unreachable",
+                         "cannot attach to " + path + ": " +
+                             std::strerror(connect_errno) +
+                             " (is the daemon running?)");
+  }
+  *fd = sock;
+  return {};
+}
+
+}  // namespace advm::core::serve

@@ -1,0 +1,32 @@
+// serve::endpoint — unix-socket plumbing shared by daemon and client.
+//
+// One place owns the SOCK_STREAM address handling: path-length
+// validation against sun_path, the daemon's bind/listen with a
+// stale-socket probe (a socket file left behind by a killed daemon is
+// connect-probed; refusal means abandoned → unlink and rebind, success
+// means a live daemon owns it → typed advm.serve-socket-busy), and the
+// client's connect with a poll(2) deadline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "advm/session.h"
+
+namespace advm::core::serve {
+
+/// Binds + listens a SOCK_STREAM unix socket at `path`. On EADDRINUSE
+/// the path is probed with a connect(2): a refused/ignored probe marks
+/// the file as the corpse of a dead daemon, which is unlinked and
+/// rebound; an accepted probe returns advm.serve-socket-busy. On success
+/// *fd holds the listening socket (close-on-exec).
+[[nodiscard]] Status listen_endpoint(const std::string& path, int backlog,
+                                     int* fd);
+
+/// Connects to the daemon at `path` with a deadline (0 = forever). On
+/// success *fd holds the connected socket (close-on-exec). Typed
+/// advm.serve-unreachable when nothing answers.
+[[nodiscard]] Status connect_endpoint(const std::string& path,
+                                      std::size_t timeout_ms, int* fd);
+
+}  // namespace advm::core::serve

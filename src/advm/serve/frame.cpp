@@ -1,0 +1,60 @@
+#include "advm/serve/frame.h"
+
+#include <sstream>
+
+#include "advm/report.h"
+#include "support/json.h"
+
+namespace advm::core::serve {
+
+std::string encode_frame(const Frame& frame) {
+  std::ostringstream os;
+  os << "{\"id\":" << frame.id << ",\"verb\":\"" << json_escape(frame.verb)
+     << "\",\"exit\":" << frame.exit << ",\"text\":\""
+     << json_escape(frame.text) << "\"}\n"
+     << (frame.payload.empty() ? "null" : frame.payload) << "\n";
+  return os.str();
+}
+
+std::optional<Frame> decode_frame_header(std::string_view line,
+                                         std::string* error) {
+  const auto fail = [error](std::string message) -> std::optional<Frame> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  std::string parse_error;
+  const auto doc = support::json::parse(line, &parse_error);
+  if (!doc || !doc->is_object()) {
+    return fail("malformed frame header: " +
+                (parse_error.empty() ? "not an object" : parse_error));
+  }
+  Frame frame;
+  const auto* id = doc->find("id");
+  const auto id_value = id ? id->as_uint64() : std::nullopt;
+  if (!id_value) return fail("frame header is missing a numeric id");
+  frame.id = *id_value;
+  const auto* verb = doc->find("verb");
+  const auto verb_value = verb ? verb->as_string() : std::nullopt;
+  if (!verb_value || verb_value->empty()) {
+    return fail("frame header is missing a verb");
+  }
+  // The envelope is machine-built; a verb outside [a-z-] means the
+  // stream is corrupt (or not ours), not that a new verb was added.
+  for (const char c : *verb_value) {
+    if ((c < 'a' || c > 'z') && c != '-') {
+      return fail("frame verb '" + *verb_value + "' is not a verb");
+    }
+  }
+  frame.verb = *verb_value;
+  if (const auto* exit = doc->find("exit")) {
+    if (const auto value = exit->as_uint64()) {
+      frame.exit = static_cast<int>(*value);
+    }
+  }
+  if (const auto* text = doc->find("text")) {
+    if (const auto value = text->as_string()) frame.text = *value;
+  }
+  return frame;
+}
+
+}  // namespace advm::core::serve

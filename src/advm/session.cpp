@@ -33,6 +33,11 @@ bool MatrixResult::all_passed() const {
   return true;
 }
 
+exec::CostModel& Session::cost_model() {
+  std::call_once(cost_model_loaded_, [this] { cost_model_.load(); });
+  return cost_model_;
+}
+
 std::size_t MatrixResult::worker_reuse() const {
   std::size_t reuse = 0;
   for (const MatrixWorkerStats& worker : workers) {
@@ -268,6 +273,9 @@ MatrixResult Session::run_matrix_on_backend(const MatrixRequest& request) {
     process_config.batch_threshold_ms = config_.batch_threshold_ms;
     process_config.request_timeout_ms = config_.request_timeout_ms;
     process_config.max_respawns = config_.max_respawns;
+    // The session-resident model: one history shared (and kept warm in
+    // memory) across every lap this session runs.
+    process_config.cost_model = &cost_model();
     if (!config_.fault_plan.empty()) {
       // Validated (advm.bad-fault-plan) before any verb runs; a plan that
       // stopped parsing between validate() and here would be a bug, so

@@ -34,6 +34,7 @@
 #include "advm/boardpool.h"
 #include "advm/context.h"
 #include "advm/environment.h"
+#include "advm/exec/costmodel.h"
 #include "advm/objcache.h"
 #include "advm/porting.h"
 #include "advm/regression.h"
@@ -297,7 +298,8 @@ class Session {
   explicit Session(SessionConfig config = {})
       : config_(std::move(config)),
         cache_(config_.cache_max_bytes, config_.cache_dir),
-        boards_(config_.board_pool_max_free_per_key) {}
+        boards_(config_.board_pool_max_free_per_key),
+        cost_model_(config_.cache_dir) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -306,6 +308,15 @@ class Session {
   [[nodiscard]] const support::VirtualFileSystem& vfs() const { return vfs_; }
   [[nodiscard]] ObjectCache& cache() { return cache_; }
   [[nodiscard]] BoardPool& boards() { return boards_; }
+
+  /// The session-resident per-cell cost model (loaded lazily from
+  /// `cache_dir` on first use, internally locked). Every process-backend
+  /// matrix lap this session runs seeds dispatch from it and feeds
+  /// measurements back — so a resident session (the serve daemon) keeps
+  /// its history warm across laps in memory, not just via the record
+  /// file. Disabled (no estimates, publish a no-op) when the session has
+  /// no cache_dir, like the persistent object store.
+  [[nodiscard]] exec::CostModel& cost_model();
 
   /// Non-owning view of the shared resources, for constructing subsystems
   /// directly when a flow outgrows the request verbs.
@@ -332,6 +343,8 @@ class Session {
   support::VirtualFileSystem vfs_;
   ObjectCache cache_;
   BoardPool boards_;
+  exec::CostModel cost_model_;
+  std::once_flag cost_model_loaded_;
 };
 
 /// Reconstructs a SystemLayout from a tree in the VFS (directory-driven,

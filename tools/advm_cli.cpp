@@ -18,6 +18,11 @@
 //                                                        frozen snapshot +
 //                                                        verify + regression
 //   advm random <dir> --seed K [--derivative D]          random Globals.inc
+//   advm serve --socket <path> [--idle-timeout-ms MS]    resident daemon: one
+//                                                        warm Session behind a
+//                                                        unix socket; --stats /
+//                                                        --stop control a live
+//                                                        one
 //   advm worker --slice <file>                           execute one work-plan
 //                                                        slice (one-shot; used
 //                                                        by sharded init)
@@ -37,7 +42,9 @@
 // init) across `advm worker` subprocesses — this very binary, re-entered
 // through the worker verb. `--cache-dir` points the content-addressed
 // object cache at a persistent directory that workers and consecutive
-// invocations share.
+// invocations share. `--attach <socket>` (or ADVM_SOCKET) ships any verb
+// to a resident `advm serve` daemon instead — same flags, same documents,
+// same exit codes, but a warm shared Session on the far side.
 //
 // Environments are imported from disk into the session's VFS, transformed,
 // and written back — so `port` literally edits only the abstraction layer
@@ -60,10 +67,12 @@
 #include "advm/exec/workerpool.h"
 #include "advm/exec/workplan.h"
 #include "advm/report.h"
+#include "advm/serve/client.h"
+#include "advm/serve/daemon.h"
+#include "advm/serve/frame.h"
+#include "advm/serve/service.h"
 #include "advm/session.h"
-#include "soc/derivative.h"
 #include "support/disk.h"
-#include "support/hash.h"
 #include "support/text.h"
 
 namespace {
@@ -232,281 +241,180 @@ std::unique_ptr<Session> make_session(const Args& args, const char* verb,
   return session;
 }
 
-/// Error rendering shared by every verb: the JSON document on stdout in
-/// --format json mode, the bare message on stderr otherwise. Always exit
-/// code 2 (a request that failed validation never ran). A root-validation
-/// failure caused by an unreadable disk tree reports the disk error.
-template <typename Result>
-int render_error(const Args& args, Result result,
-                 const std::string& import_error = {}) {
-  if (!import_error.empty() && result.status.code == "advm.bad-root") {
-    result.status = Status::error("advm.import-failed", import_error);
+/// Builds the verb's typed request from its flags — the one place CLI
+/// flag names map onto serve::VerbRequest fields, shared verbatim by the
+/// local and attached paths (parity by construction: both feed the same
+/// request to serve::execute_verb, one directly and one over the socket).
+serve::VerbRequest build_verb_request(const Args& args,
+                                      const std::string& verb) {
+  serve::VerbRequest request;
+  request.verb = verb;
+  request.dir = args.dir;
+  if (verb == "init") {
+    request.build.derivative = option_or(args, "derivative", "SC88-A");
+    request.build.tests_per_module =
+        args.options.count("tests")
+            ? std::strtoul(args.options.at("tests").c_str(), nullptr, 10)
+            : 5;
+  } else if (verb == "run") {
+    request.run.derivative = option_or(args, "derivative", "SC88-A");
+    request.run.platform = option_or(args, "platform", "golden-model");
+  } else if (verb == "matrix") {
+    const std::string derivatives = option_or(args, "derivatives", "SC88-A");
+    const std::string platforms = option_or(args, "platforms", "golden-model");
+    request.matrix.derivatives.clear();
+    for (std::string_view name : support::split(derivatives, ',')) {
+      request.matrix.derivatives.emplace_back(name);
+    }
+    request.matrix.platforms.clear();
+    for (std::string_view name : support::split(platforms, ',')) {
+      request.matrix.platforms.emplace_back(name);
+    }
+  } else if (verb == "port") {
+    request.port.to = option_or(args, "to", "");
+  } else if (verb == "check") {
+    request.check.derivative = option_or(args, "derivative", "SC88-A");
+  } else if (verb == "release") {
+    request.release.name = option_or(args, "name", "R1");
+    request.release.derivative = option_or(args, "derivative", "SC88-A");
+    request.release.platform = option_or(args, "platform", "golden-model");
+  } else if (verb == "random") {
+    request.random.derivative = option_or(args, "derivative", "SC88-A");
+    request.random.seed =
+        args.options.count("seed")
+            ? std::strtoull(args.options.at("seed").c_str(), nullptr, 10)
+            : 1;
   }
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    std::cerr << result.status.message << "\n";
-  }
-  return 2;
+  return request;
 }
 
-/// `init --backend process`: shard corpus generation across worker
-/// subprocesses. The orchestrator writes the global layer, each worker
-/// generates a disjoint set of environment directories straight into the
-/// output tree, and the result is byte-identical to a thread-backend init
-/// (every environment is a pure function of its config + derivative).
-int init_with_process_backend(const Args& args, Session& session,
-                              const BuildRequest& request) {
-  if (Status status = session.config().validate(); !status.ok()) {
-    return render_status(args, "init", status);
+/// The shared output contract: JSON document on stdout in --format json
+/// mode; otherwise the human text — on stderr when the verb failed
+/// before running (exit 2, bare diagnostic), on stdout when it ran.
+int print_outcome(const Args& args, int exit_code, const std::string& json,
+                  const std::string& text) {
+  if (args.json) {
+    std::cout << json << "\n";
+  } else if (exit_code == 2) {
+    std::cerr << text;
+  } else {
+    std::cout << text;
   }
-  const soc::DerivativeSpec* spec =
-      soc::find_derivative(request.derivative);
-  if (spec == nullptr) {
-    BuildRequest probe = request;  // reuse Session validation + rendering
-    BuildResult invalid = session.run(probe);
-    return render_error(args, invalid);
-  }
+  return exit_code;
+}
 
-  SystemConfig globals_only;
-  globals_only.root = kVfsRoot;
-  (void)build_system(session.vfs(), globals_only, *spec);
-  support::export_to_disk(session.vfs(), kVfsRoot, args.dir);
+/// The socket a verb should attach to: --attach <socket> wins, then the
+/// ADVM_SOCKET environment. Empty = run locally in this process.
+std::string attach_socket(const Args& args) {
+  auto it = args.options.find("attach");
+  if (it != args.options.end()) return it->second;
+  if (const char* env = std::getenv("ADVM_SOCKET")) return env;
+  return "";
+}
 
-  const exec::CorpusPlan plan =
-      exec::plan_corpus(request, session.config().shards);
-  exec::ProcessBackendConfig process_config;
-  process_config.jobs_per_worker =
-      exec::divide_jobs(session.config().jobs, plan.slices.size());
-  if (Status status =
-          exec::generate_corpus_with_workers(plan, args.dir, process_config);
+/// Runs a verb against the resident daemon: marshal the typed request
+/// over the socket, print the returned documents exactly as a local run
+/// would (the payload IS the local JSON, byte for byte), exit with the
+/// daemon-computed code.
+int run_attached(const Args& args, const std::string& socket,
+                 serve::VerbRequest request) {
+  // The daemon's working directory is not the client's: ship an absolute,
+  // normalized path so both sides (and the daemon's per-dir VFS roots)
+  // agree on which tree this is.
+  std::error_code ec;
+  const std::filesystem::path absolute =
+      std::filesystem::absolute(request.dir, ec);
+  if (!ec) request.dir = absolute.lexically_normal().string();
+
+  serve::Frame frame;
+  frame.id = 1;
+  frame.verb = request.verb;
+  frame.payload = serve::to_json(request);
+  serve::AttachOptions options;
+  options.socket_path = socket;
+  serve::Frame response;
+  if (Status status = serve::attach_roundtrip(options, frame, &response);
       !status.ok()) {
-    return render_status(args, "init", status);
+    return render_status(args, request.verb.c_str(), status);
   }
-
-  // Fold the workers' output back through the session VFS so the rendered
-  // result (and its JSON document) comes from the tree that actually
-  // landed on disk.
-  support::import_from_disk(session.vfs(), args.dir, kVfsRoot);
-  BuildResult result;
-  result.derivative = spec->name;
-  result.layout = layout_from_tree(session.vfs(), kVfsRoot);
-  result.files = session.vfs().list_tree(kVfsRoot).size();
-  for (const exec::PlannedEnvironment& env : plan.environments) {
-    result.tests += env.config.test_count;
-  }
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    std::cout << "created " << args.dir << " for " << result.derivative
-              << ": " << result.files << " files, " << result.tests
-              << " tests (" << plan.slices.size() << " corpus shards)\n";
-  }
-  return 0;
+  return print_outcome(args, response.exit, response.payload, response.text);
 }
 
-int cmd_init(const Args& args) {
-  auto session = make_session(args, "init", nullptr, /*import=*/false);
-  if (!session) return 2;
+/// Every verb, one adapter: build the typed request from flags, then
+/// either ship it to the daemon (--attach / ADVM_SOCKET) or execute it on
+/// a session in this process. Both paths render through print_outcome.
+int cmd_verb(const Args& args, const char* verb) {
+  serve::VerbRequest request = build_verb_request(args, verb);
+  const std::string socket = attach_socket(args);
+  if (!socket.empty()) return run_attached(args, socket, std::move(request));
 
-  BuildRequest request;
-  request.root = kVfsRoot;
-  request.derivative = option_or(args, "derivative", "SC88-A");
-  request.tests_per_module =
-      args.options.count("tests")
-          ? std::strtoul(args.options.at("tests").c_str(), nullptr, 10)
-          : 5;
-
-  if (session->config().backend == ExecBackendKind::Process) {
-    return init_with_process_backend(args, *session, request);
-  }
-
-  BuildResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result);
-
-  const std::size_t written =
-      support::export_to_disk(session->vfs(), kVfsRoot, args.dir);
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    std::cout << "created " << args.dir << " for " << result.derivative
-              << ": " << written << " files, " << result.tests << " tests\n";
-  }
-  return 0;
-}
-
-int cmd_run(const Args& args) {
   std::string import_error;
-  auto session = make_session(args, "run", &import_error);
+  auto session = make_session(args, verb, &import_error,
+                              /*import=*/request.verb != "init");
   if (!session) return 2;
-
-  RunRequest request;
-  request.root = kVfsRoot;
-  request.derivative = option_or(args, "derivative", "SC88-A");
-  request.platform = option_or(args, "platform", "golden-model");
-
-  RunResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result, import_error);
-
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    std::cout << format_report(result.report);
-  }
-  return result.report.all_passed() ? 0 : 1;
+  const serve::VerbOutcome outcome =
+      serve::execute_verb(*session, request, kVfsRoot, import_error);
+  return print_outcome(args, outcome.exit, outcome.json, outcome.text);
 }
 
-int cmd_matrix(const Args& args) {
-  std::string import_error;
-  auto session = make_session(args, "matrix", &import_error);
-  if (!session) return 2;
-
-  MatrixRequest request;
-  request.root = kVfsRoot;
-  const std::string derivatives = option_or(args, "derivatives", "SC88-A");
-  const std::string platforms = option_or(args, "platforms", "golden-model");
-  request.derivatives.clear();
-  for (std::string_view name : support::split(derivatives, ',')) {
-    request.derivatives.emplace_back(name);
+/// `advm serve` — the resident daemon (and its control verbs). With
+/// --stats or --stop the command is a thin client instead: one control
+/// frame to the live daemon, its document printed like any verb.
+int cmd_serve(const Args& args) {
+  std::string socket = option_or(args, "socket", "");
+  if (socket.empty()) {
+    if (const char* env = std::getenv("ADVM_SOCKET")) socket = env;
   }
-  request.platforms.clear();
-  for (std::string_view name : support::split(platforms, ',')) {
-    request.platforms.emplace_back(name);
+  if (socket.empty()) {
+    return render_status(
+        args, "serve",
+        Status::error("advm.serve-socket-path",
+                      "missing --socket <path> (or ADVM_SOCKET)"));
   }
 
-  MatrixResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result, import_error);
-
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    for (const auto& cell : result.cells) {
-      std::cout << format_report(cell) << "\n";
+  if (args.options.count("stop") || args.options.count("stats")) {
+    serve::Frame frame;
+    frame.id = 1;
+    frame.verb = args.options.count("stop") ? "shutdown" : "stats";
+    frame.payload = "{}";
+    serve::AttachOptions options;
+    options.socket_path = socket;
+    serve::Frame response;
+    if (Status status = serve::attach_roundtrip(options, frame, &response);
+        !status.ok()) {
+      return render_status(args, "serve", status);
     }
-    std::cout << format_matrix_rollup(result);
+    return print_outcome(args, response.exit, response.payload,
+                         response.text);
   }
-  return result.all_passed() ? 0 : 1;
-}
 
-int cmd_port(const Args& args) {
-  std::string import_error;
-  auto session = make_session(args, "port", &import_error);
-  if (!session) return 2;
-
-  PortRequest request;
-  request.root = kVfsRoot;
-  request.to = option_or(args, "to", "");
-
-  PortResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result, import_error);
-
-  support::export_to_disk(session->vfs(), kVfsRoot, args.dir);
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    std::cout << "ported " << args.dir << " to " << result.target << "\n"
-              << "  global layer: "
-              << result.repair.global_layer.files_touched() << " files\n"
-              << "  abstraction layer: "
-              << result.repair.abstraction_layer.files_touched() << " files, "
-              << result.repair.abstraction_layer.lines().total() << " lines\n"
-              << "  test layer: " << result.repair.test_layer.files_touched()
-              << " files (ADVM environments: expected 0)\n";
+  serve::DaemonConfig config;
+  config.socket_path = socket;
+  if (Status status = config_from_args(args, &config.session);
+      !status.ok()) {
+    return render_status(args, "serve", status);
   }
-  return 0;
-}
-
-int cmd_check(const Args& args) {
-  std::string import_error;
-  auto session = make_session(args, "check", &import_error);
-  if (!session) return 2;
-
-  CheckRequest request;
-  request.root = kVfsRoot;
-  request.derivative = option_or(args, "derivative", "SC88-A");
-
-  CheckResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result, import_error);
-
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else if (result.report.clean()) {
-    std::cout << "clean: no abstraction violations\n";
-  } else {
-    for (const auto& v : result.report.violations) {
-      std::cout << v.file;
-      if (v.loc.valid()) std::cout << ":" << v.loc.line;
-      std::cout << ": [" << v.code << "] " << v.detail << "\n";
-    }
-    std::cout << result.report.violations.size() << " violation(s)\n";
+  if (Status status = parse_count(args, "idle-timeout-ms",
+                                  "advm.bad-idle-timeout",
+                                  &config.idle_timeout_ms);
+      !status.ok()) {
+    return render_status(args, "serve", status);
   }
-  return result.report.clean() ? 0 : 1;
-}
-
-int cmd_release(const Args& args) {
-  std::string import_error;
-  auto session = make_session(args, "release", &import_error);
-  if (!session) return 2;
-
-  ReleaseRequest request;
-  request.root = kVfsRoot;
-  request.name = option_or(args, "name", "R1");
-  request.derivative = option_or(args, "derivative", "SC88-A");
-  request.platform = option_or(args, "platform", "golden-model");
-
-  ReleaseResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result, import_error);
-
-  // Persist the frozen snapshot next to the live tree (outside it, so
-  // discovery and future releases never pick it up as an environment). A
-  // later invocation can re-verify or re-regress it with plain `advm run`.
-  const std::string snapshot_dir =
-      args.dir + ".releases/" + result.release.name;
-  support::export_to_disk(session->vfs(), result.release.root, snapshot_dir);
-
-  const bool frozen_green = result.frozen && result.frozen->all_passed();
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    if (result.frozen) std::cout << format_report(*result.frozen);
-    std::cout << "release " << result.release.name << ": "
-              << result.release.sub_labels.size() << " sub-labels, composed "
-              << support::hash_to_string(result.release.composed_hash)
-              << (result.verified ? " (verified)" : " (TAMPERED)")
-              << ", snapshot " << snapshot_dir << "\n";
+  if (Status status = parse_count(args, "serve-threads",
+                                  "advm.bad-serve-threads",
+                                  &config.executors);
+      !status.ok()) {
+    return render_status(args, "serve", status);
   }
-  return result.verified && frozen_green ? 0 : 1;
-}
 
-int cmd_random(const Args& args) {
-  std::string import_error;
-  auto session = make_session(args, "random", &import_error);
-  if (!session) return 2;
-
-  RandomRequest request;
-  request.root = kVfsRoot;
-  request.derivative = option_or(args, "derivative", "SC88-A");
-  request.seed =
-      args.options.count("seed")
-          ? std::strtoull(args.options.at("seed").c_str(), nullptr, 10)
-          : 1;
-
-  RandomResult result = session->run(request);
-  if (!result.status.ok()) return render_error(args, result, import_error);
-
-  support::export_to_disk(session->vfs(), kVfsRoot, args.dir);
-  if (args.json) {
-    std::cout << to_json(result) << "\n";
-  } else {
-    std::cout << "seed " << result.seed << ": regenerated "
-              << result.regenerated
-              << " Globals.inc instance(s); TEST1_TARGET_PAGE="
-              << result.values.at(GlobalDefineNames::kTest1TargetPage)
-              << " TEST2_TARGET_PAGE="
-              << result.values.at(GlobalDefineNames::kTest2TargetPage)
-              << "\n";
+  serve::Daemon daemon(std::move(config));
+  if (Status status = daemon.start(); !status.ok()) {
+    return render_status(args, "serve", status);
   }
-  return 0;
+  // Readiness line on stderr — stdout stays reserved for documents, and
+  // wrappers wait on the socket file anyway.
+  std::cerr << "advm daemon listening on " << socket << "\n";
+  return daemon.serve();
 }
 
 /// Runs the planned cells on a resident session and renders the matrix
@@ -785,8 +693,14 @@ int usage() {
          "  advm release <dir> [--name R1] [--derivative D] [--platform P]"
          " [--jobs N]\n"
          "  advm random <dir> --seed K [--derivative D]\n"
+         "  advm serve --socket <path> [--backend B] [--shards N]"
+         " [--jobs N] [--cache-dir DIR]\n"
+         "             [--idle-timeout-ms MS] [--serve-threads N]"
+         " | --stats | --stop\n"
          "  advm worker --slice <file> | --serve\n"
-         "options: --format json renders any verb's result as JSON\n";
+         "options: --format json renders any verb's result as JSON;\n"
+         "         --attach <socket> (or ADVM_SOCKET) runs any verb on a"
+         " resident daemon\n";
   return 2;
 }
 
@@ -794,8 +708,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
-  // The worker verb is addressed by --slice, not a positional directory.
-  if (args.dir.empty() && args.command != "worker") return usage();
+  // The worker verb is addressed by --slice, and serve by --socket — no
+  // positional directory for either.
+  if (args.dir.empty() && args.command != "worker" &&
+      args.command != "serve") {
+    return usage();
+  }
   // Strict like --jobs: a typo'd --format must not silently feed human
   // text to a JSON consumer.
   auto format = args.options.find("format");
@@ -807,13 +725,13 @@ int main(int argc, char** argv) {
   }
   try {
     if (args.command == "worker") return cmd_worker(args);
-    if (args.command == "init") return cmd_init(args);
-    if (args.command == "run") return cmd_run(args);
-    if (args.command == "matrix") return cmd_matrix(args);
-    if (args.command == "port") return cmd_port(args);
-    if (args.command == "check") return cmd_check(args);
-    if (args.command == "release") return cmd_release(args);
-    if (args.command == "random") return cmd_random(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "init" || args.command == "run" ||
+        args.command == "matrix" || args.command == "port" ||
+        args.command == "check" || args.command == "release" ||
+        args.command == "random") {
+      return cmd_verb(args, args.command.c_str());
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

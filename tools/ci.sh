@@ -197,6 +197,104 @@ print("quarantine ok: cell (%s, %s) poisoned after %d respawn(s), "
                             poisoned[0]["platform"], fault["respawns"]))
 PY
 
+echo "==> serve daemon gate (warm resident session vs cold CLI)"
+# One daemon owns a warm Session (process pool + persistent cache + cost
+# model); every lap below is a thin `--attach` client. The gate pins three
+# things: (a) attached roll-ups are byte-identical to the local thread
+# reference, (b) the *second* attached lap actually runs warm
+# (persistent-cache hits, pooled-worker reuse, measured cost model — all
+# resident state, no disk round trip between laps), and (c) the daemon
+# drains cleanly on --stop. Wall-clock for a cold CLI lap vs a warm
+# attached lap is recorded as a bench datapoint for the trend gate.
+rm -rf build/serve-cache build/serve-cold-cache
+rm -f build/serve.sock
+./build/tools/advm serve --socket build/serve.sock \
+  --backend process --shards 4 --jobs 8 --cache-dir build/serve-cache \
+  2> build/serve-daemon.log &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  ./build/tools/advm serve --stats --socket build/serve.sock \
+    > /dev/null 2>&1 && break
+  sleep 0.1
+done
+# Cold reference: a standalone CLI lap pays session construction, worker
+# spawns, and an empty cost model every time (fresh cache dir per lap).
+# Exit codes are informational, as in the shard gate: the e10 cube has
+# legitimately failing cells.
+COLD_NS=""
+for _ in 1 2; do
+  rm -rf build/serve-cold-cache
+  t0=$(date +%s%N)
+  ./build/tools/advm matrix build/shard-env $SHARD_AXES \
+    --backend process --shards 4 --jobs 8 \
+    --cache-dir build/serve-cold-cache \
+    --format json > build/serve-cold.json || true
+  COLD_NS="$COLD_NS $(( $(date +%s%N) - t0 ))"
+done
+# Attached laps: lap 1 warms the resident session, later laps ride it.
+./build/tools/advm matrix build/shard-env $SHARD_AXES \
+  --attach build/serve.sock --format json > build/serve-lap1.json || true
+WARM_NS=""
+for _ in 1 2 3; do
+  t0=$(date +%s%N)
+  ./build/tools/advm matrix build/shard-env $SHARD_AXES \
+    --attach build/serve.sock --format json > build/serve-lap2.json || true
+  WARM_NS="$WARM_NS $(( $(date +%s%N) - t0 ))"
+done
+./build/tools/advm serve --stats --socket build/serve.sock \
+  --format json > build/serve-stats.json
+python3 - build/serve-lap1.json build/serve-lap2.json build/serve-cold.json \
+  build/shard-thread.json build/serve-stats.json "$COLD_NS" "$WARM_NS" <<'PY'
+import json, sys
+lap1, lap2, cold, thread, stats = (json.load(open(p)) for p in sys.argv[1:6])
+cold_ms = min(int(n) for n in sys.argv[6].split()) / 1e6
+warm_ms = min(int(n) for n in sys.argv[7].split()) / 1e6
+roll = lambda doc: json.dumps(doc["rollup"], sort_keys=True)
+assert roll(lap1) == roll(thread), "attached lap-1 roll-up diverged"
+assert roll(lap2) == roll(thread), "warm attached roll-up diverged"
+assert roll(cold) == roll(thread), "cold CLI roll-up diverged"
+# The daemon's session config governs attached execution: the client sent
+# no backend flags, yet the document reports the resident process pool.
+assert lap1["backend"] == "process" and lap1["shards"] == 4, lap1["backend"]
+# Lap 1 hits an empty cost model (estimates); lap 2 must seed from the
+# measurements lap 1 recorded — in memory, the daemon never re-reads them.
+assert lap1["cost_model"]["source"] == "estimate", lap1["cost_model"]
+assert lap2["cost_model"]["source"] == "measured", lap2["cost_model"]
+assert lap2["worker_reuse"] > 0, lap2["worker_reuse"]
+hits = sum(c["cache"]["persistent_hits"] for c in lap2["cells"])
+assert hits > 0, "warm attached lap had no persistent-cache hits"
+assert stats["ok"] is True and stats["verb"] == "serve", stats
+assert stats["clients_served"] >= 4, stats["clients_served"]
+assert stats["requests"].get("matrix", 0) >= 4, stats["requests"]
+assert stats["trees"] >= 1, stats["trees"]
+assert stats["clients_lost"] == 0, stats["clients_lost"]
+tests = sum(c["total"] for c in lap2["cells"])
+record = {
+    "bench": "serve_daemon",
+    "table": "cold-cli vs warm-daemon (e10 cube, process backend)",
+    "headers": ["lap", "tests run", "wall ms", "tests/s"],
+    "rows": [
+        ["cold-cli", str(tests), "%.4g" % cold_ms,
+         "%.4g" % (tests / (cold_ms / 1e3))],
+        ["warm-daemon", str(tests), "%.4g" % warm_ms,
+         "%.4g" % (tests / (warm_ms / 1e3))],
+    ],
+}
+with open("bench/records/BENCH_serve_daemon.json", "w") as fh:
+    fh.write(json.dumps(record) + "\n")
+print("serve daemon ok: roll-ups byte-identical, warm lap %d persistent "
+      "hits / reuse %d, cold %.0fms vs warm %.0fms" %
+      (hits, lap2["worker_reuse"], cold_ms, warm_ms))
+PY
+./build/tools/advm serve --stop --socket build/serve.sock > /dev/null
+wait "$SERVE_PID"
+trap - EXIT
+if [[ -e build/serve.sock ]]; then
+  echo "daemon exited without unlinking its socket" >&2
+  exit 1
+fi
+
 echo "==> -Werror hygiene build"
 cmake --preset werror
 cmake --build build-werror -j
