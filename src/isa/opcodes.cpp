@@ -66,24 +66,45 @@ constexpr std::array<CondMnemonic, 10> kBranchMnemonics{{
     {"JNE", Cond::Ne},
 }};
 
+static_assert(kTable.size() == kNumOpcodes,
+              "kNumOpcodes must match the opcode table");
+
+// 256-entry byte → dense-handler-index LUT: O(1) decode on the sim's fetch
+// path (and everywhere else) instead of a 32-entry linear scan.
+constexpr std::array<std::uint8_t, 256> kByteToHandler = [] {
+  std::array<std::uint8_t, 256> lut{};
+  for (auto& entry : lut) entry = kIllegalHandler;
+  for (std::size_t i = 0; i < kTable.size(); ++i) {
+    lut[static_cast<std::uint8_t>(kTable[i].op)] =
+        static_cast<std::uint8_t>(i);
+  }
+  return lut;
+}();
+
 }  // namespace
 
 std::span<const OpcodeInfo> opcode_table() {
   return std::span<const OpcodeInfo>(kTable.data(), kTable.size());
 }
 
+std::uint8_t opcode_handler_index(Opcode op) {
+  return kByteToHandler[static_cast<std::uint8_t>(op)];
+}
+
+std::uint8_t handler_index_for_byte(std::uint8_t byte) {
+  return kByteToHandler[byte];
+}
+
 const OpcodeInfo& opcode_info(Opcode op) {
-  for (const auto& info : opcode_table()) {
-    if (info.op == op) return info;
-  }
-  return kTable[0];  // NOP — unreachable for valid enum values
+  const std::uint8_t h = kByteToHandler[static_cast<std::uint8_t>(op)];
+  return kTable[h == kIllegalHandler ? 0 : h];  // NOP fallback: unreachable
+                                                // for valid enum values
 }
 
 std::optional<Opcode> decode_opcode(std::uint8_t byte) {
-  for (const auto& info : opcode_table()) {
-    if (static_cast<std::uint8_t>(info.op) == byte) return info.op;
-  }
-  return std::nullopt;
+  const std::uint8_t h = kByteToHandler[byte];
+  if (h == kIllegalHandler) return std::nullopt;
+  return kTable[h].op;
 }
 
 std::optional<MnemonicMatch> lookup_mnemonic(std::string_view mnemonic) {

@@ -114,6 +114,21 @@ struct OpcodeInfo {
 /// Full table, indexed by nothing in particular — iterate or use lookups.
 [[nodiscard]] std::span<const OpcodeInfo> opcode_table();
 
+/// Number of legal opcodes (= opcode_table().size()). Handler indices are
+/// dense in [0, kNumOpcodes).
+inline constexpr std::size_t kNumOpcodes = 32;
+
+/// Sentinel handler index for illegal opcode bytes.
+inline constexpr std::uint8_t kIllegalHandler = 0xFF;
+
+/// Dense handler index of an opcode: its position in opcode_table(). The
+/// sim's decoded-dispatch loop indexes its handler table with this, and
+/// other per-opcode side tables can share the numbering.
+[[nodiscard]] std::uint8_t opcode_handler_index(Opcode op);
+
+/// Raw-byte variant: kIllegalHandler for bytes that decode to no opcode.
+[[nodiscard]] std::uint8_t handler_index_for_byte(std::uint8_t byte);
+
 /// Lookup by enum; never fails for valid enum values.
 [[nodiscard]] const OpcodeInfo& opcode_info(Opcode op);
 

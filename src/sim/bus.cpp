@@ -70,6 +70,7 @@ bool Bus::map(std::uint32_t base, std::unique_ptr<BusDevice> device) {
   mapping.base = base;
   mapping.size = size;
   mapping.device = std::move(device);
+  if (mapping.device->wants_tick()) ticking_.push_back(mapping.device.get());
   auto it = std::upper_bound(
       mappings_.begin(), mappings_.end(), base,
       [](std::uint32_t b, const Mapping& m) { return b < m.base; });
@@ -106,12 +107,18 @@ bool Bus::read32(std::uint32_t addr, std::uint32_t& value) const {
     return m->device->read32(addr - m->base, value);
   }
   // Transaction spans windows (or is unmapped at the start): byte route.
-  value = 0;
+  // Assemble into a local so a fault on a middle byte never leaves the
+  // out-param partially written.
+  std::uint32_t assembled = 0;
   for (int i = 0; i < 4; ++i) {
     std::uint8_t b = 0;
-    if (!read8(addr + static_cast<std::uint32_t>(i), b)) return false;
-    value |= static_cast<std::uint32_t>(b) << (8 * i);
+    if (!read8(addr + static_cast<std::uint32_t>(i), b)) {
+      value = 0;
+      return false;
+    }
+    assembled |= static_cast<std::uint32_t>(b) << (8 * i);
   }
+  value = assembled;
   return true;
 }
 
@@ -167,7 +174,25 @@ bool Bus::load_bytes(std::uint32_t addr,
 }
 
 void Bus::tick_all(std::uint64_t cycles) {
-  for (auto& m : mappings_) m.device->tick(cycles);
+  for (auto* device : ticking_) device->tick(cycles);
+}
+
+std::uint64_t Bus::next_event_horizon() const {
+  std::uint64_t horizon = kNoEventHorizon;
+  for (const auto* device : ticking_) {
+    horizon = std::min(horizon, device->next_event_horizon());
+  }
+  return horizon;
+}
+
+bool Bus::resolve_window(std::uint32_t addr, BusWindow& window) const {
+  const Mapping* m = find(addr);
+  if (!m) return false;
+  window.base = m->base;
+  window.size = m->size;
+  window.device = m->device.get();
+  window.bytes = m->device->direct_bytes();
+  return true;
 }
 
 void Bus::reset_devices() {
@@ -203,6 +228,44 @@ bool Ram::write8(std::uint32_t offset, std::uint8_t value) {
   if (track_init_) initialized_[offset] = true;
   const std::uint32_t page = offset >> kPageShift;
   dirty_pages_[page >> 6] |= 1ULL << (page & 63u);
+  bump_generation();
+  return true;
+}
+
+bool Ram::read32(std::uint32_t offset, std::uint32_t& value) {
+  if (offset + 4 > bytes_.size() || offset + 4 < offset) return false;
+  if (track_init_) {
+    // One count per never-written byte, matching the byte-composed route.
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      if (!initialized_[offset + i]) ++uninitialized_reads_;
+    }
+  }
+  const std::uint8_t* p = bytes_.data() + offset;
+  // Little-endian compose from the byte image; compilers fold this into a
+  // single load on LE targets.
+  value = static_cast<std::uint32_t>(p[0]) |
+          (static_cast<std::uint32_t>(p[1]) << 8) |
+          (static_cast<std::uint32_t>(p[2]) << 16) |
+          (static_cast<std::uint32_t>(p[3]) << 24);
+  return true;
+}
+
+bool Ram::write32(std::uint32_t offset, std::uint32_t value) {
+  if (offset + 4 > bytes_.size() || offset + 4 < offset) return false;
+  std::uint8_t* p = bytes_.data() + offset;
+  p[0] = static_cast<std::uint8_t>(value);
+  p[1] = static_cast<std::uint8_t>(value >> 8);
+  p[2] = static_cast<std::uint8_t>(value >> 16);
+  p[3] = static_cast<std::uint8_t>(value >> 24);
+  if (track_init_) {
+    for (std::uint32_t i = 0; i < 4; ++i) initialized_[offset + i] = true;
+  }
+  // A word can straddle two 4KB pages; mark both ends dirty.
+  const std::uint32_t first_page = offset >> kPageShift;
+  const std::uint32_t last_page = (offset + 3) >> kPageShift;
+  dirty_pages_[first_page >> 6] |= 1ULL << (first_page & 63u);
+  dirty_pages_[last_page >> 6] |= 1ULL << (last_page & 63u);
+  bump_generation();
   return true;
 }
 
@@ -229,6 +292,7 @@ void Ram::reset() {
     dirty_pages_[word] = 0;
   }
   uninitialized_reads_ = 0;
+  bump_generation();
 }
 
 // -------------------------------------------------------------------- Rom --
@@ -248,10 +312,21 @@ bool Rom::write8(std::uint32_t offset, std::uint8_t value) {
   return false;  // mask ROM: bus writes fault
 }
 
+bool Rom::read32(std::uint32_t offset, std::uint32_t& value) {
+  if (offset + 4 > bytes_.size() || offset + 4 < offset) return false;
+  const std::uint8_t* p = bytes_.data() + offset;
+  value = static_cast<std::uint32_t>(p[0]) |
+          (static_cast<std::uint32_t>(p[1]) << 8) |
+          (static_cast<std::uint32_t>(p[2]) << 16) |
+          (static_cast<std::uint32_t>(p[3]) << 24);
+  return true;
+}
+
 void Rom::reset() {
   std::fill(bytes_.begin() + dirty_lo_, bytes_.begin() + dirty_hi_,
             std::uint8_t{0});
   dirty_lo_ = dirty_hi_ = 0;
+  bump_generation();
 }
 
 void Rom::program(std::uint32_t offset,
@@ -270,6 +345,7 @@ void Rom::program(std::uint32_t offset,
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     if (offset + i < bytes_.size()) bytes_[offset + i] = bytes[i];
   }
+  bump_generation();
 }
 
 }  // namespace advm::sim

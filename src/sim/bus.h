@@ -17,6 +17,10 @@
 
 namespace advm::sim {
 
+/// Sentinel returned by next_event_horizon() when a device has no pending
+/// time-driven event (nothing it could do in tick() would become observable).
+inline constexpr std::uint64_t kNoEventHorizon = ~std::uint64_t{0};
+
 /// One memory-mapped device. Offsets passed to read8/write8 are relative to
 /// the device's window base.
 class BusDevice {
@@ -38,14 +42,62 @@ class BusDevice {
   virtual bool write32(std::uint32_t offset, std::uint32_t value);
 
   /// Advances device-local time (timers, UART shift registers, NVM state
-  /// machines). Called with the cycles consumed by each executed
-  /// instruction.
+  /// machines). Called with the cycles consumed by executed instructions
+  /// (one instruction at a time on the traced path, a batch on the decoded
+  /// fast path).
   virtual void tick(std::uint64_t cycles) { (void)cycles; }
+
+  /// Contract pair with tick(): a device overriding tick() MUST also return
+  /// true here, or Bus::tick_all will never call it (the bus only iterates
+  /// devices that declared themselves ticking at map() time).
+  [[nodiscard]] virtual bool wants_tick() const { return false; }
+
+  /// Cycles of tick() the device can absorb from *now* before anything it
+  /// does could become externally observable without a bus access (in
+  /// practice: before it could raise an IRQ line). kNoEventHorizon means
+  /// "never". Reporting early is always safe; reporting late is a bug — the
+  /// decoded fast path defers tick_all up to this horizon.
+  [[nodiscard]] virtual std::uint64_t next_event_horizon() const {
+    return kNoEventHorizon;
+  }
+
+  /// Stable pointer to the device's raw byte image, or nullptr. Non-null is
+  /// a promise that (a) read8/read32 are side-effect-free and equivalent to
+  /// reading these bytes, and (b) every content change bumps generation().
+  /// Memories satisfy this; MMIO devices and init-tracking RAM (whose reads
+  /// count X-propagation warnings) must return nullptr.
+  [[nodiscard]] virtual const std::uint8_t* direct_bytes() const {
+    return nullptr;
+  }
+
+  /// Write-generation counter: bumped on every content mutation of a
+  /// direct_bytes() device. The decoded-instruction cache keys pages on it.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
   /// Returns the device to its power-on state. Every stateful device
   /// overrides this; it is what lets a Board be pooled and reused across
   /// test runs with outcomes identical to a freshly constructed one.
   virtual void reset() {}
+
+ protected:
+  void bump_generation() { ++generation_; }
+
+ private:
+  std::uint64_t generation_ = 0;
+};
+
+/// A resolved device window: the fast fetch/data paths cache one of these so
+/// sequential accesses skip the per-access binary search, and — when `bytes`
+/// is non-null — the virtual byte-compose entirely.
+struct BusWindow {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;
+  BusDevice* device = nullptr;
+  const std::uint8_t* bytes = nullptr;  ///< direct image, or nullptr (MMIO)
+
+  [[nodiscard]] bool contains(std::uint32_t addr, std::uint32_t len) const {
+    return device != nullptr && len <= size && addr - base <= size - len;
+  }
 };
 
 /// Word-register peripheral convenience base: devices exposing aligned
@@ -85,7 +137,18 @@ class Bus {
   [[nodiscard]] bool load_bytes(std::uint32_t addr,
                                 const std::vector<std::uint8_t>& bytes);
 
+  /// Advances device time. Only devices whose wants_tick() returned true at
+  /// map() time are visited — Ram/Rom no-op ticks cost nothing.
   void tick_all(std::uint64_t cycles);
+
+  /// Minimum next_event_horizon() over the ticking devices: how many cycles
+  /// of tick_all can be deferred before any device could raise an IRQ.
+  [[nodiscard]] std::uint64_t next_event_horizon() const;
+
+  /// Resolves the window containing `addr` into `window` (with the device's
+  /// direct byte image when it has one). Returns false if unmapped.
+  [[nodiscard]] bool resolve_window(std::uint32_t addr,
+                                    BusWindow& window) const;
 
   /// Resets every mapped device to its power-on state (see
   /// BusDevice::reset). The mappings themselves are untouched.
@@ -95,6 +158,7 @@ class Bus {
   [[nodiscard]] BusDevice* device_at(std::uint32_t addr);
 
   [[nodiscard]] std::size_t device_count() const { return mappings_.size(); }
+  [[nodiscard]] std::size_t ticking_count() const { return ticking_.size(); }
 
  private:
   struct Mapping {
@@ -104,7 +168,8 @@ class Bus {
   };
   [[nodiscard]] const Mapping* find(std::uint32_t addr) const;
 
-  std::vector<Mapping> mappings_;  // sorted by base
+  std::vector<Mapping> mappings_;      // sorted by base
+  std::vector<BusDevice*> ticking_;    // devices with wants_tick()
 };
 
 /// Plain RAM. Optionally tracks per-byte initialisation so the gate-level
@@ -119,11 +184,22 @@ class Ram : public BusDevice {
   }
   bool read8(std::uint32_t offset, std::uint8_t& value) override;
   bool write8(std::uint32_t offset, std::uint8_t value) override;
+  /// Single-memcpy word access. read32 preserves the byte-composed
+  /// uninitialized-read accounting exactly (one count per never-written
+  /// byte), so X-propagation warnings are unchanged by the fast path.
+  bool read32(std::uint32_t offset, std::uint32_t& value) override;
+  bool write32(std::uint32_t offset, std::uint32_t value) override;
   /// Clears only the dirty pages, not the whole array — board pooling
   /// resets after every test, and a test touches a few KB of a 256KB
   /// memory (a watermark range would not do: the stack lives at the top
   /// and the vector table at the bottom, spanning everything).
   void reset() override;
+
+  /// Reads of init-tracking RAM count X-propagation warnings, so only
+  /// plain RAM exposes its image to the decoded fetch path.
+  [[nodiscard]] const std::uint8_t* direct_bytes() const override {
+    return track_init_ ? nullptr : bytes_.data();
+  }
 
   /// Number of reads that touched never-written bytes.
   [[nodiscard]] std::uint64_t uninitialized_reads() const {
@@ -153,8 +229,13 @@ class Rom : public BusDevice {
   }
   bool read8(std::uint32_t offset, std::uint8_t& value) override;
   bool write8(std::uint32_t offset, std::uint8_t value) override;
+  bool read32(std::uint32_t offset, std::uint32_t& value) override;
   /// Clears only the programmed watermark range (see Ram::reset).
   void reset() override;
+
+  [[nodiscard]] const std::uint8_t* direct_bytes() const override {
+    return bytes_.data();
+  }
 
   /// Image loading backdoor (not a bus write).
   void program(std::uint32_t offset, const std::vector<std::uint8_t>& bytes);

@@ -1,0 +1,72 @@
+#include "sim/dcache.h"
+
+#include <cstring>
+
+namespace advm::sim {
+
+DecodedCache::Page& DecodedCache::page_for(const BusDevice* device,
+                                           std::uint32_t page_index) {
+  DeviceEntry* entry = nullptr;
+  for (auto& e : devices_) {
+    if (e.device == device) {
+      entry = &e;
+      break;
+    }
+  }
+  if (!entry) {
+    devices_.push_back(DeviceEntry{device, {}});
+    entry = &devices_.back();
+  }
+  if (entry->pages.size() <= page_index) entry->pages.resize(page_index + 1);
+  auto& page = entry->pages[page_index];
+  if (!page) page = std::make_unique<Page>();
+  return *page;
+}
+
+const DecodedCache::Slot* DecodedCache::lookup(const BusWindow& window,
+                                               std::uint32_t offset) {
+  const std::uint32_t page_index = offset / kPageBytes;
+  Page* page;
+  if (window.device == last_device_ && page_index == last_page_index_) {
+    page = last_page_;
+  } else {
+    page = &page_for(window.device, page_index);
+    last_device_ = window.device;
+    last_page_index_ = page_index;
+    last_page_ = page;
+  }
+
+  const std::uint64_t generation = window.device->generation();
+  const auto phase =
+      static_cast<std::uint8_t>(offset % isa::kInstrBytes);
+  if (!page->keyed || page->generation != generation ||
+      page->phase != phase) {
+    // Bumping the stamp lazily invalidates all slots; only the ones
+    // actually fetched again pay a re-decode.
+    if (page->keyed) ++invalidations_;
+    ++page->stamp;
+    page->generation = generation;
+    page->phase = phase;
+    page->keyed = true;
+  }
+
+  const std::uint32_t slot_index =
+      (offset % kPageBytes) / static_cast<std::uint32_t>(isa::kInstrBytes);
+  Slot& slot = page->slots[slot_index];
+  if (slot.stamp != page->stamp) {
+    isa::EncodedInstr word;
+    std::memcpy(word.data(), window.bytes + offset, isa::kInstrBytes);
+    slot.stamp = page->stamp;
+    if (auto decoded = isa::decode(word)) {
+      slot.instr = *decoded;
+      slot.handler = isa::opcode_handler_index(decoded->op);
+      slot.state = Slot::kValid;
+    } else {
+      slot.state = Slot::kIllegal;
+    }
+    ++decodes_;
+  }
+  return &slot;
+}
+
+}  // namespace advm::sim

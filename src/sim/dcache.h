@@ -1,0 +1,85 @@
+// Decoded-instruction cache for the SC88 simulator core.
+//
+// The interpreter's per-fetch cost — 12 virtual read8 calls to compose the
+// word, a validating isa::decode into std::optional fields, a linear opcode
+// scan — is paid once per (page, slot) here instead of once per executed
+// instruction. Each executable page of a direct-bytes device (Rom, plain
+// Ram) is translated lazily into a dense array of decoded slots plus the
+// precomputed dense handler index the dispatch loop jumps through.
+//
+// Coherence: slots are keyed by the owning device's write-generation
+// counter (BusDevice::generation(), bumped by Ram::write8/write32,
+// Rom::program and the reset paths). A generation mismatch bumps the page
+// stamp, which lazily invalidates every slot — self-modifying code is
+// re-decoded before its next fetch, with no flush loop on the write path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "sim/bus.h"
+
+namespace advm::sim {
+
+class DecodedCache {
+ public:
+  /// One decoded instruction slot. `state` distinguishes a slot whose bytes
+  /// decode to a legal instruction from one that must raise the
+  /// illegal-instruction trap — both are cached, so repeated execution of a
+  /// bad word costs no re-decode either.
+  struct Slot {
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kIllegal = 2;
+
+    isa::Instruction instr;
+    std::uint64_t stamp = 0;  ///< valid iff equal to the page stamp
+    std::uint8_t handler = 0; ///< dense index into the dispatch table
+    std::uint8_t state = 0;
+  };
+
+  /// Page geometry: a multiple of the 12-byte instruction word, so a page
+  /// holds whole slots and the slot index is a shift-free divide.
+  static constexpr std::uint32_t kSlotsPerPage = 256;
+  static constexpr std::uint32_t kPageBytes =
+      kSlotsPerPage * static_cast<std::uint32_t>(isa::kInstrBytes);
+
+  /// Returns the decoded slot for the instruction at `offset` inside the
+  /// resolved window, decoding it from the live byte image if the slot is
+  /// cold or its page's generation went stale. The caller guarantees
+  /// `window.bytes != nullptr` and `offset + kInstrBytes <= window.size`.
+  const Slot* lookup(const BusWindow& window, std::uint32_t offset);
+
+  /// Instrumentation for tests: total slot decodes performed, and page
+  /// invalidations triggered by generation mismatches.
+  [[nodiscard]] std::uint64_t decodes() const { return decodes_; }
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Page {
+    std::uint64_t generation = 0;
+    std::uint64_t stamp = 1;  ///< > any fresh slot stamp, so slots start cold
+    std::uint8_t phase = 0;   ///< offset % kInstrBytes this page was keyed at
+    bool keyed = false;       ///< generation/phase valid after first lookup
+    Slot slots[kSlotsPerPage];
+  };
+  struct DeviceEntry {
+    const BusDevice* device = nullptr;
+    std::vector<std::unique_ptr<Page>> pages;
+  };
+
+  Page& page_for(const BusDevice* device, std::uint32_t page_index);
+
+  std::vector<DeviceEntry> devices_;
+  // One-entry lookup memo: sequential execution stays on one page, so the
+  // common fetch touches no vectors at all.
+  const BusDevice* last_device_ = nullptr;
+  std::uint32_t last_page_index_ = 0;
+  Page* last_page_ = nullptr;
+
+  std::uint64_t decodes_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace advm::sim

@@ -44,6 +44,7 @@ void Machine::reset(std::uint32_t entry, std::uint32_t stack_top,
   vtbase_ = vtbase;
   cycles_ = 0;
   instructions_ = 0;
+  pending_tick_cycles_ = 0;
   a_[isa::kStackPointerIndex] = stack_top;
   a_written_[isa::kStackPointerIndex] = true;  // SP is architecturally primed
 }
@@ -67,6 +68,14 @@ std::uint64_t Machine::state_digest() const {
 }
 
 RunResult Machine::run(std::uint64_t max_instructions) {
+  // The decoded fast loop owns the untraced case; an attached trace sink
+  // needs per-instruction device ticking (trace records carry cycle
+  // stamps), so traced runs keep the step() loop — which still fetches
+  // through the decode cache, so traced runs exercise the same decoded
+  // slots and invalidation the fast loop relies on.
+  if (decode_cache_enabled_ && trace_ == nullptr) {
+    return run_decoded(max_instructions);
+  }
   RunResult result;
   while (result.instructions < max_instructions) {
     StopReason reason = step();
@@ -88,10 +97,23 @@ RunResult Machine::run(std::uint64_t max_instructions) {
   return result;
 }
 
+const DecodedCache::Slot* Machine::fetch_slot(std::uint32_t pc) {
+  if (!fetch_win_.contains(pc, isa::kInstrBytes) ||
+      fetch_win_.bytes == nullptr) {
+    BusWindow window;
+    if (!bus_.resolve_window(pc, window) || window.bytes == nullptr ||
+        !window.contains(pc, isa::kInstrBytes)) {
+      return nullptr;
+    }
+    fetch_win_ = window;
+  }
+  return dcache_.lookup(fetch_win_, pc - fetch_win_.base);
+}
+
 StopReason Machine::step() {
   // Interrupt window between instructions.
-  if (flag(Psw::kInterruptEnable) && irq_poll_) {
-    if (auto irq = irq_poll_()) {
+  if (flag(Psw::kInterruptEnable) && irq_source_) {
+    if (auto irq = irq_source_->pending_irq()) {
       const auto vector =
           static_cast<std::uint8_t>(TrapVectors::kInterruptBase + *irq);
       if (trace_) trace_->on_trap(cycles_, vector);
@@ -100,29 +122,42 @@ StopReason Machine::step() {
     }
   }
 
-  isa::EncodedInstr word;
   const std::uint32_t fetch_pc = pc_;
-  if (!bus_.fetch(fetch_pc, word)) {
-    if (trace_) trace_->on_trap(cycles_, TrapVectors::kBusError);
-    return take_trap(TrapVectors::kBusError, fetch_pc);
+  const Instruction* instr = nullptr;
+  Instruction scratch;
+  if (decode_cache_enabled_) {
+    if (const auto* slot = fetch_slot(fetch_pc)) {
+      if (slot->state == DecodedCache::Slot::kIllegal) {
+        if (trace_) trace_->on_trap(cycles_, TrapVectors::kIllegalInstruction);
+        return take_trap(TrapVectors::kIllegalInstruction, fetch_pc);
+      }
+      instr = &slot->instr;
+    }
+  }
+  if (!instr) {
+    isa::EncodedInstr word;
+    if (!bus_.fetch(fetch_pc, word)) {
+      if (trace_) trace_->on_trap(cycles_, TrapVectors::kBusError);
+      return take_trap(TrapVectors::kBusError, fetch_pc);
+    }
+    auto decoded = isa::decode(word);
+    if (!decoded) {
+      if (trace_) trace_->on_trap(cycles_, TrapVectors::kIllegalInstruction);
+      return take_trap(TrapVectors::kIllegalInstruction, fetch_pc);
+    }
+    scratch = *decoded;
+    instr = &scratch;
   }
 
-  auto decoded = isa::decode(word);
-  if (!decoded) {
-    if (trace_) trace_->on_trap(cycles_, TrapVectors::kIllegalInstruction);
-    return take_trap(TrapVectors::kIllegalInstruction, fetch_pc);
-  }
-
-  if (trace_) trace_->on_instruction(cycles_, fetch_pc, *decoded);
+  if (trace_) trace_->on_instruction(cycles_, fetch_pc, *instr);
 
   pc_ = fetch_pc + isa::kInstrBytes;  // default next; branches overwrite
 
   bool taken_branch = false;
   std::uint8_t trap_vector = 0;
-  const ExecStatus status = execute(*decoded, taken_branch, trap_vector);
+  const ExecStatus status = execute(*instr, taken_branch, trap_vector);
 
-  const std::uint64_t cost =
-      timing_.instruction_cost(*decoded, taken_branch);
+  const std::uint64_t cost = timing_.instruction_cost(*instr, taken_branch);
   cycles_ += cost;
   ++instructions_;
   bus_.tick_all(cost);
@@ -145,6 +180,148 @@ StopReason Machine::step() {
     }
   }
   return StopReason::Running;
+}
+
+void Machine::flush_ticks() {
+  if (pending_tick_cycles_ != 0) {
+    bus_.tick_all(pending_tick_cycles_);
+    pending_tick_cycles_ = 0;
+  }
+}
+
+RunResult Machine::run_decoded(std::uint64_t max_instructions) {
+  RunResult result;
+  const auto finish = [&](StopReason reason) {
+    flush_ticks();
+    result.reason = reason;
+    result.cycles = cycles_;
+    result.stop_pc = pc_;
+    if (reason == StopReason::UnhandledTrap ||
+        reason == StopReason::DoubleFault) {
+      result.fault_vector = pending_fault_vector_;
+    }
+    return result;
+  };
+
+  while (true) {
+    // ---- batch boundary: settle deferred device time, service IRQs ----
+    flush_ticks();
+    if (result.instructions >= max_instructions) {
+      result.reason = StopReason::CycleLimit;
+      result.cycles = cycles_;
+      result.stop_pc = pc_;
+      return result;
+    }
+    if (flag(Psw::kInterruptEnable) && irq_source_) {
+      if (auto irq = irq_source_->pending_irq()) {
+        const auto vector =
+            static_cast<std::uint8_t>(TrapVectors::kInterruptBase + *irq);
+        const StopReason r = take_trap(vector, pc_);
+        if (r != StopReason::Running) {
+          // Mirrors run(): a failed IRQ entry still counts as a step.
+          ++result.instructions;
+          return finish(r);
+        }
+      }
+    }
+
+    // Ticks can be deferred until the earliest point a device could raise
+    // an IRQ. With interrupts masked (or no controller wired), a raise is
+    // unobservable except through an MMIO access — and those flush — so
+    // the batch is bounded only by the conditions below.
+    const std::uint64_t deadline =
+        (irq_source_ && flag(Psw::kInterruptEnable))
+            ? bus_.next_event_horizon()
+            : kNoEventHorizon;
+
+    // ---- batch: execute until something needs a boundary ----
+    bool batch_done = false;
+    while (!batch_done) {
+      const std::uint32_t fetch_pc = pc_;
+      const Instruction* instr = nullptr;
+      Instruction scratch;
+      std::uint8_t handler = 0;
+      if (const auto* slot = fetch_slot(fetch_pc)) {
+        if (slot->state == DecodedCache::Slot::kIllegal) {
+          ++result.instructions;
+          const StopReason r =
+              take_trap(TrapVectors::kIllegalInstruction, fetch_pc);
+          if (r != StopReason::Running) return finish(r);
+          break;  // trap entry masked IE; re-poll at the next boundary
+        }
+        instr = &slot->instr;
+        handler = slot->handler;
+      } else {
+        // MMIO-resident or window-straddling code: byte-composed fetch,
+        // exactly the plain interpreter's path.
+        isa::EncodedInstr word;
+        if (!bus_.fetch(fetch_pc, word)) {
+          ++result.instructions;
+          const StopReason r = take_trap(TrapVectors::kBusError, fetch_pc);
+          if (r != StopReason::Running) return finish(r);
+          break;
+        }
+        auto decoded = isa::decode(word);
+        if (!decoded) {
+          ++result.instructions;
+          const StopReason r =
+              take_trap(TrapVectors::kIllegalInstruction, fetch_pc);
+          if (r != StopReason::Running) return finish(r);
+          break;
+        }
+        scratch = *decoded;
+        instr = &scratch;
+        handler = isa::opcode_handler_index(scratch.op);
+      }
+
+      pc_ = fetch_pc + isa::kInstrBytes;
+
+      bool taken_branch = false;
+      std::uint8_t trap_vector = 0;
+      mmio_access_ = false;
+      const ExecStatus status =
+          execute_handler(handler, *instr, taken_branch, trap_vector);
+
+      const std::uint64_t cost =
+          timing_.instruction_cost(*instr, taken_branch);
+      cycles_ += cost;
+      pending_tick_cycles_ += cost;
+      ++instructions_;
+      ++result.instructions;
+
+      switch (status) {
+        case ExecStatus::Ok:
+          break;
+        case ExecStatus::Halt:
+          return finish(StopReason::Halted);
+        case ExecStatus::Break:
+          return finish(StopReason::Breakpoint);
+        case ExecStatus::Trap: {
+          const bool is_software =
+              trap_vector >= TrapVectors::kSoftwareBase &&
+              trap_vector < TrapVectors::kInterruptBase;
+          const StopReason r =
+              take_trap(trap_vector, is_software ? pc_ : fetch_pc);
+          if (r != StopReason::Running) return finish(r);
+          batch_done = true;
+          break;
+        }
+      }
+
+      // Boundary conditions. IE-raising instructions (ENABLE, MTCR, RETI's
+      // PSW restore) must re-poll before the next instruction, matching
+      // the per-instruction interpreter; an MMIO access already flushed
+      // and may have raised an IRQ; crossing the deadline means a ticking
+      // device is due to raise one.
+      const Opcode op = instr->op;
+      if (mmio_access_ || taken_branch ||
+          pending_tick_cycles_ >= deadline ||
+          result.instructions >= max_instructions ||
+          op == Opcode::Enable || op == Opcode::Mtcr) {
+        batch_done = true;
+      }
+    }
+  }
 }
 
 StopReason Machine::take_trap(std::uint8_t vector, std::uint32_t return_pc) {
@@ -192,14 +369,47 @@ void Machine::write_reg(const RegSpec& r, std::uint32_t value) {
 
 // ----------------------------------------------------------------- memory --
 
+bool Machine::bus_read32(std::uint32_t addr, std::uint32_t& value) {
+  if (data_win_.bytes != nullptr && data_win_.contains(addr, 4)) {
+    return data_win_.device->read32(addr - data_win_.base, value);
+  }
+  BusWindow window;
+  if (bus_.resolve_window(addr, window) && window.bytes != nullptr &&
+      window.contains(addr, 4)) {
+    data_win_ = window;
+    return window.device->read32(addr - window.base, value);
+  }
+  // MMIO, init-tracking RAM, or a window-spanning access: the device must
+  // observe the same cycle total as under per-instruction ticking, so
+  // settle deferred ticks first and end the decoded batch afterwards.
+  flush_ticks();
+  mmio_access_ = true;
+  return bus_.read32(addr, value);
+}
+
+bool Machine::bus_write32(std::uint32_t addr, std::uint32_t value) {
+  if (data_win_.bytes != nullptr && data_win_.contains(addr, 4)) {
+    return data_win_.device->write32(addr - data_win_.base, value);
+  }
+  BusWindow window;
+  if (bus_.resolve_window(addr, window) && window.bytes != nullptr &&
+      window.contains(addr, 4)) {
+    data_win_ = window;
+    return window.device->write32(addr - window.base, value);
+  }
+  flush_ticks();
+  mmio_access_ = true;
+  return bus_.write32(addr, value);
+}
+
 bool Machine::mem_read32(std::uint32_t addr, std::uint32_t& value) {
-  if (!bus_.read32(addr, value)) return false;
+  if (!bus_read32(addr, value)) return false;
   if (trace_) trace_->on_memory(cycles_, addr, value, /*is_write=*/false);
   return true;
 }
 
 bool Machine::mem_write32(std::uint32_t addr, std::uint32_t value) {
-  if (!bus_.write32(addr, value)) return false;
+  if (!bus_write32(addr, value)) return false;
   if (trace_) trace_->on_memory(cycles_, addr, value, /*is_write=*/true);
   return true;
 }
@@ -305,29 +515,67 @@ bool Machine::source_value(const Instruction& instr, std::uint32_t& value,
 Machine::ExecStatus Machine::execute(const Instruction& instr,
                                      bool& taken_branch,
                                      std::uint8_t& trap_vector) {
+  return execute_handler(isa::opcode_handler_index(instr.op), instr,
+                         taken_branch, trap_vector);
+}
+
+// Dense dispatch over the handler index. GNU compilers get a computed-goto
+// label table (one indirect jump, no bounds cascade); everything else gets
+// the plain opcode switch, which is dense enough for the table to apply.
+// Either way there is exactly ONE copy of the opcode semantics below.
+#if defined(__GNUC__) || defined(__clang__)
+#define ADVM_COMPUTED_GOTO 1
+#define ADVM_OP(name) lbl_##name:
+#else
+#define ADVM_COMPUTED_GOTO 0
+#define ADVM_OP(name) case Opcode::name:
+#endif
+
+Machine::ExecStatus Machine::execute_handler(std::uint8_t handler,
+                                             const Instruction& instr,
+                                             bool& taken_branch,
+                                             std::uint8_t& trap_vector) {
   auto trap = [&](std::uint8_t vec) {
     trap_vector = vec;
     return ExecStatus::Trap;
   };
 
+#if ADVM_COMPUTED_GOTO
+  // Label order MUST match opcode_table() order — the handler index is the
+  // table position. The trailing entry absorbs isa::kIllegalHandler.
+  static const void* const kDispatch[isa::kNumOpcodes + 1] = {
+      &&lbl_Nop,     &&lbl_Halt,   &&lbl_Break,   &&lbl_Mov,
+      &&lbl_Lea,     &&lbl_Load,   &&lbl_Store,   &&lbl_Push,
+      &&lbl_Pop,     &&lbl_Add,    &&lbl_Sub,     &&lbl_Mul,
+      &&lbl_Div,     &&lbl_And,    &&lbl_Or,      &&lbl_Xor,
+      &&lbl_Not,     &&lbl_Shl,    &&lbl_Shr,     &&lbl_Sar,
+      &&lbl_Cmp,     &&lbl_Insert, &&lbl_Extract, &&lbl_Jmp,
+      &&lbl_Call,    &&lbl_Return, &&lbl_Trap,    &&lbl_Reti,
+      &&lbl_Disable, &&lbl_Enable, &&lbl_Mfcr,    &&lbl_Mtcr,
+      &&lbl_Illegal};
+  goto* kDispatch[handler < isa::kNumOpcodes ? handler : isa::kNumOpcodes];
+#else
+  (void)handler;
   switch (instr.op) {
-    case Opcode::Nop:
+#endif
+
+    ADVM_OP(Nop)
       return ExecStatus::Ok;
-    case Opcode::Halt:
+    ADVM_OP(Halt)
       return ExecStatus::Halt;
-    case Opcode::Break:
+    ADVM_OP(Break)
       return config_.break_stops ? ExecStatus::Break : ExecStatus::Ok;
 
-    case Opcode::Mov:
-    case Opcode::Lea:
-    case Opcode::Load: {
+    ADVM_OP(Mov)
+    ADVM_OP(Lea)
+    ADVM_OP(Load) {
       std::uint32_t value = 0;
       if (!source_value(instr, value, trap_vector)) return ExecStatus::Trap;
       if (instr.rc) write_reg(*instr.rc, value);
       return ExecStatus::Ok;
     }
 
-    case Opcode::Store: {
+    ADVM_OP(Store) {
       const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t addr = 0;
       switch (instr.mode) {
@@ -347,21 +595,21 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Push: {
+    ADVM_OP(Push) {
       const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
       if (!push32(value)) return trap(TrapVectors::kBusError);
       return ExecStatus::Ok;
     }
-    case Opcode::Pop: {
+    ADVM_OP(Pop) {
       std::uint32_t value = 0;
       if (!pop32(value)) return trap(TrapVectors::kBusError);
       if (instr.rc) write_reg(*instr.rc, value);
       return ExecStatus::Ok;
     }
 
-    case Opcode::Add:
-    case Opcode::Sub:
-    case Opcode::Cmp: {
+    ADVM_OP(Add)
+    ADVM_OP(Sub)
+    ADVM_OP(Cmp) {
       const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t rhs = 0;
       if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
@@ -382,7 +630,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Mul: {
+    ADVM_OP(Mul) {
       const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t rhs = 0;
       if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
@@ -395,7 +643,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Div: {
+    ADVM_OP(Div) {
       const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t rhs = 0;
       if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
@@ -416,9 +664,9 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::And:
-    case Opcode::Or:
-    case Opcode::Xor: {
+    ADVM_OP(And)
+    ADVM_OP(Or)
+    ADVM_OP(Xor) {
       const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t rhs = 0;
       if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
@@ -433,7 +681,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Not: {
+    ADVM_OP(Not) {
       const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
       const std::uint32_t result = ~value;
       set_flags_zn(result);
@@ -441,9 +689,9 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Shl:
-    case Opcode::Shr:
-    case Opcode::Sar: {
+    ADVM_OP(Shl)
+    ADVM_OP(Shr)
+    ADVM_OP(Sar) {
       const std::uint32_t lhs = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t rhs = 0;
       if (!source_value(instr, rhs, trap_vector)) return ExecStatus::Trap;
@@ -468,7 +716,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Insert: {
+    ADVM_OP(Insert) {
       const std::uint32_t base = instr.ra ? read_reg(*instr.ra) : 0;
       std::uint32_t value = 0;
       if (!source_value(instr, value, trap_vector)) return ExecStatus::Trap;
@@ -480,7 +728,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Extract: {
+    ADVM_OP(Extract) {
       const std::uint32_t base = instr.ra ? read_reg(*instr.ra) : 0;
       const std::uint32_t mask =
           instr.width >= 32 ? 0xFFFF'FFFFu : ((1u << instr.width) - 1u);
@@ -489,14 +737,14 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Jmp: {
+    ADVM_OP(Jmp) {
       if (!condition_met(instr.cond)) return ExecStatus::Ok;
       pc_ = instr.rb ? read_reg(*instr.rb) : instr.imm;
       taken_branch = true;
       return ExecStatus::Ok;
     }
 
-    case Opcode::Call: {
+    ADVM_OP(Call) {
       const std::uint32_t target = instr.rb ? read_reg(*instr.rb) : instr.imm;
       if (!push32(pc_)) return trap(TrapVectors::kBusError);
       pc_ = target;
@@ -504,7 +752,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Return: {
+    ADVM_OP(Return) {
       std::uint32_t ret = 0;
       if (!pop32(ret)) return trap(TrapVectors::kBusError);
       pc_ = ret;
@@ -512,11 +760,11 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Trap:
+    ADVM_OP(Trap)
       return trap(static_cast<std::uint8_t>(TrapVectors::kSoftwareBase +
                                             instr.pos));
 
-    case Opcode::Reti: {
+    ADVM_OP(Reti) {
       std::uint32_t saved_psw = 0;
       std::uint32_t ret = 0;
       if (!pop32(saved_psw) || !pop32(ret)) {
@@ -528,14 +776,14 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Disable:
+    ADVM_OP(Disable)
       set_flag(Psw::kInterruptEnable, false);
       return ExecStatus::Ok;
-    case Opcode::Enable:
+    ADVM_OP(Enable)
       set_flag(Psw::kInterruptEnable, true);
       return ExecStatus::Ok;
 
-    case Opcode::Mfcr: {
+    ADVM_OP(Mfcr) {
       std::uint32_t value = 0;
       switch (static_cast<isa::CoreReg>(instr.pos)) {
         case isa::CoreReg::Psw:
@@ -557,7 +805,7 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
       return ExecStatus::Ok;
     }
 
-    case Opcode::Mtcr: {
+    ADVM_OP(Mtcr) {
       const std::uint32_t value = instr.ra ? read_reg(*instr.ra) : 0;
       switch (static_cast<isa::CoreReg>(instr.pos)) {
         case isa::CoreReg::Psw:
@@ -573,8 +821,17 @@ Machine::ExecStatus Machine::execute(const Instruction& instr,
           return trap(TrapVectors::kIllegalInstruction);
       }
     }
+
+#if ADVM_COMPUTED_GOTO
+  lbl_Illegal:
+    return trap(TrapVectors::kIllegalInstruction);
+#else
   }
   return trap(TrapVectors::kIllegalInstruction);
+#endif
 }
+
+#undef ADVM_OP
+#undef ADVM_COMPUTED_GOTO
 
 }  // namespace advm::sim

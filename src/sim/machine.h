@@ -7,16 +7,26 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "isa/instruction.h"
 #include "isa/registers.h"
 #include "sim/bus.h"
+#include "sim/dcache.h"
 #include "sim/timing.h"
 #include "sim/trace.h"
 
 namespace advm::sim {
+
+/// Publisher of the highest-priority pending IRQ line (0-15); nullopt =
+/// nothing pending. An interface instead of a std::function so the
+/// between-instruction poll on the hot loop is one virtual call, not a
+/// type-erased closure invocation.
+class IrqSource {
+ public:
+  virtual ~IrqSource() = default;
+  [[nodiscard]] virtual std::optional<std::uint8_t> pending_irq() const = 0;
+};
 
 /// Trap/interrupt vector assignments. The table lives at VTBASE; entry i is
 /// the 32-bit handler address at VTBASE + 4*i. A zero entry means "no
@@ -103,17 +113,50 @@ class Machine {
   /// Value returned by `MFCR rc, COREID` — derivatives report distinct ids.
   void set_core_id(std::uint32_t id) { core_id_ = id; }
 
-  /// The interrupt controller publishes the highest-priority pending IRQ
-  /// line (0-15) through this hook; nullopt = nothing pending.
-  void set_irq_poll(std::function<std::optional<std::uint8_t>()> poll) {
-    irq_poll_ = std::move(poll);
+  /// The interrupt controller publishes pending IRQs through this hook.
+  /// The pointer is borrowed; the source must outlive the machine's runs.
+  void set_irq_source(const IrqSource* source) { irq_source_ = source; }
+
+  /// Decoded-execution toggle (on by default). Off = the plain
+  /// fetch/decode/execute interpreter with per-instruction device ticking —
+  /// the reference arm for differential tests and benches.
+  void set_decode_cache_enabled(bool enabled) {
+    decode_cache_enabled_ = enabled;
   }
+  [[nodiscard]] bool decode_cache_enabled() const {
+    return decode_cache_enabled_;
+  }
+
+  /// Decode-cache instrumentation (tests assert invalidation behaviour).
+  [[nodiscard]] const DecodedCache& decode_cache() const { return dcache_; }
 
  private:
   enum class ExecStatus { Ok, Trap, Halt, Break };
 
   ExecStatus execute(const isa::Instruction& instr, bool& taken_branch,
                      std::uint8_t& trap_vector);
+  /// Single source of opcode semantics, dispatched by dense handler index
+  /// (computed goto on GNU compilers, dense switch otherwise). execute()
+  /// and the decoded fast loop both land here.
+  ExecStatus execute_handler(std::uint8_t handler,
+                             const isa::Instruction& instr,
+                             bool& taken_branch, std::uint8_t& trap_vector);
+
+  /// Decoded fast loop: executes from cached slots and batches device
+  /// ticks / IRQ polls up to the bus's next-event horizon. Outcomes are
+  /// bit-identical to the per-instruction step() loop.
+  RunResult run_decoded(std::uint64_t max_instructions);
+
+  /// Decoded slot for the instruction at `pc`, or nullptr when the PC is
+  /// not inside a direct-bytes window (MMIO-resident code, straddling
+  /// fetch) — callers fall back to the byte-composed fetch + decode.
+  const DecodedCache::Slot* fetch_slot(std::uint32_t pc);
+
+  /// Routed word access with a cached window for memory-backed devices;
+  /// MMIO accesses flush deferred ticks first and end the current batch.
+  bool bus_read32(std::uint32_t addr, std::uint32_t& value);
+  bool bus_write32(std::uint32_t addr, std::uint32_t value);
+  void flush_ticks();
 
   std::uint32_t read_reg(const isa::RegSpec& r);
   void write_reg(const isa::RegSpec& r, std::uint32_t value);
@@ -159,7 +202,21 @@ class Machine {
   std::optional<std::uint8_t> pending_fault_vector_;
 
   TraceSink* trace_ = nullptr;
-  std::function<std::optional<std::uint8_t>()> irq_poll_;
+  const IrqSource* irq_source_ = nullptr;
+
+  // Decoded-execution state.
+  DecodedCache dcache_;
+  BusWindow fetch_win_;  ///< cached window containing the last fetch
+  BusWindow data_win_;   ///< cached window of the last memory-backed access
+  bool decode_cache_enabled_ = true;
+  /// Instruction cycles accumulated since the last bus_.tick_all — only
+  /// ever non-zero inside run_decoded, which flushes at every batch
+  /// boundary and before any MMIO access.
+  std::uint64_t pending_tick_cycles_ = 0;
+  /// Set by bus_read32/bus_write32 when an access left the memory fast
+  /// path — the decoded loop ends its batch after that instruction so
+  /// device interactions see per-instruction-equivalent time.
+  bool mmio_access_ = false;
 };
 
 }  // namespace advm::sim

@@ -52,8 +52,7 @@ Board::Board(const DerivativeSpec& spec, sim::PlatformKind platform)
   config.break_stops = c.breakpoints;
   machine_ = std::make_unique<sim::Machine>(bus_, *timing_, config);
   machine_->set_core_id(spec.core_id);
-  machine_->set_irq_poll(
-      [this]() { return intc_->highest_priority(); });
+  machine_->set_irq_source(intc_);
 }
 
 bool Board::load(const assembler::Image& image, std::string* error) {

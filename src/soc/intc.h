@@ -10,11 +10,13 @@
 #include <optional>
 
 #include "sim/bus.h"
+#include "sim/machine.h"
 #include "soc/irq.h"
 
 namespace advm::soc {
 
-class InterruptController final : public sim::MmioDevice {
+class InterruptController final : public sim::MmioDevice,
+                                  public sim::IrqSource {
  public:
   static constexpr std::uint32_t kPendingOffset = 0x0;
   static constexpr std::uint32_t kEnableOffset = 0x4;
@@ -27,7 +29,12 @@ class InterruptController final : public sim::MmioDevice {
 
   void reset() override { enable_ = 0; }
 
-  /// Hook for Machine::set_irq_poll — lowest line number wins.
+  /// sim::IrqSource — the machine polls this between instructions.
+  [[nodiscard]] std::optional<std::uint8_t> pending_irq() const override {
+    return highest_priority();
+  }
+
+  /// Lowest pending&enabled line number wins.
   [[nodiscard]] std::optional<std::uint8_t> highest_priority() const {
     const std::uint16_t active = irqs_.pending() & enable_;
     if (active == 0) return std::nullopt;

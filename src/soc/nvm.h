@@ -47,6 +47,12 @@ class NvmController final : public sim::MmioDevice {
   [[nodiscard]] std::uint32_t size() const override { return 0x14; }
 
   void tick(std::uint64_t cycles) override;
+  [[nodiscard]] bool wants_tick() const override { return true; }
+  /// A busy program/erase raises the completion IRQ exactly busy_cycles_
+  /// from now; idle, tick() can never raise anything.
+  [[nodiscard]] std::uint64_t next_event_horizon() const override {
+    return busy_cycles_ != 0 ? busy_cycles_ : sim::kNoEventHorizon;
+  }
   void reset() override;
 
   [[nodiscard]] bool busy() const { return busy_cycles_ > 0; }

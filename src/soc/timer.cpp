@@ -2,6 +2,22 @@
 
 namespace advm::soc {
 
+std::uint64_t Timer::next_event_horizon() const {
+  if (!(ctrl_ & kCtrlEnable) || !(ctrl_ & kCtrlIrqEnable)) {
+    return sim::kNoEventHorizon;
+  }
+  // Counter steps until count_ would increment INTO compare_; a current
+  // equality only matched on the increment that produced it, so "0 steps
+  // away" means a full 2^32 wrap.
+  std::uint64_t steps = static_cast<std::uint32_t>(compare_ - count_);
+  if (steps == 0) steps = std::uint64_t{1} << 32;
+  if (steps > (sim::kNoEventHorizon - 1) / prescale_) {
+    return sim::kNoEventHorizon;  // effectively unreachable
+  }
+  // residue_ < prescale_ between ticks, so this is always >= 1.
+  return steps * prescale_ - residue_;
+}
+
 void Timer::tick(std::uint64_t cycles) {
   if (!(ctrl_ & kCtrlEnable)) return;
   residue_ += cycles;

@@ -35,6 +35,12 @@ class Timer final : public sim::MmioDevice {
   [[nodiscard]] std::uint32_t size() const override { return 0x10; }
 
   void tick(std::uint64_t cycles) override;
+  [[nodiscard]] bool wants_tick() const override { return true; }
+
+  /// Cycles until the next compare-match IRQ could fire; kNoEventHorizon
+  /// when disabled or the IRQ is unarmed (a match then only flips the
+  /// STATUS bit, which is observed through MMIO reads — those flush).
+  [[nodiscard]] std::uint64_t next_event_horizon() const override;
 
   void reset() override {
     count_ = 0;

@@ -36,6 +36,10 @@ class Uart final : public sim::MmioDevice {
   [[nodiscard]] std::uint32_t size() const override { return 0xC; }
 
   void tick(std::uint64_t cycles) override;
+  // Ticking only drains the TX shift register; IRQs are raised from register
+  // writes / rx injection, never from tick, so the default infinite
+  // next_event_horizon() is correct.
+  [[nodiscard]] bool wants_tick() const override { return true; }
   void reset() override;
 
   /// Everything the UART ever transmitted (testbench-side capture).

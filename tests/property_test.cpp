@@ -493,7 +493,13 @@ TEST_F(FailureInjection, UnclearedInterruptLivelockHitsCycleLimit) {
   sim::Bus bus;
   bus.map(kRamBase, std::make_unique<sim::Ram>("ram", kRamSize));
   sim::Machine machine(bus, timing_);
-  machine.set_irq_poll([]() { return std::optional<std::uint8_t>{0}; });
+  struct AlwaysLine0 final : sim::IrqSource {
+    [[nodiscard]] std::optional<std::uint8_t> pending_irq() const override {
+      return std::uint8_t{0};
+    }
+  };
+  static const AlwaysLine0 always_pending;
+  machine.set_irq_source(&always_pending);
 
   DiagnosticEngine diags;
   assembler::Assembler asm_driver(vfs_, diags, {});

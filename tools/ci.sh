@@ -295,6 +295,27 @@ if [[ -e build/serve.sock ]]; then
   exit 1
 fi
 
+echo "==> sim-core lap (decoded-cache speedup gate + backend roll-up identity)"
+# bench_sim_core exits non-zero unless the decoded arm is bit-identical to
+# the plain interpreter on all four kernels AND holds a >= 3x instr/s
+# advantage on the compute kernel. Its datapoint lands in bench/records/ so
+# the >15% trend gate below covers the sim core's floor too. The roll-up
+# re-check reuses the shard-gate artifacts: a sim-core change must be
+# invisible in the e10 cube under both backends.
+cmake --build build -t bench_sim_core -j
+mkdir -p bench/records build/bench-logs
+ADVM_BENCH_JSON_DIR="$PWD/bench/records" ./build/bench/bench_sim_core \
+  > build/bench-logs/bench_sim_core.log
+tail -2 build/bench-logs/bench_sim_core.log
+python3 - build/shard-thread.json build/shard-process.json <<'PY'
+import json, sys
+thread, process = (json.load(open(p)) for p in sys.argv[1:3])
+assert json.dumps(thread["rollup"], sort_keys=True) == \
+       json.dumps(process["rollup"], sort_keys=True), \
+    "e10 roll-up diverged between thread and process backends"
+print("sim-core lap ok: e10 roll-up byte-identical across backends")
+PY
+
 echo "==> -Werror hygiene build"
 cmake --preset werror
 cmake --build build-werror -j
