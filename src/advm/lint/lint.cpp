@@ -1,0 +1,202 @@
+#include "advm/lint/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "advm/environment.h"
+#include "advm/lint/analyses.h"
+#include "advm/lint/cfg.h"
+#include "advm/regression.h"
+#include "asm/assembler.h"
+#include "asm/linker.h"
+#include "soc/global_layer.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace advm::core {
+
+using support::join_path;
+
+std::size_t LintReport::count(std::string_view code) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const LintFinding& f) { return f.code == code; }));
+}
+
+std::map<std::string, std::size_t> LintReport::by_code() const {
+  std::map<std::string, std::size_t> out;
+  for (const auto& f : findings) ++out[f.code];
+  return out;
+}
+
+namespace {
+
+LintFinding build_failure(std::string_view env_dir, std::string_view test_id,
+                          std::string file, std::string detail) {
+  LintFinding f;
+  f.code = kLintUnbuildable;
+  f.environment = support::base_name(env_dir);
+  f.test_id = std::string(test_id);
+  f.file = std::move(file);
+  f.detail = std::move(detail);
+  return f;
+}
+
+}  // namespace
+
+LintReport Linter::lint_cell(std::string_view env_dir,
+                             std::string_view global_dir,
+                             std::string_view test_id,
+                             const soc::DerivativeSpec& spec) {
+  LintReport report;
+  report.cells = 1;
+  const std::string test_path =
+      join_path(join_path(env_dir, std::string(test_id)), kTestSourceFile);
+
+  // Same cell build recipe as the violation checker's linkage pass: the
+  // abstraction layer (when present) shadows the global libraries on the
+  // include path, and the four shared library objects link alongside the
+  // test object whenever their sources exist.
+  support::DiagnosticEngine diags;
+  assembler::AssemblerOptions options;
+  const std::string abstraction_dir =
+      join_path(env_dir, kAbstractionLayerDir);
+  if (vfs_.dir_exists(abstraction_dir)) {
+    options.include_dirs.push_back(abstraction_dir);
+  }
+  options.include_dirs.push_back(std::string(global_dir));
+
+  std::vector<std::shared_ptr<const assembler::ObjectFile>> held;
+  std::vector<const assembler::ObjectFile*> objects;
+
+  CachedObject test_obj = cache_->assemble(vfs_, test_path, options);
+  if (!test_obj.ok()) {
+    report.findings.push_back(
+        build_failure(env_dir, test_id, test_path,
+                      "cell does not assemble: " + test_obj.error));
+    return report;
+  }
+  objects.push_back(test_obj.object.get());
+
+  for (const char* shared :
+       {kBaseFunctionsFile, kTrapLibraryFile, soc::kEmbeddedSoftwareFile,
+        soc::kCommonFunctionsFile}) {
+    std::string path = shared == std::string(kBaseFunctionsFile)
+                           ? join_path(abstraction_dir, shared)
+                           : join_path(global_dir, shared);
+    if (!vfs_.exists(path)) continue;
+    CachedObject obj = cache_->assemble(vfs_, path, options);
+    if (!obj.ok()) {
+      report.findings.push_back(
+          build_failure(env_dir, test_id, path,
+                        "environment library does not assemble: " +
+                            obj.error));
+      return report;
+    }
+    objects.push_back(obj.object.get());
+    held.push_back(std::move(obj.object));
+  }
+
+  assembler::LinkOptions link_options;
+  link_options.code_base = spec.code_base();
+  link_options.data_base = spec.data_base();
+  auto image = assembler::link(objects, link_options, diags);
+  if (!image) {
+    report.findings.push_back(
+        build_failure(env_dir, test_id, test_path,
+                      "cell does not link: " + diags.to_string()));
+    return report;
+  }
+
+  const lint::CodeModel model = lint::build_code_model(*image);
+  lint::AnalysisConfig config;
+  config.rom_base = spec.rom_base;
+  config.rom_size = spec.rom_size;
+  config.es_rom_base = spec.es_rom_base;
+  config.es_rom_size = spec.es_rom_size;
+  config.scope_source = test_path;
+
+  for (lint::Finding& f : lint::run_analyses(model, config)) {
+    LintFinding out;
+    out.code = std::move(f.code);
+    out.environment = support::base_name(env_dir);
+    out.test_id = std::string(test_id);
+    out.file = test_path;
+    out.address = f.address;
+    out.symbol = std::move(f.symbol);
+    out.detail = std::move(f.detail);
+    report.findings.push_back(std::move(out));
+  }
+  return report;
+}
+
+LintReport Linter::lint_system(std::string_view system_root,
+                               const soc::DerivativeSpec& spec) {
+  const std::string global_dir =
+      join_path(system_root, kGlobalLibrariesDir);
+
+  struct Cell {
+    std::string env_dir;
+    std::string test_id;
+  };
+  std::vector<Cell> cells;
+  for (const std::string& env_dir :
+       discover_environments(vfs_, system_root)) {
+    for (const std::string& test_id : discover_tests(vfs_, env_dir)) {
+      cells.push_back({env_dir, test_id});
+    }
+  }
+
+  // Cells are independent (the shared libraries assemble once into the
+  // cache, then link by pointer), so fan out and concatenate in discovery
+  // order — reports are byte-identical for any pool size.
+  std::vector<LintReport> per_cell(cells.size());
+  parallel_for(cells.size(), jobs_, [&](std::size_t i) {
+    per_cell[i] =
+        lint_cell(cells[i].env_dir, global_dir, cells[i].test_id, spec);
+  });
+
+  LintReport report;
+  report.cells = cells.size();
+  // Report files relative to the system root: the daemon imports each
+  // client tree under its own VFS root, and root-relative paths are what
+  // keep an attached lint byte-identical to a local one.
+  const std::string prefix = std::string(system_root) + "/";
+  for (LintReport& cell : per_cell) {
+    for (LintFinding& f : cell.findings) {
+      if (f.file.rfind(prefix, 0) == 0) f.file.erase(0, prefix.size());
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+std::string format_lint_report(const LintReport& report) {
+  std::string out;
+  if (report.clean()) {
+    out = "clean: no lint findings across " +
+          std::to_string(report.cells) + " cell(s)\n";
+    return out;
+  }
+  for (const LintFinding& f : report.findings) {
+    out += f.file;
+    if (f.address != 0 || !f.symbol.empty()) {
+      char addr[16];
+      std::snprintf(addr, sizeof addr, ":0x%08x", f.address);
+      out += addr;
+    }
+    out += ": [" + f.code + "]";
+    if (!f.symbol.empty()) out += " (" + f.symbol + ")";
+    out += " " + f.detail + "\n";
+  }
+  out += std::to_string(report.findings.size()) + " finding(s) across " +
+         std::to_string(report.cells) + " cell(s)\n";
+  for (const auto& [code, n] : report.by_code()) {
+    out += "  " + code + ": " + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+}  // namespace advm::core

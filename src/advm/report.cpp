@@ -411,6 +411,44 @@ std::string to_json(const CheckResult& result) {
   return os.str();
 }
 
+std::string to_json(const LintResult& result) {
+  if (!result.status.ok()) return error_document("lint", result.status);
+  auto os = make_stream();
+  os << "{\"ok\":true,\"verb\":\"lint\",\"clean\":"
+     << (result.report.clean() ? "true" : "false");
+  os << ",\"count\":" << result.report.findings.size();
+  os << ",\"cells\":" << result.report.cells;
+  os << ",\"findings\":[";
+  for (std::size_t i = 0; i < result.report.findings.size(); ++i) {
+    const LintFinding& f = result.report.findings[i];
+    if (i != 0) os << ",";
+    os << "{\"code\":";
+    append_quoted(os, f.code);
+    os << ",\"environment\":";
+    append_quoted(os, f.environment);
+    os << ",\"test\":";
+    append_quoted(os, f.test_id);
+    os << ",\"file\":";
+    append_quoted(os, f.file);
+    os << ",\"address\":" << f.address;
+    os << ",\"symbol\":";
+    append_quoted(os, f.symbol);
+    os << ",\"detail\":";
+    append_quoted(os, f.detail);
+    os << "}";
+  }
+  os << "],\"by_code\":{";
+  bool first = true;
+  for (const auto& [code, n] : result.report.by_code()) {
+    if (!first) os << ",";
+    first = false;
+    append_quoted(os, code);
+    os << ":" << n;
+  }
+  os << "}}";
+  return os.str();
+}
+
 std::string to_json(const ReleaseResult& result) {
   if (!result.status.ok()) return error_document("release", result.status);
   auto os = make_stream();

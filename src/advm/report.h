@@ -33,6 +33,7 @@ namespace advm::core {
 [[nodiscard]] std::string to_json(const MatrixResult& result);
 [[nodiscard]] std::string to_json(const PortResult& result);
 [[nodiscard]] std::string to_json(const CheckResult& result);
+[[nodiscard]] std::string to_json(const LintResult& result);
 [[nodiscard]] std::string to_json(const ReleaseResult& result);
 [[nodiscard]] std::string to_json(const RandomResult& result);
 

@@ -138,11 +138,45 @@ VerbOutcome do_init(Session& session, const VerbRequest& request,
   return outcome;
 }
 
+/// The --lint pre-run gate: lint the tree for every derivative the run
+/// will target and refuse to execute when any finding surfaces. Returns
+/// the outcome to report (exit 1, the lint document) on a dirty or
+/// failed lint, nullopt when the gate passes.
+std::optional<VerbOutcome> lint_gate_outcome(
+    Session& session, const std::string& vfs_root,
+    const std::vector<std::string>& derivatives,
+    const std::string& import_error) {
+  for (const std::string& derivative : derivatives) {
+    LintRequest lint;
+    lint.root = vfs_root;
+    lint.derivative = derivative;
+    LintResult result = session.run(lint);
+    if (!result.status.ok()) {
+      return error_outcome(std::move(result), import_error);
+    }
+    if (!result.report.clean()) {
+      VerbOutcome outcome;
+      outcome.exit = 1;
+      outcome.json = to_json(result);
+      outcome.text = format_lint_report(result.report) +
+                     "lint gate failed: refusing to run\n";
+      return outcome;
+    }
+  }
+  return std::nullopt;
+}
+
 VerbOutcome do_run(Session& session, const VerbRequest& request,
                    const std::string& vfs_root,
                    const std::string& import_error) {
   RunRequest run = request.run;
   run.root = vfs_root;
+  if (request.lint_gate) {
+    if (auto gate = lint_gate_outcome(session, vfs_root, {run.derivative},
+                                      import_error)) {
+      return *gate;
+    }
+  }
   RunResult result = session.run(run);
   if (!result.status.ok()) {
     return error_outcome(std::move(result), import_error);
@@ -159,6 +193,12 @@ VerbOutcome do_matrix(Session& session, const VerbRequest& request,
                       const std::string& import_error) {
   MatrixRequest matrix = request.matrix;
   matrix.root = vfs_root;
+  if (request.lint_gate) {
+    if (auto gate = lint_gate_outcome(session, vfs_root,
+                                      matrix.derivatives, import_error)) {
+      return *gate;
+    }
+  }
   MatrixResult result = session.run(matrix);
   if (!result.status.ok()) {
     return error_outcome(std::move(result), import_error);
@@ -224,6 +264,22 @@ VerbOutcome do_check(Session& session, const VerbRequest& request,
     text << result.report.violations.size() << " violation(s)\n";
   }
   outcome.text = text.str();
+  return outcome;
+}
+
+VerbOutcome do_lint(Session& session, const VerbRequest& request,
+                    const std::string& vfs_root,
+                    const std::string& import_error) {
+  LintRequest lint = request.lint;
+  lint.root = vfs_root;
+  LintResult result = session.run(lint);
+  if (!result.status.ok()) {
+    return error_outcome(std::move(result), import_error);
+  }
+  VerbOutcome outcome;
+  outcome.exit = result.report.clean() ? 0 : 1;
+  outcome.json = to_json(result);
+  outcome.text = format_lint_report(result.report);
   return outcome;
 }
 
@@ -294,14 +350,20 @@ std::string to_json(const VerbRequest& request) {
     os << ",\"derivative\":" << quoted(request.run.derivative)
        << ",\"platform\":" << quoted(request.run.platform)
        << ",\"max_instructions\":" << request.run.max_instructions;
+    // Only serialized when set: pre-gate golden request bytes must not
+    // change for gate-free runs.
+    if (request.lint_gate) os << ",\"lint\":true";
   } else if (request.verb == "matrix") {
     append_names(os, "derivatives", request.matrix.derivatives);
     append_names(os, "platforms", request.matrix.platforms);
     os << ",\"max_instructions\":" << request.matrix.max_instructions;
+    if (request.lint_gate) os << ",\"lint\":true";
   } else if (request.verb == "port") {
     os << ",\"to\":" << quoted(request.port.to);
   } else if (request.verb == "check") {
     os << ",\"derivative\":" << quoted(request.check.derivative);
+  } else if (request.verb == "lint") {
+    os << ",\"derivative\":" << quoted(request.lint.derivative);
   } else if (request.verb == "release") {
     os << ",\"name\":" << quoted(request.release.name) << ",\"derivative\":"
        << quoted(request.release.derivative) << ",\"platform\":"
@@ -338,6 +400,10 @@ std::optional<VerbRequest> parse_verb_request(std::string_view document,
     const auto* value = doc->find(key);
     return value ? value->as_uint64() : std::nullopt;
   };
+  const auto read_bool = [&doc](const char* key) -> std::optional<bool> {
+    const auto* value = doc->find(key);
+    return value ? value->as_bool() : std::nullopt;
+  };
 
   VerbRequest request;
   const auto verb = read_string("verb");
@@ -362,6 +428,7 @@ std::optional<VerbRequest> parse_verb_request(std::string_view document,
     if (const auto v = read_uint("max_instructions")) {
       request.run.max_instructions = *v;
     }
+    if (const auto v = read_bool("lint")) request.lint_gate = *v;
   } else if (request.verb == "matrix") {
     const auto read_names = [&doc](const char* key,
                                    std::vector<std::string>* out) {
@@ -377,11 +444,16 @@ std::optional<VerbRequest> parse_verb_request(std::string_view document,
     if (const auto v = read_uint("max_instructions")) {
       request.matrix.max_instructions = *v;
     }
+    if (const auto v = read_bool("lint")) request.lint_gate = *v;
   } else if (request.verb == "port") {
     if (const auto v = read_string("to")) request.port.to = *v;
   } else if (request.verb == "check") {
     if (const auto v = read_string("derivative")) {
       request.check.derivative = *v;
+    }
+  } else if (request.verb == "lint") {
+    if (const auto v = read_string("derivative")) {
+      request.lint.derivative = *v;
     }
   } else if (request.verb == "release") {
     if (const auto v = read_string("name")) request.release.name = *v;
@@ -406,9 +478,11 @@ std::optional<VerbRequest> parse_verb_request(std::string_view document,
 }
 
 bool verb_mutates(std::string_view verb) {
-  // run/matrix/check only read the tree; everything else rewrites the
-  // VFS (init/port/random), the release root (release), or the disk tree.
-  return verb != "run" && verb != "matrix" && verb != "check";
+  // run/matrix/check/lint only read the tree; everything else rewrites
+  // the VFS (init/port/random), the release root (release), or the disk
+  // tree.
+  return verb != "run" && verb != "matrix" && verb != "check" &&
+         verb != "lint";
 }
 
 VerbOutcome execute_verb(Session& session, const VerbRequest& request,
@@ -427,6 +501,9 @@ VerbOutcome execute_verb(Session& session, const VerbRequest& request,
     }
     if (request.verb == "check") {
       return do_check(session, request, vfs_root, import_error);
+    }
+    if (request.verb == "lint") {
+      return do_lint(session, request, vfs_root, import_error);
     }
     if (request.verb == "release") {
       return do_release(session, request, vfs_root, import_error);

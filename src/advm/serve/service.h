@@ -29,15 +29,19 @@ namespace advm::core::serve {
 /// requests' `root` fields are overwritten by execute_verb with the VFS
 /// root the executing session actually uses, so they do not marshal.
 struct VerbRequest {
-  std::string verb;  ///< init|run|matrix|port|check|release|random
+  std::string verb;  ///< init|run|matrix|port|check|lint|release|random
   std::string dir;   ///< absolute disk path of the environment tree
   BuildRequest build;
   RunRequest run;
   MatrixRequest matrix;
   PortRequest port;
   CheckRequest check;
+  LintRequest lint;
   ReleaseRequest release;
   RandomRequest random;
+  /// run/matrix only: lint the tree first and refuse to execute when any
+  /// finding surfaces (the CLI's --lint pre-run gate).
+  bool lint_gate = false;
 };
 
 /// Single-line JSON document for the frame payload
@@ -51,7 +55,8 @@ struct VerbRequest {
 
 /// True for verbs that mutate shared state — the session VFS tree, the
 /// release root, or the disk tree itself. The daemon runs these under an
-/// exclusive session lock; read-only verbs (run/matrix/check) share it.
+/// exclusive session lock; read-only verbs (run/matrix/check/lint)
+/// share it.
 [[nodiscard]] bool verb_mutates(std::string_view verb);
 
 /// What executing a verb produced: the CLI exit code, the --format json

@@ -356,6 +356,25 @@ CheckResult Session::run(const CheckRequest& request) {
   return result;
 }
 
+LintResult Session::run(const LintRequest& request) {
+  LintResult result;
+  result.status = config_.validate();
+  if (!result.status.ok()) return result;
+  const soc::DerivativeSpec* spec = find_spec(request.derivative);
+  if (spec == nullptr) {
+    result.status = unknown_derivative(request.derivative);
+    return result;
+  }
+  if (!vfs_.dir_exists(request.root)) {
+    result.status = bad_root(request.root);
+    return result;
+  }
+
+  Linter linter(context());
+  result.report = linter.lint_system(request.root, *spec);
+  return result;
+}
+
 ReleaseResult Session::run(const ReleaseRequest& request) {
   ReleaseResult result;
   result.status = config_.validate();

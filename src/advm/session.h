@@ -12,6 +12,7 @@
 //   MatrixRequest  → MatrixResult    derivative × platform cube + roll-up
 //   PortRequest    → PortResult      retarget the tree in place
 //   CheckRequest   → CheckResult     abstraction-violation report
+//   LintRequest    → LintResult      binary-level dataflow analysis (lint)
 //   ReleaseRequest → ReleaseResult   frozen snapshot + verify + regression
 //   RandomRequest  → RandomResult    randomized Globals.inc regeneration
 //
@@ -35,6 +36,7 @@
 #include "advm/context.h"
 #include "advm/environment.h"
 #include "advm/exec/costmodel.h"
+#include "advm/lint/lint.h"
 #include "advm/objcache.h"
 #include "advm/porting.h"
 #include "advm/regression.h"
@@ -184,6 +186,19 @@ struct CheckResult {
   ViolationReport report;
 };
 
+/// `lint`: binary-level dataflow analysis of every test cell under
+/// `root` — each cell is assembled and linked exactly like a check run,
+/// then the linked image's CFG is analyzed (see advm/lint/analyses.h).
+struct LintRequest {
+  std::string root = "/SYS";
+  std::string derivative = "SC88-A";
+};
+
+struct LintResult {
+  Status status;
+  LintReport report;
+};
+
 /// `release`: freeze the tree as a content-hashed snapshot (the paper's
 /// §3 label), verify it, and optionally regress the frozen copy.
 struct ReleaseRequest {
@@ -329,6 +344,7 @@ class Session {
   [[nodiscard]] MatrixResult run(const MatrixRequest& request);
   [[nodiscard]] PortResult run(const PortRequest& request);
   [[nodiscard]] CheckResult run(const CheckRequest& request);
+  [[nodiscard]] LintResult run(const LintRequest& request);
   [[nodiscard]] ReleaseResult run(const ReleaseRequest& request);
   [[nodiscard]] RandomResult run(const RandomRequest& request);
 

@@ -103,6 +103,7 @@ std::optional<Image> link(std::span<const ObjectFile* const> objects,
       it->second.name = sym.name;
       it->second.address = *base + sym.offset;
       it->second.defined_in = obj->name;
+      it->second.section = sym.section;
     }
   }
   if (!ok) return std::nullopt;
@@ -112,6 +113,8 @@ std::optional<Image> link(std::span<const ObjectFile* const> objects,
     Segment seg;
     seg.base = p.base;
     seg.bytes = p.section->bytes;
+    seg.section = p.section->name;
+    seg.source = p.object->name;
     image.segments.push_back(std::move(seg));
   }
 

@@ -30,10 +30,15 @@ struct LinkOptions {
   std::string entry_symbol = "_main";
 };
 
-/// A placed, fully patched run of bytes.
+/// A placed, fully patched run of bytes. Carries its provenance (section
+/// name and originating object) so image-level consumers — the static
+/// analyzer in src/advm/lint/ foremost — can tell code from data and
+/// attribute findings to the source file that emitted the bytes.
 struct Segment {
   std::uint32_t base = 0;
   std::vector<std::uint8_t> bytes;
+  std::string section;  ///< section name ("code", "data", ...)
+  std::string source;   ///< object (source file) name that emitted the bytes
 
   [[nodiscard]] std::uint32_t end() const {
     return base + static_cast<std::uint32_t>(bytes.size());
@@ -45,6 +50,7 @@ struct LinkedSymbol {
   std::string name;
   std::uint32_t address = 0;
   std::string defined_in;                  ///< object (source file) name
+  std::string section;                     ///< section the symbol lives in
   std::vector<std::string> referenced_by;  ///< objects with relocs against it
 };
 

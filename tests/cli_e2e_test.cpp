@@ -160,6 +160,47 @@ TEST_F(CliE2E, MatrixRollupIsGreenAndDigestStableAcrossPlatforms) {
   EXPECT_NE(bad.err.find("unknown platform"), std::string::npos);
 }
 
+TEST_F(CliE2E, LintVerbAndGateMatchGoldens) {
+  auto init = run_cli("init \"" + env_dir_ + "\" --tests 2");
+  ASSERT_EQ(init.exit_code, 0) << init.err;
+
+  // A freshly generated corpus must be lint-clean (the zero-false-positive
+  // guarantee), and the --lint gate must let the regression through.
+  auto clean = run_cli("lint \"" + env_dir_ + "\"");
+  EXPECT_EQ(clean.exit_code, 0) << clean.out << clean.err;
+  EXPECT_EQ(normalized(clean), golden("lint_clean.txt"));
+  auto gated = run_cli("run \"" + env_dir_ + "\" --lint");
+  EXPECT_EQ(gated.exit_code, 0) << gated.err;
+  EXPECT_NE(gated.out.find("passed"), std::string::npos) << gated.out;
+
+  // Seed a defective test cell: an undefined-register read plus a dead
+  // store — both must surface, attributed to this cell, byte-stable.
+  std::ofstream(fs::path(env_dir_) / "MEM_MODULE" / "TEST_MEMORY_000" /
+                "test.asm")
+      << ".INCLUDE Globals.inc\n"
+         "_main:\n"
+         " MOV d1, d3\n"
+         " MOV d5, 7\n"
+         " MOV d5, 8\n"
+         " MOV d0, d5\n"
+         " CALL Base_Report_Pass\n";
+  auto dirty = run_cli("lint \"" + env_dir_ + "\"");
+  EXPECT_EQ(dirty.exit_code, 1) << dirty.err;
+  EXPECT_EQ(normalized(dirty), golden("lint_findings.txt"));
+
+  // The machine-readable document is a stable contract.
+  auto json = run_cli("lint \"" + env_dir_ + "\" --format json");
+  EXPECT_EQ(json.exit_code, 1) << json.err;
+  EXPECT_EQ(normalized(json), golden("lint_findings.json"));
+
+  // The gate refuses to run a dirty tree.
+  auto blocked = run_cli("run \"" + env_dir_ + "\" --lint");
+  EXPECT_EQ(blocked.exit_code, 1) << blocked.err;
+  EXPECT_NE(blocked.out.find("lint gate failed: refusing to run"),
+            std::string::npos)
+      << blocked.out;
+}
+
 TEST_F(CliE2E, RunOnWrongDerivativeFailsLoudly) {
   // An SC88-A environment regressed against SC88-D must not silently pass:
   // the paper's Fig 2 lesson is that unported environments break visibly.

@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -68,9 +69,13 @@ class ServeE2E : public ::testing::Test {
   }
 
   /// Runs `advm <args>` to completion, capturing exit code and streams.
+  /// Capture files are unique per call — tests run clients concurrently,
+  /// and a shared stdout.txt would let one client truncate another's
+  /// output mid-slurp.
   CommandResult run_cli(const std::string& args) {
-    const fs::path out = scratch_ / "stdout.txt";
-    const fs::path err = scratch_ / "stderr.txt";
+    const int call = next_call_.fetch_add(1);
+    const fs::path out = scratch_ / ("stdout." + std::to_string(call));
+    const fs::path err = scratch_ / ("stderr." + std::to_string(call));
     const std::string command = std::string("\"") + ADVM_CLI_PATH + "\" " +
                                 args + " > \"" + out.string() + "\" 2> \"" +
                                 err.string() + "\"";
@@ -158,6 +163,7 @@ class ServeE2E : public ::testing::Test {
   std::string env_dir_;
   std::string socket_path_;
   pid_t daemon_pid_ = -1;
+  std::atomic<int> next_call_{0};
 };
 
 // ------------------------------------------------------- protocol units --
@@ -214,8 +220,39 @@ TEST(ServeService, VerbRequestRoundTripsThroughJson) {
   EXPECT_FALSE(serve::parse_verb_request("{\"verb\":\"run\"}", &error));
 }
 
+TEST(ServeService, LintVerbAndGateRoundTripThroughJson) {
+  serve::VerbRequest request;
+  request.verb = "lint";
+  request.dir = "/some/dir";
+  request.lint.derivative = "SC88-C";
+  std::string error;
+  auto parsed = serve::parse_verb_request(serve::to_json(request), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->verb, "lint");
+  EXPECT_EQ(parsed->lint.derivative, "SC88-C");
+  EXPECT_FALSE(parsed->lint_gate);
+
+  // The --lint pre-run gate marshals on run and matrix…
+  for (const char* verb : {"run", "matrix"}) {
+    serve::VerbRequest gated;
+    gated.verb = verb;
+    gated.dir = "/some/dir";
+    gated.lint_gate = true;
+    parsed = serve::parse_verb_request(serve::to_json(gated), &error);
+    ASSERT_TRUE(parsed) << error;
+    EXPECT_TRUE(parsed->lint_gate) << verb;
+  }
+
+  // …and a gate-free request serializes without the key at all, so the
+  // request documents of pre-gate clients are byte-identical.
+  serve::VerbRequest plain;
+  plain.verb = "run";
+  plain.dir = "/some/dir";
+  EXPECT_EQ(serve::to_json(plain).find("\"lint\""), std::string::npos);
+}
+
 TEST(ServeService, OwnershipRuleClassifiesVerbs) {
-  for (const char* verb : {"run", "matrix", "check"}) {
+  for (const char* verb : {"run", "matrix", "check", "lint"}) {
     EXPECT_FALSE(serve::verb_mutates(verb)) << verb;
   }
   for (const char* verb : {"init", "port", "random", "release"}) {
@@ -233,6 +270,41 @@ TEST_F(ServeE2E, AttachedRunIsByteIdenticalToLocalRun) {
   ASSERT_EQ(attached.exit_code, 0) << attached.err;
   const auto local = run_cli("run \"" + env_dir_ + "\" --format json");
   ASSERT_EQ(local.exit_code, 0) << local.err;
+  EXPECT_EQ(attached.out, local.out);
+}
+
+TEST_F(ServeE2E, AttachedLintIsByteIdenticalToLocalLint) {
+  make_tree();
+  spawn_daemon();
+  for (const char* format : {"", " --format json"}) {
+    const auto attached =
+        run_cli("lint \"" + env_dir_ + "\"" + format + attach_flag());
+    ASSERT_EQ(attached.exit_code, 0) << attached.err;
+    const auto local = run_cli("lint \"" + env_dir_ + "\"" + format);
+    ASSERT_EQ(local.exit_code, 0) << local.err;
+    EXPECT_EQ(attached.out, local.out);
+  }
+}
+
+TEST_F(ServeE2E, AttachedLintGateRefusesDirtyTree) {
+  make_tree();
+  spawn_daemon();
+  // Seed an undefined-register read into one cell on disk; the attached
+  // gated run must refuse exactly like a local one, byte for byte.
+  std::ofstream(fs::path(env_dir_) / "MEM_MODULE" / "TEST_MEMORY_000" /
+                "test.asm")
+      << ".INCLUDE Globals.inc\n"
+         "_main:\n"
+         " MOV d1, d3\n"
+         " CALL Base_Report_Pass\n";
+  const auto attached =
+      run_cli("run \"" + env_dir_ + "\" --lint" + attach_flag());
+  EXPECT_EQ(attached.exit_code, 1) << attached.err;
+  EXPECT_NE(attached.out.find("lint gate failed: refusing to run"),
+            std::string::npos)
+      << attached.out;
+  const auto local = run_cli("run \"" + env_dir_ + "\" --lint");
+  EXPECT_EQ(local.exit_code, 1) << local.err;
   EXPECT_EQ(attached.out, local.out);
 }
 

@@ -593,7 +593,10 @@ _main:
 
 TEST_F(BoardTest, ImageOutsideMemoryMapRejected) {
   advm::assembler::Image image;
-  image.segments.push_back({0xDEAD'0000, {1, 2, 3}});
+  advm::assembler::Segment segment;
+  segment.base = 0xDEAD'0000;
+  segment.bytes = {1, 2, 3};
+  image.segments.push_back(std::move(segment));
   image.entry = 0xDEAD'0000;
   Board board(derivative_a(), PlatformKind::GoldenModel);
   std::string error;

@@ -14,6 +14,12 @@
 //                                                        cell + roll-up
 //   advm port  <dir> --to SC88-C                         retarget in place
 //   advm check <dir> [--derivative D]                    violation report
+//   advm lint  <dir> [--derivative D] [--jobs N]         binary-level dataflow
+//                                                        analysis of every
+//                                                        linked test cell
+//                                                        (--lint on run/matrix
+//                                                        gates execution on a
+//                                                        clean lint)
 //   advm release <dir> --name R1 [--derivative D] [--platform P] [--jobs N]
 //                                                        frozen snapshot +
 //                                                        verify + regression
@@ -259,6 +265,7 @@ serve::VerbRequest build_verb_request(const Args& args,
   } else if (verb == "run") {
     request.run.derivative = option_or(args, "derivative", "SC88-A");
     request.run.platform = option_or(args, "platform", "golden-model");
+    request.lint_gate = args.options.count("lint") != 0;
   } else if (verb == "matrix") {
     const std::string derivatives = option_or(args, "derivatives", "SC88-A");
     const std::string platforms = option_or(args, "platforms", "golden-model");
@@ -270,10 +277,13 @@ serve::VerbRequest build_verb_request(const Args& args,
     for (std::string_view name : support::split(platforms, ',')) {
       request.matrix.platforms.emplace_back(name);
     }
+    request.lint_gate = args.options.count("lint") != 0;
   } else if (verb == "port") {
     request.port.to = option_or(args, "to", "");
   } else if (verb == "check") {
     request.check.derivative = option_or(args, "derivative", "SC88-A");
+  } else if (verb == "lint") {
+    request.lint.derivative = option_or(args, "derivative", "SC88-A");
   } else if (verb == "release") {
     request.release.name = option_or(args, "name", "R1");
     request.release.derivative = option_or(args, "derivative", "SC88-A");
@@ -690,6 +700,7 @@ int usage() {
          " [--request-timeout-ms MS] [--max-respawns N]\n"
          "  advm port  <dir> --to <derivative>\n"
          "  advm check <dir> [--derivative D]\n"
+         "  advm lint  <dir> [--derivative D] [--jobs N]\n"
          "  advm release <dir> [--name R1] [--derivative D] [--platform P]"
          " [--jobs N]\n"
          "  advm random <dir> --seed K [--derivative D]\n"
@@ -700,7 +711,9 @@ int usage() {
          "  advm worker --slice <file> | --serve\n"
          "options: --format json renders any verb's result as JSON;\n"
          "         --attach <socket> (or ADVM_SOCKET) runs any verb on a"
-         " resident daemon\n";
+         " resident daemon;\n"
+         "         --lint (run/matrix) lints the tree first and refuses"
+         " to execute on findings\n";
   return 2;
 }
 
@@ -728,8 +741,8 @@ int main(int argc, char** argv) {
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "init" || args.command == "run" ||
         args.command == "matrix" || args.command == "port" ||
-        args.command == "check" || args.command == "release" ||
-        args.command == "random") {
+        args.command == "check" || args.command == "lint" ||
+        args.command == "release" || args.command == "random") {
       return cmd_verb(args, args.command.c_str());
     }
   } catch (const std::exception& e) {

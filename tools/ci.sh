@@ -49,6 +49,39 @@ print("json contract ok: %d cells, %d records" %
       (len(doc["cells"]), sum(c["total"] for c in doc["cells"])))
 PY
 
+echo "==> lint gate (advm lint static analyzer + --lint pre-run gate)"
+# The generated corpus must be lint-clean (the analyzer's zero-false-
+# positive contract), a seeded defect must surface as a typed finding and
+# trip the --lint gate, and the gated run on the clean tree must pass.
+./build/tools/advm lint build/json-contract-env
+./build/tools/advm run build/json-contract-env --lint > /dev/null
+rm -rf build/lint-env
+cp -r build/json-contract-env build/lint-env
+printf '.INCLUDE Globals.inc\n_main:\n MOV d1, d3\n CALL Base_Report_Pass\n' \
+  > build/lint-env/MEM_MODULE/TEST_MEMORY_000/test.asm
+if ./build/tools/advm lint build/lint-env --format json > build/lint.json; then
+  echo "lint exited 0 on a seeded defect" >&2
+  exit 1
+fi
+if ./build/tools/advm run build/lint-env --lint > /dev/null; then
+  echo "--lint gate let a dirty tree run" >&2
+  exit 1
+fi
+python3 - build/lint.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["ok"] is True and doc["verb"] == "lint", doc
+assert doc["clean"] is False and doc["count"] == 1, doc
+assert doc["by_code"] == {"advm.lint-undef-reg": 1}, doc["by_code"]
+f = doc["findings"][0]
+for key in ("code", "environment", "test", "file", "address", "symbol",
+            "detail"):
+    assert key in f, "missing finding key " + key
+assert f["environment"] == "MEM_MODULE" and f["symbol"] == "_main", f
+print("lint gate ok: clean corpus clean, seeded defect caught as %s"
+      % f["code"])
+PY
+
 echo "==> shard-determinism gate (thread vs pooled process backend on the e10 cube)"
 rm -rf build/shard-env build/shard-cache
 ./build/tools/advm init build/shard-env --tests 2 > /dev/null
@@ -319,6 +352,42 @@ PY
 echo "==> -Werror hygiene build"
 cmake --preset werror
 cmake --build build-werror -j
+
+if [[ "${ADVM_CI_SKIP_SAN:-0}" != "1" ]]; then
+  echo "==> ASan+UBSan lane (tier-1 ctest, instrumented end to end)"
+  # The e2e suites spawn the real CLI, so the whole tree — libraries, CLI,
+  # daemon, tests — runs instrumented. halt_on_error keeps UBSan fatal.
+  cmake --preset asan
+  cmake --build build-asan -j
+  (cd build-asan && \
+   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+   ctest -L tier1 --output-on-failure -j)
+
+  echo "==> TSan lane (concurrency suites: worker pools, serve daemon)"
+  # Scoped to the suites that actually exercise threads — WorkerPool
+  # fan-out, the daemon's executor/poll loops, parallel regression — a
+  # full TSan ctest lap would mostly re-run single-threaded code slower.
+  cmake --preset tsan
+  cmake --build build-tsan -j \
+    -t exec_test -t serve_test -t regression_parallel_test
+  for suite in exec_test serve_test regression_parallel_test; do
+    "./build-tsan/tests/${suite}"
+  done
+else
+  echo "==> sanitizer lanes skipped (ADVM_CI_SKIP_SAN=1)"
+fi
+
+if [[ "${ADVM_CI_SKIP_TIDY:-0}" != "1" ]] && command -v clang-tidy > /dev/null
+then
+  echo "==> clang-tidy gate (src/, profile in .clang-tidy)"
+  # compile_commands.json comes from the default configure; tidy findings
+  # are errors (WarningsAsErrors in .clang-tidy), so a regression fails CI.
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  find src -name '*.cpp' -print0 | xargs -0 -P "$(nproc)" -n 8 \
+    clang-tidy -p build --quiet
+else
+  echo "==> clang-tidy gate skipped (binary missing or ADVM_CI_SKIP_TIDY=1)"
+fi
 
 if [[ "${ADVM_CI_SKIP_BENCH:-0}" != "1" ]]; then
   echo "==> bench harnesses (BENCH_*.json)"
